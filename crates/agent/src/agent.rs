@@ -1,0 +1,119 @@
+//! The per-job EchelonFlow Agent (paper §5, Fig. 7).
+//!
+//! "We are inspired by ByteScheduler to build an EchelonFlow Agent as a
+//! shim layer between DDLT frameworks and message-passing backends." In
+//! the simulation, the agent's two responsibilities are:
+//!
+//! 1. **Reporting**: translate the framework's workload (a
+//!    [`JobDag`]) into [`EchelonRequest`]s and file them with the
+//!    [`Coordinator`](crate::coordinator::Coordinator).
+//! 2. **Enforcement bookkeeping**: map each of the job's flows to the
+//!    priority queue the coordinator's allocation implies (see
+//!    [`crate::enforce`]), mirroring "the agent stores flow data into
+//!    priority queues based on their allocated bandwidth".
+
+use crate::api::{requests_from_dag, EchelonRequest};
+use crate::coordinator::Coordinator;
+use echelon_core::JobId;
+use echelon_paradigms::dag::JobDag;
+use echelon_simnet::ids::FlowId;
+use std::collections::BTreeMap;
+
+/// The per-job shim between framework and backend.
+#[derive(Debug)]
+pub struct EchelonAgent {
+    job: JobId,
+    requests: Vec<EchelonRequest>,
+    /// Queue assignment per flow, filled by the enforcement layer.
+    queue_of: BTreeMap<FlowId, u8>,
+    reported: bool,
+}
+
+impl EchelonAgent {
+    /// Creates the agent for one job from the framework's declared DAG.
+    pub fn from_dag(dag: &JobDag) -> EchelonAgent {
+        EchelonAgent {
+            job: dag.job,
+            requests: requests_from_dag(dag),
+            queue_of: BTreeMap::new(),
+            reported: false,
+        }
+    }
+
+    /// The job this agent serves.
+    pub fn job(&self) -> JobId {
+        self.job
+    }
+
+    /// The requests the framework filed.
+    pub fn requests(&self) -> &[EchelonRequest] {
+        &self.requests
+    }
+
+    /// Reports all collected requests to the coordinator. Idempotent:
+    /// reporting twice is an error the agent guards against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn report_to(&mut self, coordinator: &mut Coordinator) {
+        assert!(!self.reported, "agent for {} already reported", self.job);
+        coordinator.submit_all(self.requests.clone());
+        self.reported = true;
+    }
+
+    /// Records the queue the enforcement layer assigned to a flow.
+    pub fn assign_queue(&mut self, flow: FlowId, queue: u8) {
+        self.queue_of.insert(flow, queue);
+    }
+
+    /// The queue a flow was last assigned to.
+    pub fn queue_of(&self, flow: FlowId) -> Option<u8> {
+        self.queue_of.get(&flow).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coordinator::CoordinatorConfig;
+    use echelon_paradigms::config::PpConfig;
+    use echelon_paradigms::ids::IdAlloc;
+    use echelon_paradigms::pp::build_pp_gpipe;
+
+    fn dag() -> JobDag {
+        let mut alloc = IdAlloc::new();
+        build_pp_gpipe(JobId(7), &PpConfig::fig2(), &mut alloc)
+    }
+
+    #[test]
+    fn agent_reports_job_requests() {
+        let dag = dag();
+        let mut agent = EchelonAgent::from_dag(&dag);
+        assert_eq!(agent.job(), JobId(7));
+        assert_eq!(agent.requests().len(), 2);
+        let mut coord = Coordinator::new(CoordinatorConfig::default());
+        agent.report_to(&mut coord);
+        assert_eq!(coord.registered_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already reported")]
+    fn double_report_rejected() {
+        let dag = dag();
+        let mut agent = EchelonAgent::from_dag(&dag);
+        let mut coord = Coordinator::new(CoordinatorConfig::default());
+        agent.report_to(&mut coord);
+        agent.report_to(&mut coord);
+    }
+
+    #[test]
+    fn queue_bookkeeping() {
+        let dag = dag();
+        let mut agent = EchelonAgent::from_dag(&dag);
+        let fid = dag.all_flows()[0].id;
+        assert_eq!(agent.queue_of(fid), None);
+        agent.assign_queue(fid, 3);
+        assert_eq!(agent.queue_of(fid), Some(3));
+    }
+}

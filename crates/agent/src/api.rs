@@ -1,0 +1,76 @@
+//! The EchelonFlow API (paper §5): what a framework reports to the agent.
+//!
+//! "For each EchelonFlow, it reports the arrangement function and
+//! per-flow information (the size, source, and destination) to the agent
+//! via a library of EchelonFlow APIs." An [`EchelonRequest`] is exactly
+//! that record. Frameworks with declared [`JobDag`]s generate their
+//! requests mechanically with [`requests_from_dag`].
+
+use echelon_core::echelon::EchelonFlow;
+use echelon_core::JobId;
+use echelon_paradigms::dag::JobDag;
+
+/// One EchelonFlow report from a framework: the arrangement function plus
+/// per-flow size/source/destination (all carried by the
+/// [`EchelonFlow`] declaration), tagged with the submitting job.
+#[derive(Debug, Clone)]
+pub struct EchelonRequest {
+    /// The job the framework is training.
+    pub job: JobId,
+    /// The declared EchelonFlow (stages, flow info, arrangement).
+    pub echelon: EchelonFlow,
+}
+
+impl EchelonRequest {
+    /// Wraps a declared EchelonFlow as a request.
+    pub fn new(echelon: EchelonFlow) -> EchelonRequest {
+        EchelonRequest {
+            job: echelon.job(),
+            echelon,
+        }
+    }
+
+    /// Total bytes this request will move.
+    pub fn total_bytes(&self) -> f64 {
+        self.echelon.total_bytes()
+    }
+
+    /// Number of flows in the request.
+    pub fn num_flows(&self) -> usize {
+        self.echelon.num_flows()
+    }
+}
+
+/// Derives the full request set of a job from its DAG — the paper's
+/// "the framework breaks down the workflow into EchelonFlows ... based on
+/// the training paradigm used" (the per-paradigm breakdown is done by the
+/// [`echelon_paradigms`] builders).
+pub fn requests_from_dag(dag: &JobDag) -> Vec<EchelonRequest> {
+    dag.echelons
+        .iter()
+        .cloned()
+        .map(EchelonRequest::new)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use echelon_paradigms::config::PpConfig;
+    use echelon_paradigms::ids::IdAlloc;
+    use echelon_paradigms::pp::build_pp_gpipe;
+
+    #[test]
+    fn requests_cover_every_dag_flow() {
+        let mut alloc = IdAlloc::new();
+        let dag = build_pp_gpipe(JobId(3), &PpConfig::fig2(), &mut alloc);
+        let reqs = requests_from_dag(&dag);
+        assert_eq!(reqs.len(), dag.echelons.len());
+        let total: usize = reqs.iter().map(|r| r.num_flows()).sum();
+        assert_eq!(total, dag.all_flows().len());
+        for r in &reqs {
+            assert_eq!(r.job, JobId(3));
+            assert!(r.total_bytes() > 0.0);
+        }
+    }
+}

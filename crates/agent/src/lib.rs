@@ -1,0 +1,34 @@
+//! # echelon-agent — the EchelonFlow scheduling system (paper §5, Fig. 7)
+//!
+//! The paper sketches a three-part system; this crate realizes each part
+//! against the simulation substrate:
+//!
+//! - [`api`] — the **EchelonFlow API**: the request a training framework
+//!   files per EchelonFlow (arrangement function + per-flow size, source,
+//!   destination), derived automatically from a [`echelon_paradigms::dag::JobDag`].
+//! - [`agent`] — the per-job **EchelonFlow Agent**: the shim between the
+//!   framework and the message-passing backend. It collects the job's
+//!   requests, reports them to the coordinator, and enforces the returned
+//!   schedule by placing flow data into **priority queues** served with
+//!   weighted bandwidth sharing ([`enforce`]).
+//! - [`coordinator`] — the global **Coordinator**: runs the heuristic
+//!   adapted from Coflow scheduling (MADD with the tardiness metric,
+//!   §3.3/P4) per EchelonFlow arrival/departure or per scheduling
+//!   interval, and implements the paper's scalability optimization of
+//!   reusing decisions across the iterations of a DDLT job.
+//! - [`enforce`] — schedule enforcement through a small number of
+//!   discrete priority queues (the common practice the paper cites
+//!   [13, 23, 34]), including the fidelity loss that quantization causes.
+
+pub mod agent;
+pub mod api;
+pub mod coordinator;
+pub mod enforce;
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::agent::EchelonAgent;
+    pub use crate::api::EchelonRequest;
+    pub use crate::coordinator::{Coordinator, CoordinatorConfig, CoordinatedPolicy, Trigger};
+    pub use crate::enforce::{quantize_to_queues, QueueEnforcedPolicy, QueueConfig};
+}

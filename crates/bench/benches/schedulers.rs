@@ -1,0 +1,104 @@
+//! Scheduler-cost benches (experiment E8 / Property 4).
+//!
+//! Property 4 claims the MADD adaptation keeps the algorithmic
+//! complexity of the original: these benches measure a single
+//! `allocate()` call of Varys/MADD (CCT metric) and EchelonMadd
+//! (tardiness metric) over growing flow populations — the curves should
+//! have the same shape, separated by a constant factor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use echelon_core::arrangement::ArrangementFn;
+use echelon_core::coflow::Coflow;
+use echelon_core::echelon::{EchelonFlow, FlowRef};
+use echelon_core::{EchelonId, JobId};
+use echelon_sched::echelon::EchelonMadd;
+use echelon_sched::varys::VarysMadd;
+use echelon_simnet::alloc::max_min_rates;
+use echelon_simnet::flow::ActiveFlowView;
+use echelon_simnet::ids::{FlowId, NodeId};
+use echelon_simnet::runner::RatePolicy;
+use echelon_simnet::time::SimTime;
+use echelon_simnet::topology::Topology;
+
+const HOSTS: usize = 32;
+const GROUP_SIZE: usize = 8;
+
+/// `n` active flows spread over the fabric, grouped 8-per-group.
+fn make_views(n: usize, topo: &Topology) -> Vec<ActiveFlowView> {
+    (0..n)
+        .map(|i| {
+            let src = NodeId((i % HOSTS) as u32);
+            let dst = NodeId(((i + 7) % HOSTS) as u32);
+            ActiveFlowView {
+                id: FlowId(i as u64),
+                src,
+                dst,
+                size: 1.0 + (i % 5) as f64,
+                remaining: 0.5 + (i % 3) as f64,
+                release: SimTime::new((i % 4) as f64 * 0.1),
+                route: topo.route(src, dst),
+            }
+        })
+        .collect()
+}
+
+fn make_coflows(n: usize) -> Vec<Coflow> {
+    (0..n)
+        .collect::<Vec<_>>()
+        .chunks(GROUP_SIZE)
+        .enumerate()
+        .map(|(g, chunk)| {
+            let flows = chunk
+                .iter()
+                .map(|&i| {
+                    FlowRef::new(
+                        FlowId(i as u64),
+                        NodeId((i % HOSTS) as u32),
+                        NodeId(((i + 7) % HOSTS) as u32),
+                        1.0 + (i % 5) as f64,
+                    )
+                })
+                .collect();
+            Coflow::new(EchelonId(g as u64), JobId(g as u32), flows)
+        })
+        .collect()
+}
+
+fn make_echelons(n: usize) -> Vec<EchelonFlow> {
+    make_coflows(n)
+        .into_iter()
+        .enumerate()
+        .map(|(g, c)| {
+            let flows: Vec<FlowRef> = c.flows().to_vec();
+            EchelonFlow::from_flows(
+                EchelonId(g as u64),
+                JobId(g as u32),
+                flows,
+                ArrangementFn::Staggered { gap: 0.5 },
+            )
+        })
+        .collect()
+}
+
+fn bench_allocate(c: &mut Criterion) {
+    let topo = Topology::big_switch_uniform(HOSTS, 1.0);
+    let mut group = c.benchmark_group("madd_scaling");
+    for &n in &[16usize, 64, 128, 256] {
+        let views = make_views(n, &topo);
+        group.bench_with_input(BenchmarkId::new("varys_cct", n), &n, |b, _| {
+            let mut policy = VarysMadd::new(make_coflows(n));
+            b.iter(|| policy.allocate(SimTime::new(1.0), &views, &topo));
+        });
+        group.bench_with_input(BenchmarkId::new("echelon_tardiness", n), &n, |b, _| {
+            let mut policy = EchelonMadd::new(make_echelons(n));
+            b.iter(|| policy.allocate(SimTime::new(1.0), &views, &topo));
+        });
+        group.bench_with_input(BenchmarkId::new("max_min_baseline", n), &n, |b, _| {
+            b.iter(|| max_min_rates(&topo, &views));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocate);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! # echelon-cluster — multi-tenant GPU cluster simulation
+//!
+//! The paper targets "DDLT in GPU clusters, where training jobs share the
+//! network bandwidth and GPUs can be fragmented" (§5). This crate builds
+//! that setting on top of the paradigm models:
+//!
+//! - [`workload`] — seeded random workloads: Poisson job arrivals, a
+//!   configurable paradigm mix (DP/PS/PP/1F1B/TP/FSDP), and job arrival
+//!   gating (a job's workers and flows only activate at its arrival
+//!   time).
+//! - [`placement`] — GPU assignment: packed (contiguous hosts) versus
+//!   scattered (fragmented clusters — the multi-tenant reality the paper
+//!   cites [25, 56]).
+//! - [`metrics`] — post-hoc measurement: per-job completion times,
+//!   per-EchelonFlow tardiness reconstructed from the run trace (Eq. 2),
+//!   the global objective (Eq. 4), and worker idleness.
+//! - [`scenario`] — end-to-end scenario runner comparing schedulers on
+//!   the same workload.
+
+pub mod metrics;
+pub mod placement;
+pub mod scenario;
+pub mod workload;
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::metrics::{echelon_tardiness_from_run, JobMetrics, ScenarioMetrics};
+    pub use crate::placement::PlacementPolicy;
+    pub use crate::scenario::{run_scenario, Scenario, SchedulerKind};
+    pub use crate::workload::{
+        apply_compute_jitter, delay_start, generate_workload, ParadigmKind, WorkloadConfig,
+    };
+}

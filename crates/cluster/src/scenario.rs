@@ -1,0 +1,157 @@
+//! End-to-end scenario runner: one workload, many schedulers.
+//!
+//! This is the engine behind the paper's implied multi-tenant evaluation
+//! (experiment E10): generate a seeded workload, run it under each
+//! scheduler, and compare the global objective (Eq. 4), job completion
+//! times and utilization.
+
+use crate::metrics::{scenario_metrics, ScenarioMetrics};
+use crate::workload::{generate_workload, GeneratedJob, WorkloadConfig};
+use echelon_paradigms::ids::IdAlloc;
+use echelon_paradigms::runtime::{make_policy, run_jobs, Grouping, RunResult};
+use echelon_sched::baselines::{FifoPolicy, SrptPolicy};
+use echelon_simnet::runner::{MaxMinPolicy, RatePolicy};
+use echelon_simnet::topology::Topology;
+
+/// The schedulers a scenario can compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Per-flow max-min fair sharing.
+    Fair,
+    /// Per-flow FIFO.
+    Fifo,
+    /// Per-flow SRPT.
+    Srpt,
+    /// Varys/MADD over the Coflow formulation.
+    Coflow,
+    /// EchelonFlow scheduling (the paper's contribution).
+    Echelon,
+}
+
+impl SchedulerKind {
+    /// All comparable schedulers in report order.
+    pub const ALL: [SchedulerKind; 5] = [
+        SchedulerKind::Fair,
+        SchedulerKind::Fifo,
+        SchedulerKind::Srpt,
+        SchedulerKind::Coflow,
+        SchedulerKind::Echelon,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Fair => "fair",
+            SchedulerKind::Fifo => "fifo",
+            SchedulerKind::Srpt => "srpt",
+            SchedulerKind::Coflow => "coflow",
+            SchedulerKind::Echelon => "echelon",
+        }
+    }
+}
+
+/// A prepared scenario: topology + generated jobs.
+pub struct Scenario {
+    /// Fabric everything runs on.
+    pub topology: Topology,
+    /// Generated, arrival-gated jobs.
+    pub jobs: Vec<GeneratedJob>,
+}
+
+impl Scenario {
+    /// Generates a scenario from a workload config (big-switch fabric
+    /// with unit NIC capacity).
+    pub fn generate(cfg: &WorkloadConfig) -> Scenario {
+        Scenario::generate_on(cfg, Topology::big_switch_uniform(cfg.hosts, 1.0))
+    }
+
+    /// Generates a scenario on a custom fabric (e.g. an oversubscribed
+    /// fat-tree, where placement actually matters). The topology's first
+    /// `cfg.hosts` nodes must be hosts.
+    pub fn generate_on(cfg: &WorkloadConfig, topology: Topology) -> Scenario {
+        assert!(
+            topology.num_nodes() >= cfg.hosts,
+            "topology has {} nodes but the workload needs {} hosts",
+            topology.num_nodes(),
+            cfg.hosts
+        );
+        let mut alloc = IdAlloc::new();
+        let jobs = generate_workload(cfg, &mut alloc);
+        Scenario { topology, jobs }
+    }
+
+    /// Runs the scenario under one scheduler.
+    pub fn run(&self, kind: SchedulerKind) -> (RunResult, ScenarioMetrics) {
+        let dags: Vec<&_> = self.jobs.iter().map(|j| &j.dag).collect();
+        let run = match kind {
+            SchedulerKind::Fair => run_jobs(&self.topology, &dags, &mut MaxMinPolicy),
+            SchedulerKind::Fifo => run_jobs(&self.topology, &dags, &mut FifoPolicy),
+            SchedulerKind::Srpt => run_jobs(&self.topology, &dags, &mut SrptPolicy),
+            SchedulerKind::Coflow => {
+                let mut p = make_policy(Grouping::Coflow, &dags);
+                run_jobs(&self.topology, &dags, p.as_mut())
+            }
+            SchedulerKind::Echelon => {
+                let mut p = make_policy(Grouping::Echelon, &dags);
+                run_jobs(&self.topology, &dags, p.as_mut())
+            }
+        };
+        let metrics = scenario_metrics(&self.jobs, &run);
+        (run, metrics)
+    }
+
+    /// Runs the scenario under a caller-supplied policy (for ablations).
+    pub fn run_with(&self, policy: &mut dyn RatePolicy) -> (RunResult, ScenarioMetrics) {
+        let dags: Vec<&_> = self.jobs.iter().map(|j| &j.dag).collect();
+        let run = run_jobs(&self.topology, &dags, policy);
+        let metrics = scenario_metrics(&self.jobs, &run);
+        (run, metrics)
+    }
+}
+
+/// Convenience: generate and run one workload under one scheduler.
+pub fn run_scenario(cfg: &WorkloadConfig, kind: SchedulerKind) -> ScenarioMetrics {
+    Scenario::generate(cfg).run(kind).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_schedulers_complete_the_same_workload() {
+        let cfg = WorkloadConfig::default_mix(13, 4, 24);
+        let scenario = Scenario::generate(&cfg);
+        for kind in SchedulerKind::ALL {
+            let (_, m) = scenario.run(kind);
+            assert_eq!(m.jobs.len(), 4, "{} lost jobs", kind.name());
+            assert!(m.makespan > 0.0);
+        }
+    }
+
+    /// The headline multi-tenant shape: EchelonFlow scheduling achieves
+    /// no worse total tardiness than Coflow scheduling on a mixed
+    /// (pipeline-containing) workload.
+    #[test]
+    fn echelon_beats_or_ties_coflow_on_tardiness() {
+        let cfg = WorkloadConfig::default_mix(17, 5, 32);
+        let scenario = Scenario::generate(&cfg);
+        let (_, coflow) = scenario.run(SchedulerKind::Coflow);
+        let (_, echelon) = scenario.run(SchedulerKind::Echelon);
+        assert!(
+            echelon.total_tardiness <= coflow.total_tardiness + 1e-6,
+            "echelon {} vs coflow {}",
+            echelon.total_tardiness,
+            coflow.total_tardiness
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cfg = WorkloadConfig::default_mix(23, 3, 16);
+        let a = run_scenario(&cfg, SchedulerKind::Echelon);
+        let b = run_scenario(&cfg, SchedulerKind::Echelon);
+        assert_eq!(a.mean_jct, b.mean_jct);
+        assert_eq!(a.total_tardiness, b.total_tardiness);
+    }
+}

@@ -1,0 +1,435 @@
+//! Seeded random multi-tenant workloads.
+//!
+//! Generates a stream of training jobs — Poisson arrivals, a configurable
+//! paradigm mix, randomized model sizes in the comm-matters regime — and
+//! compiles each into a [`JobDag`] with its arrival gated: every worker
+//! idles and every flow waits until the job's arrival time.
+
+use crate::placement::{place_jobs, PlacementPolicy};
+use echelon_core::JobId;
+use echelon_paradigms::config::{DpConfig, FsdpConfig, PpConfig, TpConfig};
+use echelon_paradigms::dag::{CompKind, CompUnit, JobDag};
+use echelon_paradigms::dp::{build_dp_allreduce, build_dp_ps};
+use echelon_paradigms::fsdp::build_fsdp;
+use echelon_paradigms::hybrid::{build_hybrid, HybridConfig};
+use echelon_paradigms::ids::IdAlloc;
+use echelon_paradigms::pp::{build_pp_1f1b, build_pp_gpipe};
+use echelon_paradigms::tp::build_tp;
+use echelon_simnet::ids::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Label used for arrival-gate units so metrics can exclude them from
+/// busy-time accounting.
+pub const ARRIVAL_LABEL: &str = "ARRIVAL";
+
+/// The training paradigms a workload can mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParadigmKind {
+    /// Data parallelism with ring all-reduce.
+    DpAllReduce,
+    /// Data parallelism with a parameter server.
+    DpPs,
+    /// GPipe pipeline parallelism.
+    PpGpipe,
+    /// 1F1B pipeline parallelism.
+    Pp1f1b,
+    /// Megatron tensor parallelism.
+    Tp,
+    /// ZeRO/FSDP.
+    Fsdp,
+    /// Hybrid data + pipeline parallelism (2 replicas × 2 stages).
+    Hybrid,
+}
+
+/// Workload generation parameters.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Master seed: identical configs produce identical workloads.
+    pub seed: u64,
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Cluster size (hosts on the big switch).
+    pub hosts: usize,
+    /// Mean of the exponential inter-arrival time (Poisson arrivals).
+    pub mean_interarrival: f64,
+    /// Paradigm mix with relative weights.
+    pub mix: Vec<(ParadigmKind, f64)>,
+    /// GPU placement policy.
+    pub placement: PlacementPolicy,
+    /// Training iterations per job.
+    pub iterations: usize,
+}
+
+impl WorkloadConfig {
+    /// A small default mix exercising every paradigm.
+    pub fn default_mix(seed: u64, jobs: usize, hosts: usize) -> WorkloadConfig {
+        WorkloadConfig {
+            seed,
+            jobs,
+            hosts,
+            mean_interarrival: 2.0,
+            mix: vec![
+                (ParadigmKind::DpAllReduce, 1.0),
+                (ParadigmKind::DpPs, 1.0),
+                (ParadigmKind::PpGpipe, 1.0),
+                (ParadigmKind::Pp1f1b, 1.0),
+                (ParadigmKind::Tp, 1.0),
+                (ParadigmKind::Fsdp, 1.0),
+                (ParadigmKind::Hybrid, 1.0),
+            ],
+            placement: PlacementPolicy::Packed,
+            iterations: 1,
+        }
+    }
+}
+
+/// One generated job: its DAG (arrival-gated) and metadata.
+#[derive(Debug, Clone)]
+pub struct GeneratedJob {
+    /// The compiled, arrival-gated DAG.
+    pub dag: JobDag,
+    /// Paradigm used.
+    pub kind: ParadigmKind,
+    /// Arrival time.
+    pub arrival: f64,
+    /// Hosts assigned.
+    pub placement: Vec<NodeId>,
+}
+
+fn pick_kind(rng: &mut StdRng, mix: &[(ParadigmKind, f64)]) -> ParadigmKind {
+    let total: f64 = mix.iter().map(|(_, w)| w).sum();
+    assert!(total > 0.0, "paradigm mix has zero total weight");
+    let mut x = rng.gen_range(0.0..total);
+    for &(kind, w) in mix {
+        if x < w {
+            return kind;
+        }
+        x -= w;
+    }
+    mix.last().unwrap().0
+}
+
+/// Hosts a paradigm instance needs given a sampled worker count.
+fn hosts_needed(kind: ParadigmKind, workers: usize) -> usize {
+    match kind {
+        ParadigmKind::DpPs => workers + 1, // plus the PS node
+        ParadigmKind::Hybrid => 4,         // 2 replicas × 2 stages
+        _ => workers,
+    }
+}
+
+/// Delays a job's start to `arrival`: inserts an arrival-gate unit at the
+/// front of every worker's program and gates every dependency-free
+/// communication unit on those gates.
+pub fn delay_start(mut dag: JobDag, arrival: f64, alloc: &mut IdAlloc) -> JobDag {
+    assert!(arrival >= 0.0 && arrival.is_finite(), "bad arrival {arrival}");
+    if arrival == 0.0 {
+        return dag;
+    }
+    let mut gates = Vec::new();
+    for worker in dag.workers() {
+        let id = alloc.next_comp();
+        dag.comps.insert(
+            id,
+            CompUnit {
+                id,
+                worker,
+                duration: arrival,
+                kind: CompKind::Generic,
+                label: ARRIVAL_LABEL.to_string(),
+                deps_comp: vec![],
+                deps_comm: vec![],
+            },
+        );
+        dag.programs.get_mut(&worker).unwrap().insert(0, id);
+        gates.push(id);
+    }
+    for comm in dag.comms.values_mut() {
+        if comm.deps_comp.is_empty() && comm.deps_comm.is_empty() {
+            comm.deps_comp.extend(gates.iter().copied());
+        }
+    }
+    dag
+}
+
+/// Perturbs every computation unit's duration by a uniform factor in
+/// `[1 − frac, 1 + frac]` while leaving the declared EchelonFlow
+/// arrangements (the "profiled" distances) untouched.
+///
+/// This models the paper's §5 caveat about GPU sharing: without perfect
+/// performance isolation, realized computation times drift from the
+/// profile the arrangement functions were built from. The jitter
+/// experiment measures how gracefully each scheduler degrades.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ frac < 1`.
+pub fn apply_compute_jitter(dag: &mut JobDag, frac: f64, rng: &mut StdRng) {
+    assert!((0.0..1.0).contains(&frac), "jitter fraction out of range: {frac}");
+    for comp in dag.comps.values_mut() {
+        if comp.duration > 0.0 {
+            let factor = 1.0 + rng.gen_range(-frac..=frac);
+            comp.duration *= factor;
+        }
+    }
+}
+
+/// Generates a deterministic workload from `cfg`, drawing ids from
+/// `alloc` (share one allocator across everything in a simulation).
+///
+/// # Panics
+///
+/// Panics if the sampled jobs need more hosts than the cluster has.
+pub fn generate_workload(cfg: &WorkloadConfig, alloc: &mut IdAlloc) -> Vec<GeneratedJob> {
+    assert!(cfg.jobs >= 1, "need at least one job");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Sample paradigm, size, and arrival per job first so placement can
+    // see total demand.
+    struct Draft {
+        kind: ParadigmKind,
+        workers: usize,
+        arrival: f64,
+        comp_scale: f64,
+        bytes_scale: f64,
+    }
+    let mut drafts = Vec::with_capacity(cfg.jobs);
+    let mut t = 0.0;
+    for _ in 0..cfg.jobs {
+        let kind = pick_kind(&mut rng, &cfg.mix);
+        let workers = match kind {
+            // Pipelines stay small so 1F1B's micro-batch bound holds.
+            ParadigmKind::PpGpipe | ParadigmKind::Pp1f1b => rng.gen_range(2..=3),
+            _ => rng.gen_range(2..=4),
+        };
+        // Poisson arrivals by inverse transform.
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        t += -u.ln() * cfg.mean_interarrival;
+        drafts.push(Draft {
+            kind,
+            workers,
+            arrival: t,
+            comp_scale: rng.gen_range(0.5..2.0),
+            bytes_scale: rng.gen_range(0.5..2.0),
+        });
+    }
+
+    let demands: Vec<usize> = drafts
+        .iter()
+        .map(|d| hosts_needed(d.kind, d.workers))
+        .collect();
+    let placements = place_jobs(cfg.placement, cfg.hosts, &demands);
+
+    let mut jobs = Vec::with_capacity(cfg.jobs);
+    for (i, (draft, hosts)) in drafts.into_iter().zip(placements).enumerate() {
+        let job = JobId(i as u32);
+        let c = draft.comp_scale;
+        let by = draft.bytes_scale;
+        let dag = match draft.kind {
+            ParadigmKind::DpAllReduce => build_dp_allreduce(
+                job,
+                &DpConfig {
+                    placement: hosts.clone(),
+                    ps: None,
+                    bucket_bytes: vec![2.0 * by; 2],
+                    fwd_time: c,
+                    bwd_time_per_bucket: 0.5 * c,
+                    iterations: cfg.iterations,
+                },
+                alloc,
+            ),
+            ParadigmKind::DpPs => {
+                let (workers, ps) = hosts.split_at(hosts.len() - 1);
+                build_dp_ps(
+                    job,
+                    &DpConfig {
+                        placement: workers.to_vec(),
+                        ps: Some(ps[0]),
+                        bucket_bytes: vec![2.0 * by; 2],
+                        fwd_time: c,
+                        bwd_time_per_bucket: 0.5 * c,
+                        iterations: cfg.iterations,
+                    },
+                    alloc,
+                )
+            }
+            ParadigmKind::PpGpipe => build_pp_gpipe(
+                job,
+                &PpConfig {
+                    placement: hosts.clone(),
+                    micro_batches: 4,
+                    fwd_time: 0.5 * c,
+                    bwd_time: 0.5 * c,
+                    activation_bytes: by,
+                    iterations: cfg.iterations,
+                },
+                alloc,
+            ),
+            ParadigmKind::Pp1f1b => build_pp_1f1b(
+                job,
+                &PpConfig {
+                    placement: hosts.clone(),
+                    micro_batches: 4,
+                    fwd_time: 0.5 * c,
+                    bwd_time: 0.5 * c,
+                    activation_bytes: by,
+                    iterations: cfg.iterations,
+                },
+                alloc,
+            ),
+            ParadigmKind::Tp => build_tp(
+                job,
+                &TpConfig {
+                    placement: hosts.clone(),
+                    layers: 2,
+                    fwd_time_per_layer: 0.5 * c,
+                    bwd_time_per_layer: 0.5 * c,
+                    activation_bytes: by,
+                    iterations: cfg.iterations,
+                },
+                alloc,
+            ),
+            ParadigmKind::Hybrid => build_hybrid(
+                job,
+                &HybridConfig {
+                    replicas: vec![
+                        hosts[0..2].to_vec(),
+                        hosts[2..4].to_vec(),
+                    ],
+                    micro_batches: 3,
+                    fwd_time: 0.5 * c,
+                    bwd_time: 0.5 * c,
+                    activation_bytes: by,
+                    stage_grad_bytes: by,
+                    iterations: cfg.iterations,
+                },
+                alloc,
+            ),
+            ParadigmKind::Fsdp => build_fsdp(
+                job,
+                &FsdpConfig {
+                    placement: hosts.clone(),
+                    layers: 3,
+                    shard_bytes: 0.5 * by,
+                    layer_shard_bytes: None,
+                    fwd_time_per_layer: 0.5 * c,
+                    bwd_time_per_layer: 0.5 * c,
+                    iterations: cfg.iterations,
+                },
+                alloc,
+            ),
+        };
+        let dag = delay_start(dag, draft.arrival, alloc);
+        jobs.push(GeneratedJob {
+            dag,
+            kind: draft.kind,
+            arrival: draft.arrival,
+            placement: hosts,
+        });
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use echelon_simnet::runner::MaxMinPolicy;
+    use echelon_simnet::time::SimTime;
+    use echelon_simnet::topology::Topology;
+    use echelon_paradigms::runtime::run_jobs;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = WorkloadConfig::default_mix(42, 4, 24);
+        let a = generate_workload(&cfg, &mut IdAlloc::new());
+        let b = generate_workload(&cfg, &mut IdAlloc::new());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.arrival, y.arrival);
+            assert_eq!(x.placement, y.placement);
+            assert_eq!(x.dag.all_flows().len(), y.dag.all_flows().len());
+        }
+    }
+
+    #[test]
+    fn arrivals_are_increasing() {
+        let cfg = WorkloadConfig::default_mix(7, 5, 32);
+        let jobs = generate_workload(&cfg, &mut IdAlloc::new());
+        for w in jobs.windows(2) {
+            assert!(w[0].arrival < w[1].arrival);
+        }
+    }
+
+    #[test]
+    fn delay_start_gates_computation_and_flows() {
+        let cfg = WorkloadConfig::default_mix(3, 2, 16);
+        let mut alloc = IdAlloc::new();
+        let jobs = generate_workload(&cfg, &mut alloc);
+        let topo = Topology::big_switch_uniform(16, 1.0);
+        let dags: Vec<&_> = jobs.iter().map(|j| &j.dag).collect();
+        let out = run_jobs(&topo, &dags, &mut MaxMinPolicy);
+        for j in &jobs {
+            // No flow of the job releases before its arrival.
+            for f in j.dag.all_flows() {
+                let rel = out.flow_releases[&f.id];
+                assert!(
+                    SimTime::new(j.arrival).at_or_before(rel),
+                    "flow released at {rel:?} before arrival {}",
+                    j.arrival
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn workload_runs_under_fair_sharing() {
+        let cfg = WorkloadConfig::default_mix(11, 6, 32);
+        let mut alloc = IdAlloc::new();
+        let jobs = generate_workload(&cfg, &mut alloc);
+        let topo = Topology::big_switch_uniform(32, 1.0);
+        let dags: Vec<&_> = jobs.iter().map(|j| &j.dag).collect();
+        let out = run_jobs(&topo, &dags, &mut MaxMinPolicy);
+        assert_eq!(out.job_makespans.len(), 6);
+    }
+
+    #[test]
+    fn jitter_perturbs_durations_not_arrangements() {
+        let cfg = WorkloadConfig::default_mix(3, 2, 16);
+        let mut alloc = IdAlloc::new();
+        let mut jobs = generate_workload(&cfg, &mut alloc);
+        let before: Vec<f64> = jobs[0].dag.comps.values().map(|c| c.duration).collect();
+        let arr_before: Vec<_> = jobs[0]
+            .dag
+            .echelons
+            .iter()
+            .map(|h| h.arrangement().clone())
+            .collect();
+        let mut rng = rand::SeedableRng::seed_from_u64(9);
+        apply_compute_jitter(&mut jobs[0].dag, 0.3, &mut rng);
+        let after: Vec<f64> = jobs[0].dag.comps.values().map(|c| c.duration).collect();
+        assert_ne!(before, after);
+        for (b, a) in before.iter().zip(&after) {
+            if *b > 0.0 {
+                assert!((a / b - 1.0).abs() <= 0.3 + 1e-9);
+            } else {
+                assert_eq!(a, b);
+            }
+        }
+        let arr_after: Vec<_> = jobs[0]
+            .dag
+            .echelons
+            .iter()
+            .map(|h| h.arrangement().clone())
+            .collect();
+        assert_eq!(arr_before, arr_after);
+    }
+
+    #[test]
+    #[should_panic(expected = "placement needs")]
+    fn too_small_cluster_rejected() {
+        let cfg = WorkloadConfig::default_mix(1, 8, 4);
+        let _ = generate_workload(&cfg, &mut IdAlloc::new());
+    }
+}

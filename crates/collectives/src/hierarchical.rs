@@ -1,0 +1,216 @@
+//! Hierarchical (two-level) all-reduce.
+//!
+//! On rack-structured fabrics, frameworks replace one flat ring with a
+//! three-phase hierarchy (NCCL's tree/ring hybrids, Horovod's
+//! hierarchical allreduce, BlueConnect's decomposition [11]):
+//!
+//! 1. **Intra-group reduce-scatter**: each group ring-reduces locally.
+//! 2. **Inter-group all-reduce**: group leaders ring-all-reduce the
+//!    partial sums across groups (only leaders cross the core).
+//! 3. **Intra-group all-gather**: leaders broadcast the result locally.
+//!
+//! Cross-core traffic shrinks from `O(total participants)` flows to
+//! `O(groups)` flows, which is the whole point on oversubscribed
+//! fabrics (experiment E12's regime).
+
+use crate::ops::{decompose, CollectiveOp, Decomposition, FlowStage, Style};
+use echelon_simnet::ids::{FlowIdGen, NodeId};
+
+/// Decomposes a hierarchical all-reduce.
+///
+/// `groups` are the racks (each with its members in ring order, the
+/// first member acting as leader); `bytes` is the per-participant
+/// payload, as in [`CollectiveOp::AllReduce`].
+///
+/// # Panics
+///
+/// Panics on fewer than 2 groups, any group smaller than 1, duplicate
+/// nodes, or non-positive payload.
+pub fn hierarchical_allreduce(
+    groups: &[Vec<NodeId>],
+    bytes: f64,
+    ids: &mut FlowIdGen,
+) -> Decomposition {
+    assert!(groups.len() >= 2, "need at least 2 groups");
+    assert!(bytes > 0.0 && bytes.is_finite(), "payload must be positive");
+    let mut all: Vec<NodeId> = groups.iter().flatten().copied().collect();
+    let before = all.len();
+    all.sort();
+    all.dedup();
+    assert_eq!(all.len(), before, "duplicate node across groups");
+    for g in groups {
+        assert!(!g.is_empty(), "empty group");
+    }
+
+    let mut stages: Vec<FlowStage> = Vec::new();
+    let mut step = 0usize;
+    let push_stages = |d: Decomposition, step: &mut usize, stages: &mut Vec<FlowStage>| {
+        // Phases are sequential: renumber steps globally, and merge the
+        // per-group decompositions of one phase into shared steps.
+        for s in d.stages {
+            let global = *step + s.step;
+            while stages.len() <= global {
+                stages.push(FlowStage {
+                    step: stages.len(),
+                    flows: Vec::new(),
+                });
+            }
+            stages[global].flows.extend(s.flows);
+        }
+        let _ = step;
+    };
+
+    // Phase 1: intra-group reduce-scatter (groups run concurrently, so
+    // their stage k's share one global step).
+    let mut phase_len = 0;
+    for g in groups {
+        if g.len() >= 2 {
+            let d = decompose(
+                &CollectiveOp::ReduceScatter {
+                    participants: g.clone(),
+                    bytes: bytes / g.len() as f64,
+                },
+                Style::Ring,
+                ids,
+            );
+            phase_len = phase_len.max(d.stages.len());
+            push_stages(d, &mut step, &mut stages);
+        }
+    }
+    step = stages.len().max(step + phase_len);
+
+    // Phase 2: inter-group ring all-reduce among the leaders.
+    let leaders: Vec<NodeId> = groups.iter().map(|g| g[0]).collect();
+    {
+        let d = decompose(
+            &CollectiveOp::AllReduce {
+                participants: leaders,
+                bytes,
+            },
+            Style::Ring,
+            ids,
+        );
+        push_stages(d, &mut step, &mut stages);
+    }
+    step = stages.len();
+
+    // Phase 3: intra-group broadcast of the reduced result.
+    for g in groups {
+        if g.len() >= 2 {
+            let d = decompose(
+                &CollectiveOp::Broadcast {
+                    root: g[0],
+                    participants: g.clone(),
+                    bytes,
+                },
+                Style::Direct,
+                ids,
+            );
+            push_stages(d, &mut step, &mut stages);
+        }
+    }
+
+    // Renumber steps contiguously.
+    for (i, s) in stages.iter_mut().enumerate() {
+        s.step = i;
+    }
+    stages.retain(|s| !s.flows.is_empty());
+    Decomposition {
+        op_name: "hierarchical-allreduce",
+        stages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn groups(g: usize, per: usize) -> Vec<Vec<NodeId>> {
+        (0..g)
+            .map(|i| {
+                (0..per)
+                    .map(|j| NodeId((i * per + j) as u32))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn three_phases_in_order() {
+        let mut ids = FlowIdGen::new();
+        let d = hierarchical_allreduce(&groups(2, 3), 3.0, &mut ids);
+        assert_eq!(d.op_name, "hierarchical-allreduce");
+        // Phase 1: ring reduce-scatter over 3 members = 2 steps (shared
+        // by both groups); phase 2: leader ring all-reduce over 2 = 2
+        // steps; phase 3: broadcast = 1 step. Total 5.
+        assert_eq!(d.stages.len(), 5);
+        // Phase-1 steps carry both groups' flows (3 + 3 per step).
+        assert_eq!(d.stages[0].flows.len(), 6);
+    }
+
+    /// The point of the hierarchy: only leaders cross group boundaries.
+    #[test]
+    fn only_leaders_cross_groups() {
+        let mut ids = FlowIdGen::new();
+        let gs = groups(2, 4);
+        let d = hierarchical_allreduce(&gs, 4.0, &mut ids);
+        let group_of = |n: NodeId| (n.0 / 4) as usize;
+        let leaders: Vec<NodeId> = gs.iter().map(|g| g[0]).collect();
+        for f in d.flows() {
+            if group_of(f.src) != group_of(f.dst) {
+                assert!(leaders.contains(&f.src), "non-leader {} crossed", f.src);
+                assert!(leaders.contains(&f.dst), "non-leader {} crossed", f.dst);
+            }
+        }
+    }
+
+    /// Cross-boundary flow count is O(groups), not O(participants).
+    #[test]
+    fn cross_traffic_is_reduced() {
+        let mut ids = FlowIdGen::new();
+        let gs = groups(2, 4);
+        let hier = hierarchical_allreduce(&gs, 4.0, &mut ids);
+        let flat = decompose(
+            &CollectiveOp::AllReduce {
+                participants: gs.iter().flatten().copied().collect(),
+                bytes: 4.0,
+            },
+            Style::Ring,
+            &mut FlowIdGen::new(),
+        );
+        let group_of = |n: NodeId| (n.0 / 4) as usize;
+        let cross = |d: &Decomposition| {
+            d.flows()
+                .filter(|f| group_of(f.src) != group_of(f.dst))
+                .count()
+        };
+        assert!(cross(&hier) < cross(&flat));
+    }
+
+    #[test]
+    fn singleton_groups_skip_local_phases() {
+        let mut ids = FlowIdGen::new();
+        let d = hierarchical_allreduce(&[vec![NodeId(0)], vec![NodeId(1)]], 2.0, &mut ids);
+        // Only the leader all-reduce remains: 2·(2−1) steps of 2 flows.
+        assert_eq!(d.stages.len(), 2);
+        assert_eq!(d.num_flows(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node")]
+    fn overlapping_groups_rejected() {
+        let mut ids = FlowIdGen::new();
+        let _ = hierarchical_allreduce(
+            &[vec![NodeId(0), NodeId(1)], vec![NodeId(1), NodeId(2)]],
+            1.0,
+            &mut ids,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 groups")]
+    fn single_group_rejected() {
+        let mut ids = FlowIdGen::new();
+        let _ = hierarchical_allreduce(&groups(1, 4), 1.0, &mut ids);
+    }
+}

@@ -1,0 +1,46 @@
+//! # echelon-collectives — collective-operation decomposition
+//!
+//! The message-passing backends of the paper's system sketch (NCCL, MPI,
+//! Gloo — §5, Fig. 7) have one job from the network's perspective: turn a
+//! collective call into point-to-point flows. This crate implements the
+//! canonical decompositions the paper's §2 describes:
+//!
+//! - **Ring all-reduce** = reduce-scatter followed by all-gather; for an
+//!   `m`-worker ring each phase has `m − 1` steps, each step moving one
+//!   `S/m`-sized chunk per node along the ring.
+//! - **All-gather / reduce-scatter** standalone (FSDP's per-layer
+//!   collectives), in ring or direct (fully-connected, single-step) style.
+//! - **Broadcast**, **all-to-all** (direct), and **parameter-server
+//!   push/pull** (star).
+//!
+//! A decomposition is a sequence of [`FlowStage`]s: all flows of stage
+//! `k+1` depend on every flow of stage `k` (the synchronous-step model of
+//! ring collectives). The training-paradigm layer attaches computation
+//! dependencies and EchelonFlow/Coflow grouping on top.
+
+//!
+//! ## Example
+//!
+//! ```
+//! use echelon_collectives::{decompose, CollectiveOp, Style};
+//! use echelon_simnet::ids::{FlowIdGen, NodeId};
+//!
+//! let mut ids = FlowIdGen::new();
+//! let d = decompose(
+//!     &CollectiveOp::AllReduce {
+//!         participants: (0..4).map(NodeId).collect(),
+//!         bytes: 8.0,
+//!     },
+//!     Style::Ring,
+//!     &mut ids,
+//! );
+//! // m−1 reduce-scatter steps + m−1 all-gather steps, m flows each.
+//! assert_eq!(d.stages.len(), 6);
+//! assert_eq!(d.num_flows(), 24);
+//! ```
+
+pub mod hierarchical;
+pub mod ops;
+
+pub use hierarchical::hierarchical_allreduce;
+pub use ops::{decompose, CollectiveOp, Decomposition, FlowStage, Style};

@@ -1,0 +1,209 @@
+//! Arrangement functions (paper §3.1-§3.2, Eqs. 5-7).
+//!
+//! An arrangement function captures the *shape* (which stage finishes in
+//! what relation to which) and the *distance* (profiled computation
+//! durations) of a training paradigm's computation pattern. Given the
+//! EchelonFlow's reference time `r` (start time of the head flow), it
+//! produces the ideal finish time of every stage:
+//!
+//! ```text
+//! d_j = r + offset(j)
+//! ```
+//!
+//! with `offset(0) = 0` always (the head flow's ideal finish time is its
+//! start time — the paper's "zero transmission time in an infinitely fast
+//! network" idealization).
+
+/// The arrangement function of an EchelonFlow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrangementFn {
+    /// Eq. 5 — all stages share the reference time as ideal finish:
+    /// `d_j = r`. This is the Coflow special case (Property 2) and covers
+    /// DP-AllReduce, DP-PS and TP (Table 1).
+    Coflow,
+    /// Eq. 6 — pipeline parallelism: `d_0 = r`, `d_j = d_{j-1} + gap`,
+    /// where `gap` is the profiled computation time `T` of one micro-batch.
+    Staggered {
+        /// Computation time of one pipeline unit (profiled `T`).
+        gap: f64,
+    },
+    /// Eq. 7 — FSDP/ZeRO: the first `fwd_count` stages are spaced by the
+    /// forward-layer computation time, the remaining stages by the
+    /// backward-layer computation time.
+    Phased {
+        /// Profiled forward computation time per layer (`T_fwd`).
+        fwd_gap: f64,
+        /// Profiled backward computation time per layer (`T_bwd`).
+        bwd_gap: f64,
+        /// Number of forward stages (`n`, the layer count).
+        fwd_count: usize,
+    },
+    /// General DAG-derived shape: explicit non-decreasing offsets from the
+    /// reference time, `offset[0] == 0`. Covers reordered-pipeline
+    /// variants (PipeDream-style 1F1B) whose gaps are not constant.
+    Offsets(Vec<f64>),
+}
+
+impl ArrangementFn {
+    /// Builds a general offsets arrangement, validating the invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets` is empty, `offsets[0] != 0`, any offset is
+    /// negative/non-finite, or offsets decrease.
+    pub fn from_offsets(offsets: Vec<f64>) -> ArrangementFn {
+        assert!(!offsets.is_empty(), "arrangement needs at least one stage");
+        assert!(
+            offsets[0].abs() < 1e-12,
+            "head stage offset must be 0, got {}",
+            offsets[0]
+        );
+        for w in offsets.windows(2) {
+            assert!(
+                w[1].is_finite() && w[1] >= w[0] - 1e-12,
+                "offsets must be non-decreasing: {} then {}",
+                w[0],
+                w[1]
+            );
+        }
+        ArrangementFn::Offsets(offsets)
+    }
+
+    /// The ideal-finish offset of stage `j` in an EchelonFlow of
+    /// `num_stages` stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= num_stages`, or if the variant's own stage count
+    /// disagrees with `num_stages` (e.g. an `Offsets` list that is too
+    /// short, or a `Phased` whose `fwd_count` exceeds the stage count).
+    pub fn offset(&self, j: usize, num_stages: usize) -> f64 {
+        assert!(
+            j < num_stages,
+            "stage index {j} out of range ({num_stages} stages)"
+        );
+        match self {
+            ArrangementFn::Coflow => 0.0,
+            ArrangementFn::Staggered { gap } => {
+                assert!(*gap >= 0.0 && gap.is_finite(), "bad gap {gap}");
+                gap * j as f64
+            }
+            ArrangementFn::Phased {
+                fwd_gap,
+                bwd_gap,
+                fwd_count,
+            } => {
+                assert!(
+                    *fwd_count >= 1 && *fwd_count <= num_stages,
+                    "fwd_count {fwd_count} out of range for {num_stages} stages"
+                );
+                if j < *fwd_count {
+                    fwd_gap * j as f64
+                } else {
+                    fwd_gap * (*fwd_count as f64 - 1.0) + bwd_gap * (j + 1 - fwd_count) as f64
+                }
+            }
+            ArrangementFn::Offsets(offs) => {
+                assert_eq!(
+                    offs.len(),
+                    num_stages,
+                    "offsets arrangement has {} stages, EchelonFlow has {num_stages}",
+                    offs.len()
+                );
+                offs[j]
+            }
+        }
+    }
+
+    /// All offsets for an EchelonFlow of `num_stages` stages.
+    pub fn offsets(&self, num_stages: usize) -> Vec<f64> {
+        (0..num_stages).map(|j| self.offset(j, num_stages)).collect()
+    }
+
+    /// `true` when every stage shares the head's ideal finish time, i.e.
+    /// the EchelonFlow degenerates to a Coflow (Property 2's condition).
+    pub fn is_coflow(&self, num_stages: usize) -> bool {
+        self.offsets(num_stages).iter().all(|&o| o.abs() < 1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coflow_offsets_all_zero() {
+        let a = ArrangementFn::Coflow;
+        assert_eq!(a.offsets(4), vec![0.0; 4]);
+        assert!(a.is_coflow(4));
+    }
+
+    #[test]
+    fn staggered_matches_eq6() {
+        // Eq. 6 with T = 1.5: d_j = r + 1.5 j.
+        let a = ArrangementFn::Staggered { gap: 1.5 };
+        assert_eq!(a.offsets(4), vec![0.0, 1.5, 3.0, 4.5]);
+        assert!(!a.is_coflow(4));
+    }
+
+    #[test]
+    fn staggered_zero_gap_degenerates_to_coflow() {
+        let a = ArrangementFn::Staggered { gap: 0.0 };
+        assert!(a.is_coflow(5));
+    }
+
+    #[test]
+    fn phased_matches_eq7() {
+        // Eq. 7 with n = 3 layers, T_fwd = 1, T_bwd = 2, 2n = 6 stages:
+        // forward stages at 0, 1, 2; backward at 4, 6, 8.
+        let a = ArrangementFn::Phased {
+            fwd_gap: 1.0,
+            bwd_gap: 2.0,
+            fwd_count: 3,
+        };
+        assert_eq!(a.offsets(6), vec![0.0, 1.0, 2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn phased_single_forward_stage() {
+        let a = ArrangementFn::Phased {
+            fwd_gap: 1.0,
+            bwd_gap: 3.0,
+            fwd_count: 1,
+        };
+        assert_eq!(a.offsets(3), vec![0.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn explicit_offsets_pass_through() {
+        let a = ArrangementFn::from_offsets(vec![0.0, 0.5, 0.5, 2.0]);
+        assert_eq!(a.offset(3, 4), 2.0);
+        assert!(!a.is_coflow(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "head stage offset")]
+    fn offsets_must_start_at_zero() {
+        let _ = ArrangementFn::from_offsets(vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn offsets_must_not_decrease() {
+        let _ = ArrangementFn::from_offsets(vec![0.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn stage_index_bounds_checked() {
+        let a = ArrangementFn::Coflow;
+        let _ = a.offset(4, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "offsets arrangement has")]
+    fn offsets_length_must_match() {
+        let a = ArrangementFn::from_offsets(vec![0.0, 1.0]);
+        let _ = a.offset(0, 3);
+    }
+}

@@ -1,0 +1,225 @@
+//! Composing EchelonFlows (paper §6).
+//!
+//! "EchelonFlow incorporates inter-Coflow dependencies in the design,
+//! e.g., concatenating Coflows in FSDP, similar to inter-Coflow
+//! scheduling in multi-stage applications with DAGs." This module makes
+//! that composition a first-class operation:
+//!
+//! - [`chain_coflows`] builds an EchelonFlow from a sequence of Coflows
+//!   with explicit inter-Coflow gaps (the generalization of Eq. 7 to
+//!   non-uniform phase times);
+//! - [`concat`] joins two EchelonFlows end to end, shifting the second's
+//!   arrangement behind the first's last ideal finish — the way a
+//!   multi-stage application's stages compose.
+
+use crate::arrangement::ArrangementFn;
+use crate::coflow::Coflow;
+use crate::echelon::{EchelonFlow, FlowRef};
+use crate::{EchelonId, JobId};
+
+/// Builds one EchelonFlow from Coflows separated by profiled gaps:
+/// `stages[i].1` is the computation time between Coflow `i-1`'s and
+/// Coflow `i`'s ideal finishes (`stages[0].1` is ignored and must be 0).
+///
+/// # Panics
+///
+/// Panics on an empty chain, a nonzero head gap, or a negative gap.
+pub fn chain_coflows(
+    id: EchelonId,
+    job: JobId,
+    stages: Vec<(Vec<FlowRef>, f64)>,
+) -> EchelonFlow {
+    assert!(!stages.is_empty(), "chain needs at least one Coflow");
+    assert!(
+        stages[0].1.abs() < 1e-12,
+        "head Coflow's gap must be 0, got {}",
+        stages[0].1
+    );
+    let mut offsets = Vec::with_capacity(stages.len());
+    let mut acc = 0.0;
+    let mut flow_stages = Vec::with_capacity(stages.len());
+    for (i, (flows, gap)) in stages.into_iter().enumerate() {
+        assert!(gap >= 0.0 && gap.is_finite(), "bad gap {gap} at stage {i}");
+        acc += gap;
+        offsets.push(acc);
+        flow_stages.push(flows);
+    }
+    EchelonFlow::new(id, job, flow_stages, ArrangementFn::from_offsets(offsets))
+}
+
+/// Concatenates two EchelonFlows: `b`'s stages follow `a`'s, with `b`'s
+/// head ideal finish placed `gap` after `a`'s last ideal finish. The
+/// result carries `a`'s weight.
+///
+/// # Panics
+///
+/// Panics if the inputs share flows (checked by the EchelonFlow
+/// constructor) or `gap` is negative.
+pub fn concat(id: EchelonId, a: &EchelonFlow, b: &EchelonFlow, gap: f64) -> EchelonFlow {
+    assert!(gap >= 0.0 && gap.is_finite(), "bad gap {gap}");
+    let na = a.num_stages();
+    let nb = b.num_stages();
+    let offsets_a = a.arrangement().offsets(na);
+    let offsets_b = b.arrangement().offsets(nb);
+    let base = offsets_a.last().copied().unwrap_or(0.0) + gap;
+
+    let mut stages = Vec::with_capacity(na + nb);
+    let mut offsets = Vec::with_capacity(na + nb);
+    for (j, off) in offsets_a.iter().enumerate() {
+        stages.push(a.stage(j).to_vec());
+        offsets.push(*off);
+    }
+    for (j, off) in offsets_b.iter().enumerate() {
+        stages.push(b.stage(j).to_vec());
+        offsets.push(base + off);
+    }
+    EchelonFlow::new(id, a.job(), stages, ArrangementFn::from_offsets(offsets))
+        .with_weight(a.weight())
+}
+
+/// Convenience: the FSDP shape (Eq. 7) as a chain — `n` forward Coflows
+/// spaced by `t_fwd` followed by `n` backward Coflows spaced by `t_bwd`.
+/// Equivalent to [`ArrangementFn::Phased`]; provided to cross-check the
+/// closed form against explicit composition.
+pub fn phased_chain(
+    id: EchelonId,
+    job: JobId,
+    forward: Vec<Vec<FlowRef>>,
+    backward: Vec<Vec<FlowRef>>,
+    t_fwd: f64,
+    t_bwd: f64,
+) -> EchelonFlow {
+    assert!(!forward.is_empty(), "need at least one forward Coflow");
+    let mut stages = Vec::with_capacity(forward.len() + backward.len());
+    for (i, flows) in forward.into_iter().enumerate() {
+        stages.push((flows, if i == 0 { 0.0 } else { t_fwd }));
+    }
+    for flows in backward {
+        stages.push((flows, t_bwd));
+    }
+    chain_coflows(id, job, stages)
+}
+
+/// Splits a Coflow list into a chain with uniform gaps — the simplest
+/// §6 multi-stage-application shape.
+pub fn uniform_chain(
+    id: EchelonId,
+    job: JobId,
+    coflows: Vec<Coflow>,
+    gap: f64,
+) -> EchelonFlow {
+    assert!(!coflows.is_empty(), "chain needs at least one Coflow");
+    let stages = coflows
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let flows = c.flows().to_vec();
+            (flows, if i == 0 { 0.0 } else { gap })
+        })
+        .collect();
+    chain_coflows(id, job, stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use echelon_simnet::ids::{FlowId, NodeId};
+    use echelon_simnet::time::SimTime;
+
+    fn fr(id: u64) -> FlowRef {
+        FlowRef::new(FlowId(id), NodeId(0), NodeId(1), 1.0)
+    }
+
+    #[test]
+    fn chain_accumulates_gaps() {
+        let h = chain_coflows(
+            EchelonId(0),
+            JobId(0),
+            vec![
+                (vec![fr(0)], 0.0),
+                (vec![fr(1)], 1.5),
+                (vec![fr(2)], 0.5),
+            ],
+        );
+        assert_eq!(h.arrangement().offsets(3), vec![0.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    fn phased_chain_matches_closed_form() {
+        let explicit = phased_chain(
+            EchelonId(0),
+            JobId(0),
+            vec![vec![fr(0)], vec![fr(1)], vec![fr(2)]],
+            vec![vec![fr(3)], vec![fr(4)], vec![fr(5)]],
+            1.0,
+            2.0,
+        );
+        let closed = ArrangementFn::Phased {
+            fwd_gap: 1.0,
+            bwd_gap: 2.0,
+            fwd_count: 3,
+        };
+        assert_eq!(explicit.arrangement().offsets(6), closed.offsets(6));
+    }
+
+    #[test]
+    fn concat_shifts_second_arrangement() {
+        let a = EchelonFlow::from_flows(
+            EchelonId(0),
+            JobId(0),
+            vec![fr(0), fr(1)],
+            ArrangementFn::Staggered { gap: 1.0 },
+        );
+        let b = EchelonFlow::from_flows(
+            EchelonId(1),
+            JobId(0),
+            vec![fr(2), fr(3)],
+            ArrangementFn::Staggered { gap: 2.0 },
+        );
+        let mut c = concat(EchelonId(2), &a, &b, 0.5);
+        assert_eq!(c.num_stages(), 4);
+        // a: 0, 1; b shifted: 1.5, 3.5.
+        assert_eq!(c.arrangement().offsets(4), vec![0.0, 1.0, 1.5, 3.5]);
+        c.bind_reference(SimTime::new(2.0));
+        assert!(c
+            .ideal_finish_of_flow(FlowId(3))
+            .unwrap()
+            .approx_eq(SimTime::new(5.5)));
+    }
+
+    #[test]
+    fn uniform_chain_over_coflows() {
+        let coflows = vec![
+            Coflow::new(EchelonId(10), JobId(0), vec![fr(0), fr(1)]),
+            Coflow::new(EchelonId(11), JobId(0), vec![fr(2)]),
+        ];
+        let h = uniform_chain(EchelonId(0), JobId(0), coflows, 2.0);
+        assert_eq!(h.num_stages(), 2);
+        assert_eq!(h.arrangement().offsets(2), vec![0.0, 2.0]);
+        assert_eq!(h.num_flows(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "head Coflow's gap")]
+    fn nonzero_head_gap_rejected() {
+        let _ = chain_coflows(EchelonId(0), JobId(0), vec![(vec![fr(0)], 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn concat_rejects_shared_flows() {
+        let a = EchelonFlow::from_flows(
+            EchelonId(0),
+            JobId(0),
+            vec![fr(0)],
+            ArrangementFn::Coflow,
+        );
+        let b = EchelonFlow::from_flows(
+            EchelonId(1),
+            JobId(0),
+            vec![fr(0)],
+            ArrangementFn::Coflow,
+        );
+        let _ = concat(EchelonId(2), &a, &b, 0.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! # echelon-core — the EchelonFlow network abstraction
+//!
+//! This crate implements the primary contribution of the paper
+//! *"Efficient Flow Scheduling in Distributed Deep Learning Training with
+//! Echelon Formation"* (HotNets '22, §3): the **EchelonFlow** — a set of
+//! flows whose *ideal finish times* are related by an **arrangement
+//! function** of a single *reference time*, together with the **tardiness**
+//! metrics the scheduling objective is built from.
+//!
+//! The central deviation from Coflow is that the flows of an EchelonFlow
+//! should *not* all finish at the same time: distributed training jobs
+//! observe strict computation patterns that consume flow data at staggered
+//! instants (a pipeline consumes micro-batch `j+1` one computation-unit
+//! after micro-batch `j`). The arrangement function encodes that pattern —
+//! its *shape* comes from the training paradigm's workflow and its
+//! *distance* from profiled computation times.
+//!
+//! ## Structure of an EchelonFlow
+//!
+//! Following the paper's case studies (§4) an [`echelon::EchelonFlow`] is a
+//! sequence of **stages**, each a set of flows sharing one ideal finish
+//! time:
+//!
+//! - A plain **Coflow** is one stage containing all flows (Eq. 5).
+//! - **Pipeline parallelism** is one flow per stage with a constant gap
+//!   `T` between ideal finish times (Eq. 6).
+//! - **FSDP** is one all-gather Coflow per stage with gaps `T_fwd` /
+//!   `T_bwd` (Eq. 7) — "staggered Coflow finish time" in Table 1.
+//!
+//! ## Modules
+//!
+//! - [`arrangement`] — the arrangement functions `g(D, r)` (Eqs. 5-7 and a
+//!   general offset form for DAG-derived shapes).
+//! - [`echelon`] — the [`echelon::EchelonFlow`] type, reference-time
+//!   binding and recalibration.
+//! - [`tardiness`] — flow tardiness (Eq. 1), EchelonFlow tardiness
+//!   (Eq. 2) and the global objective (Eqs. 3-4).
+//! - [`coflow`] — the classic Coflow abstraction and the lossless
+//!   embedding Coflow ⊂ EchelonFlow (Property 2).
+//! - [`compose`] — inter-Coflow dependency composition (§6): chaining
+//!   and concatenating EchelonFlows for multi-stage applications.
+
+//!
+//! ## Example
+//!
+//! ```
+//! use echelon_core::prelude::*;
+//! use echelon_simnet::ids::{FlowId, NodeId};
+//! use echelon_simnet::time::SimTime;
+//! use std::collections::BTreeMap;
+//!
+//! // A pipeline-shaped EchelonFlow: three activation flows whose ideal
+//! // finish times are staggered by the profiled computation time T = 1.
+//! let flows = vec![
+//!     FlowRef::new(FlowId(0), NodeId(0), NodeId(1), 2.0),
+//!     FlowRef::new(FlowId(1), NodeId(0), NodeId(1), 2.0),
+//!     FlowRef::new(FlowId(2), NodeId(0), NodeId(1), 2.0),
+//! ];
+//! let mut h = EchelonFlow::from_flows(
+//!     EchelonId(0),
+//!     JobId(0),
+//!     flows,
+//!     ArrangementFn::Staggered { gap: 1.0 },
+//! );
+//! // The reference time binds to the head flow's start (Definition 3.1).
+//! h.bind_reference(SimTime::new(1.0));
+//! assert_eq!(h.ideal_finish_of_stage(2), SimTime::new(3.0));
+//!
+//! // Tardiness (Eq. 2) of the Fig. 2c schedule (finishes 3, 5, 7).
+//! let finishes: BTreeMap<FlowId, SimTime> = [(0u64, 3.0), (1, 5.0), (2, 7.0)]
+//!     .into_iter()
+//!     .map(|(i, t)| (FlowId(i), SimTime::new(t)))
+//!     .collect();
+//! assert_eq!(echelon_tardiness(&h, &finishes), 4.0);
+//! ```
+
+pub mod arrangement;
+pub mod coflow;
+pub mod compose;
+pub mod echelon;
+pub mod tardiness;
+
+use core::fmt;
+
+/// Identifies an EchelonFlow within a simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EchelonId(pub u64);
+
+/// Identifies a training job in a multi-tenant cluster.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct JobId(pub u32);
+
+impl fmt::Display for EchelonId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "H{}", self.0)
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::arrangement::ArrangementFn;
+    pub use crate::coflow::Coflow;
+    pub use crate::compose::{chain_coflows, concat, phased_chain, uniform_chain};
+    pub use crate::echelon::{EchelonFlow, FlowRef};
+    pub use crate::tardiness::{
+        echelon_tardiness, flow_tardiness, total_tardiness, TardinessReport,
+    };
+    pub use crate::{EchelonId, JobId};
+}

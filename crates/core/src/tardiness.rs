@@ -1,0 +1,233 @@
+//! Tardiness metrics (paper Definitions 3.2-3.3 and Eqs. 1-4).
+//!
+//! Tardiness regulates flows with respect to their *ideal* finish times
+//! rather than their start times, which is what lets later EchelonFlows
+//! recover the computation arrangement after delays: a flow that started
+//! late has an ideal finish time earlier than its start, so minimizing its
+//! tardiness pushes the scheduler to let it catch up.
+//!
+//! Per the paper, flow tardiness is signed (`e − d`; a flow that finishes
+//! before its ideal time has negative tardiness) and EchelonFlow tardiness
+//! is the *maximum* over its flows, which "helps to reduce the difference
+//! in tardiness among individual flows".
+
+use crate::echelon::EchelonFlow;
+use echelon_simnet::ids::FlowId;
+use echelon_simnet::time::SimTime;
+use std::collections::BTreeMap;
+
+/// Eq. 1 — tardiness of one flow: actual finish `e` minus ideal finish
+/// `d`. Negative when the flow beats its ideal time.
+pub fn flow_tardiness(actual: SimTime, ideal: SimTime) -> f64 {
+    actual - ideal
+}
+
+/// Eq. 2 — tardiness of an EchelonFlow: the maximum flow tardiness over
+/// all its flows.
+///
+/// Every flow of `h` must appear in `finishes`; use
+/// [`echelon_tardiness_partial`] while flows are still in flight.
+///
+/// # Panics
+///
+/// Panics if the reference time is unbound or a flow's finish is missing.
+pub fn echelon_tardiness(h: &EchelonFlow, finishes: &BTreeMap<FlowId, SimTime>) -> f64 {
+    let mut max_t = f64::NEG_INFINITY;
+    for j in 0..h.num_stages() {
+        let d = h.ideal_finish_of_stage(j);
+        for f in h.stage(j) {
+            let e = finishes
+                .get(&f.id)
+                .unwrap_or_else(|| panic!("flow {} has no recorded finish", f.id));
+            max_t = max_t.max(flow_tardiness(*e, d));
+        }
+    }
+    max_t
+}
+
+/// Eq. 2 restricted to flows that have finished. Returns `None` when no
+/// flow of `h` has finished yet (the running tardiness is then unknown).
+pub fn echelon_tardiness_partial(
+    h: &EchelonFlow,
+    finishes: &BTreeMap<FlowId, SimTime>,
+) -> Option<f64> {
+    let mut max_t: Option<f64> = None;
+    for j in 0..h.num_stages() {
+        let d = h.ideal_finish_of_stage(j);
+        for f in h.stage(j) {
+            if let Some(e) = finishes.get(&f.id) {
+                let t = flow_tardiness(*e, d);
+                max_t = Some(max_t.map_or(t, |m: f64| m.max(t)));
+            }
+        }
+    }
+    max_t
+}
+
+/// Eq. 4 — the global objective over a set of EchelonFlows: the weighted
+/// sum of per-EchelonFlow tardiness. With unit weights this is the plain
+/// sum of Eq. 4; the paper notes the weighted extension directly.
+///
+/// Individual tardiness values are clamped at zero before summing: an
+/// EchelonFlow that beat its ideal times cannot "pay" for another's
+/// lateness (this matches the scheduling interpretation — you cannot bank
+/// negative lateness — and keeps the objective monotone).
+pub fn total_tardiness(flows: &[&EchelonFlow], finishes: &BTreeMap<FlowId, SimTime>) -> f64 {
+    flows
+        .iter()
+        .map(|h| h.weight() * echelon_tardiness(h, finishes).max(0.0))
+        .sum()
+}
+
+/// A per-EchelonFlow breakdown of tardiness, for experiment reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TardinessReport {
+    /// `(stage index, flow id, ideal finish, actual finish, tardiness)`
+    /// per flow, in stage order.
+    pub per_flow: Vec<(usize, FlowId, SimTime, SimTime, f64)>,
+    /// Eq. 2 for the whole EchelonFlow.
+    pub max_tardiness: f64,
+}
+
+impl TardinessReport {
+    /// Builds the breakdown for one EchelonFlow.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unbound reference or missing finishes (same contract as
+    /// [`echelon_tardiness`]).
+    pub fn build(h: &EchelonFlow, finishes: &BTreeMap<FlowId, SimTime>) -> TardinessReport {
+        let mut per_flow = Vec::new();
+        let mut max_t = f64::NEG_INFINITY;
+        for j in 0..h.num_stages() {
+            let d = h.ideal_finish_of_stage(j);
+            for f in h.stage(j) {
+                let e = *finishes
+                    .get(&f.id)
+                    .unwrap_or_else(|| panic!("flow {} has no recorded finish", f.id));
+                let t = flow_tardiness(e, d);
+                max_t = max_t.max(t);
+                per_flow.push((j, f.id, d, e, t));
+            }
+        }
+        TardinessReport {
+            per_flow,
+            max_tardiness: max_t,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrangement::ArrangementFn;
+    use crate::echelon::FlowRef;
+    use crate::{EchelonId, JobId};
+    use echelon_simnet::ids::NodeId;
+
+    fn fr(id: u64, size: f64) -> FlowRef {
+        FlowRef::new(FlowId(id), NodeId(0), NodeId(1), size)
+    }
+
+    fn pipeline(reference: f64, gap: f64) -> EchelonFlow {
+        let mut h = EchelonFlow::from_flows(
+            EchelonId(0),
+            JobId(0),
+            vec![fr(0, 2.0), fr(1, 2.0), fr(2, 2.0)],
+            ArrangementFn::Staggered { gap },
+        );
+        h.bind_reference(SimTime::new(reference));
+        h
+    }
+
+    fn finishes(pairs: &[(u64, f64)]) -> BTreeMap<FlowId, SimTime> {
+        pairs
+            .iter()
+            .map(|&(id, t)| (FlowId(id), SimTime::new(t)))
+            .collect()
+    }
+
+    #[test]
+    fn flow_tardiness_signed() {
+        assert_eq!(
+            flow_tardiness(SimTime::new(5.0), SimTime::new(3.0)),
+            2.0
+        );
+        assert_eq!(
+            flow_tardiness(SimTime::new(2.0), SimTime::new(3.0)),
+            -1.0
+        );
+    }
+
+    #[test]
+    fn echelon_tardiness_is_max() {
+        // The paper's Fig. 2c schedule: r = 1, T = 1 → ideal 1, 2, 3;
+        // serial full-rate transmission finishes at 3, 5, 7 → tardiness
+        // 2, 3, 4; Eq. 2 gives 4.
+        let h = pipeline(1.0, 1.0);
+        let fin = finishes(&[(0, 3.0), (1, 5.0), (2, 7.0)]);
+        assert!((echelon_tardiness(&h, &fin) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_tardiness_tracks_finished_flows() {
+        let h = pipeline(1.0, 1.0);
+        let fin = finishes(&[(0, 3.0)]);
+        assert_eq!(echelon_tardiness_partial(&h, &fin), Some(2.0));
+        let none = finishes(&[]);
+        assert_eq!(echelon_tardiness_partial(&h, &none), None);
+    }
+
+    #[test]
+    fn coflow_tardiness_equals_cct() {
+        // Property 2's arithmetic: with d_j = r for all flows, tardiness of
+        // each flow is finish − r, so max tardiness = CCT measured from the
+        // first flow's start.
+        let mut h = EchelonFlow::from_flows(
+            EchelonId(1),
+            JobId(0),
+            vec![fr(0, 1.0), fr(1, 1.0)],
+            ArrangementFn::Coflow,
+        );
+        h.bind_reference(SimTime::new(2.0));
+        let fin = finishes(&[(0, 5.0), (1, 6.0)]);
+        assert!((echelon_tardiness(&h, &fin) - 4.0).abs() < 1e-9); // 6 − 2
+    }
+
+    #[test]
+    fn total_tardiness_weights_and_clamps() {
+        let h0 = pipeline(1.0, 1.0); // tardiness 4 with these finishes
+        let mut h1 = EchelonFlow::from_flows(
+            EchelonId(1),
+            JobId(1),
+            vec![fr(10, 1.0)],
+            ArrangementFn::Coflow,
+        )
+        .with_weight(2.0);
+        h1.bind_reference(SimTime::new(10.0));
+        let mut fin = finishes(&[(0, 3.0), (1, 5.0), (2, 7.0)]);
+        fin.insert(FlowId(10), SimTime::new(9.0)); // finished early: −1
+        let total = total_tardiness(&[&h0, &h1], &fin);
+        // h0 contributes 4, h1 clamps to 0 (not −2).
+        assert!((total - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_lists_every_flow() {
+        let h = pipeline(1.0, 1.0);
+        let fin = finishes(&[(0, 3.0), (1, 5.0), (2, 7.0)]);
+        let rep = TardinessReport::build(&h, &fin);
+        assert_eq!(rep.per_flow.len(), 3);
+        assert!((rep.max_tardiness - 4.0).abs() < 1e-9);
+        assert_eq!(rep.per_flow[2].0, 2); // stage index
+        assert!((rep.per_flow[2].4 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "no recorded finish")]
+    fn missing_finish_panics() {
+        let h = pipeline(1.0, 1.0);
+        let fin = finishes(&[(0, 3.0)]);
+        let _ = echelon_tardiness(&h, &fin);
+    }
+}

@@ -1,0 +1,116 @@
+//! Per-paradigm job configurations.
+//!
+//! Sizes are in the same abstract units as link capacities (bytes per
+//! second); computation times in seconds. Defaults are chosen so the
+//! bundled experiments run in the "communication matters" regime the
+//! paper targets (transfer times comparable to computation times).
+
+use echelon_simnet::ids::NodeId;
+
+/// Pipeline parallelism (GPipe / 1F1B) configuration.
+#[derive(Debug, Clone)]
+pub struct PpConfig {
+    /// Workers, one pipeline stage each, in stage order.
+    pub placement: Vec<NodeId>,
+    /// Micro-batches per mini-batch.
+    pub micro_batches: usize,
+    /// Forward computation time of one micro-batch on one stage.
+    pub fwd_time: f64,
+    /// Backward computation time of one micro-batch on one stage.
+    pub bwd_time: f64,
+    /// Activation bytes sent between consecutive stages per micro-batch
+    /// (gradients of activations have the same size on the way back).
+    pub activation_bytes: f64,
+    /// Training iterations to generate.
+    pub iterations: usize,
+}
+
+impl PpConfig {
+    /// The paper's Fig. 2 instance: 2 stages, 3 micro-batches, unit
+    /// compute time, activations of 2 B over a B = 1 link (forward phase
+    /// only is exercised by the figure; the config still defines the
+    /// backward pass).
+    pub fn fig2() -> PpConfig {
+        PpConfig {
+            placement: vec![NodeId(0), NodeId(1)],
+            micro_batches: 3,
+            fwd_time: 1.0,
+            bwd_time: 1.0,
+            activation_bytes: 2.0,
+            iterations: 1,
+        }
+    }
+}
+
+/// Data parallelism (AllReduce or PS) configuration.
+#[derive(Debug, Clone)]
+pub struct DpConfig {
+    /// Worker nodes (replicas).
+    pub placement: Vec<NodeId>,
+    /// For the PS variant: the parameter-server node.
+    pub ps: Option<NodeId>,
+    /// Gradient buckets, last layer's bucket first (buckets become ready
+    /// in backward order).
+    pub bucket_bytes: Vec<f64>,
+    /// Forward computation time of the whole model.
+    pub fwd_time: f64,
+    /// Backward computation time *per bucket* (the per-bucket gradient
+    /// production interval).
+    pub bwd_time_per_bucket: f64,
+    /// Training iterations to generate.
+    pub iterations: usize,
+}
+
+/// Tensor parallelism (Megatron) configuration.
+#[derive(Debug, Clone)]
+pub struct TpConfig {
+    /// Worker nodes (tensor-parallel group).
+    pub placement: Vec<NodeId>,
+    /// Number of layers.
+    pub layers: usize,
+    /// Forward computation time per layer (per worker, on its shard).
+    pub fwd_time_per_layer: f64,
+    /// Backward computation time per layer.
+    pub bwd_time_per_layer: f64,
+    /// Activation bytes all-reduced per layer in the forward pass
+    /// (gradients in backward use the same size).
+    pub activation_bytes: f64,
+    /// Training iterations to generate.
+    pub iterations: usize,
+}
+
+/// Fully-sharded data parallelism (ZeRO / FSDP) configuration.
+#[derive(Debug, Clone)]
+pub struct FsdpConfig {
+    /// Worker nodes.
+    pub placement: Vec<NodeId>,
+    /// Number of layers.
+    pub layers: usize,
+    /// Parameter bytes per layer **per shard** (what one all-gather moves
+    /// from each of the other workers).
+    pub shard_bytes: f64,
+    /// Optional per-layer override of `shard_bytes` (length must equal
+    /// `layers`). Heterogeneous layer sizes are what break size-based
+    /// Coflow orderings on FSDP (Table 1's "×").
+    pub layer_shard_bytes: Option<Vec<f64>>,
+    /// Forward computation time per layer (`T_fwd` of Eq. 7).
+    pub fwd_time_per_layer: f64,
+    /// Backward computation time per layer (`T_bwd` of Eq. 7).
+    pub bwd_time_per_layer: f64,
+    /// Training iterations to generate.
+    pub iterations: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_config_matches_paper() {
+        let cfg = PpConfig::fig2();
+        assert_eq!(cfg.placement.len(), 2);
+        assert_eq!(cfg.micro_batches, 3);
+        assert_eq!(cfg.activation_bytes, 2.0);
+        assert_eq!(cfg.fwd_time, 1.0);
+    }
+}

@@ -1,0 +1,460 @@
+//! Job DAGs: computation units, communication units and their wiring.
+//!
+//! A [`JobDag`] is the paper's "computation pattern" made concrete: the
+//! DAG *shape* (dependencies between computation and communication) plus
+//! the *distances* (computation durations). Workers execute their
+//! computation units in strict **program order** (one unit at a time, like
+//! kernels on a GPU stream); a unit stalls the worker until its
+//! dependencies — including inbound flows — complete. That stalling is
+//! exactly the grey idle area of the paper's Fig. 1a.
+//!
+//! Builders declare, alongside the DAG, both groupings of the job's flows:
+//! the **EchelonFlow** formulation of §4 and the plain **Coflow**
+//! formulation, so experiments can schedule the identical workload under
+//! either abstraction.
+
+use crate::ids::{CommId, CompId, IdAlloc};
+use echelon_collectives::{decompose, CollectiveOp, FlowStage, Style};
+use echelon_core::arrangement::ArrangementFn;
+use echelon_core::coflow::Coflow;
+use echelon_core::echelon::{EchelonFlow, FlowRef};
+use echelon_core::{EchelonId, JobId};
+use echelon_simnet::ids::{FlowId, NodeId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What a computation unit does, for timeline rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompKind {
+    /// Forward pass block.
+    Forward,
+    /// Backward pass block.
+    Backward,
+    /// Optimizer/update step.
+    Update,
+    /// Anything else.
+    Generic,
+}
+
+/// One computation unit: a block of GPU work on a single worker.
+#[derive(Debug, Clone)]
+pub struct CompUnit {
+    /// Unit id.
+    pub id: CompId,
+    /// Worker executing the unit.
+    pub worker: NodeId,
+    /// Execution time in seconds (may be zero for barriers).
+    pub duration: f64,
+    /// Kind, for timelines.
+    pub kind: CompKind,
+    /// Human-readable label, e.g. `"F2"` (forward of micro-batch 2).
+    pub label: String,
+    /// Computation units that must complete first.
+    pub deps_comp: Vec<CompId>,
+    /// Communication units that must complete first.
+    pub deps_comm: Vec<CommId>,
+}
+
+/// One communication unit: a collective-operation instance decomposed
+/// into dependent flow stages.
+#[derive(Debug, Clone)]
+pub struct CommUnit {
+    /// Unit id.
+    pub id: CommId,
+    /// Operation name for reports.
+    pub name: &'static str,
+    /// Flow stages; stage `k+1` starts when stage `k` fully completes.
+    pub stages: Vec<FlowStage>,
+    /// Computation units that must complete before stage 0 starts.
+    pub deps_comp: Vec<CompId>,
+    /// Communication units that must fully complete before stage 0.
+    pub deps_comm: Vec<CommId>,
+}
+
+impl CommUnit {
+    /// All flows across stages.
+    pub fn flows(&self) -> impl Iterator<Item = &FlowRef> {
+        self.stages.iter().flat_map(|s| s.flows.iter())
+    }
+}
+
+/// A complete single- or multi-iteration training job.
+#[derive(Debug, Clone)]
+pub struct JobDag {
+    /// Owning job.
+    pub job: JobId,
+    /// Computation units by id.
+    pub comps: BTreeMap<CompId, CompUnit>,
+    /// Communication units by id.
+    pub comms: BTreeMap<CommId, CommUnit>,
+    /// Strict execution program per worker (order of `comp()` calls).
+    pub programs: BTreeMap<NodeId, Vec<CompId>>,
+    /// §4 EchelonFlow formulation of the job's flows.
+    pub echelons: Vec<EchelonFlow>,
+    /// Plain Coflow formulation of the same flows.
+    pub coflows: Vec<Coflow>,
+}
+
+impl JobDag {
+    /// The workers this job occupies.
+    pub fn workers(&self) -> Vec<NodeId> {
+        self.programs.keys().copied().collect()
+    }
+
+    /// All flow references across communication units.
+    pub fn all_flows(&self) -> Vec<FlowRef> {
+        self.comms.values().flat_map(|c| c.flows().copied()).collect()
+    }
+
+    /// Total bytes the job moves over the network.
+    pub fn total_bytes(&self) -> f64 {
+        self.all_flows().iter().map(|f| f.size).sum()
+    }
+
+    /// Total computation seconds across workers.
+    pub fn total_comp_time(&self) -> f64 {
+        self.comps.values().map(|c| c.duration).sum()
+    }
+
+    /// Lower bound on iteration time: the longest per-worker program.
+    pub fn critical_compute_per_worker(&self) -> f64 {
+        self.programs.values().map(|prog| {
+                prog.iter()
+                    .map(|id| self.comps[id].duration)
+                    .sum::<f64>()
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Incremental [`JobDag`] constructor.
+///
+/// Units must be added in a topological order (dependencies first); this
+/// is checked eagerly, which guarantees the result is acyclic.
+pub struct DagBuilder<'a> {
+    job: JobId,
+    alloc: &'a mut IdAlloc,
+    comps: BTreeMap<CompId, CompUnit>,
+    comms: BTreeMap<CommId, CommUnit>,
+    programs: BTreeMap<NodeId, Vec<CompId>>,
+    echelons: Vec<EchelonFlow>,
+    coflows: Vec<Coflow>,
+    declared_flows: BTreeSet<FlowId>,
+    grouped_flows: BTreeSet<FlowId>,
+}
+
+impl<'a> DagBuilder<'a> {
+    /// Starts building a DAG for `job`, drawing ids from `alloc`.
+    pub fn new(job: JobId, alloc: &'a mut IdAlloc) -> DagBuilder<'a> {
+        DagBuilder {
+            job,
+            alloc,
+            comps: BTreeMap::new(),
+            comms: BTreeMap::new(),
+            programs: BTreeMap::new(),
+            echelons: Vec::new(),
+            coflows: Vec::new(),
+            declared_flows: BTreeSet::new(),
+            grouped_flows: BTreeSet::new(),
+        }
+    }
+
+    /// Fresh EchelonFlow/Coflow group id.
+    pub fn next_group_id(&mut self) -> EchelonId {
+        self.alloc.next_echelon()
+    }
+
+    /// Access the flow id generator (for hand-built flow stages).
+    pub fn flow_ids(&mut self) -> &mut echelon_simnet::ids::FlowIdGen {
+        &mut self.alloc.flows
+    }
+
+    /// Read access to the communication units added so far (builders use
+    /// this to recover the flow ids a decomposition generated).
+    pub fn comms(&self) -> &BTreeMap<CommId, CommUnit> {
+        &self.comms
+    }
+
+    /// Read access to the computation units added so far.
+    pub fn comps(&self) -> &BTreeMap<CompId, CompUnit> {
+        &self.comps
+    }
+
+    fn check_deps(&self, deps_comp: &[CompId], deps_comm: &[CommId]) {
+        for d in deps_comp {
+            assert!(self.comps.contains_key(d), "unknown comp dependency {d}");
+        }
+        for d in deps_comm {
+            assert!(self.comms.contains_key(d), "unknown comm dependency {d}");
+        }
+    }
+
+    /// Adds a computation unit; it is appended to `worker`'s program.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative/non-finite duration or unknown dependencies.
+    pub fn comp(
+        &mut self,
+        worker: NodeId,
+        duration: f64,
+        kind: CompKind,
+        label: impl Into<String>,
+        deps_comp: &[CompId],
+        deps_comm: &[CommId],
+    ) -> CompId {
+        assert!(
+            duration >= 0.0 && duration.is_finite(),
+            "bad comp duration {duration}"
+        );
+        self.check_deps(deps_comp, deps_comm);
+        let id = self.alloc.next_comp();
+        self.comps.insert(
+            id,
+            CompUnit {
+                id,
+                worker,
+                duration,
+                kind,
+                label: label.into(),
+                deps_comp: deps_comp.to_vec(),
+                deps_comm: deps_comm.to_vec(),
+            },
+        );
+        self.programs.entry(worker).or_default().push(id);
+        id
+    }
+
+    /// Adds a communication unit from pre-built flow stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty stages or unknown dependencies.
+    pub fn comm(
+        &mut self,
+        name: &'static str,
+        stages: Vec<FlowStage>,
+        deps_comp: &[CompId],
+        deps_comm: &[CommId],
+    ) -> CommId {
+        assert!(!stages.is_empty(), "comm unit needs at least one stage");
+        self.check_deps(deps_comp, deps_comm);
+        for s in &stages {
+            assert!(!s.flows.is_empty(), "comm stage {} is empty", s.step);
+            for f in &s.flows {
+                assert!(
+                    self.declared_flows.insert(f.id),
+                    "flow {} declared twice",
+                    f.id
+                );
+            }
+        }
+        let id = self.alloc.next_comm();
+        self.comms.insert(
+            id,
+            CommUnit {
+                id,
+                name,
+                stages,
+                deps_comp: deps_comp.to_vec(),
+                deps_comm: deps_comm.to_vec(),
+            },
+        );
+        id
+    }
+
+    /// Adds a communication unit by decomposing a collective op.
+    pub fn comm_op(
+        &mut self,
+        op: &CollectiveOp,
+        style: Style,
+        deps_comp: &[CompId],
+        deps_comm: &[CommId],
+    ) -> CommId {
+        let d = decompose(op, style, &mut self.alloc.flows);
+        let name = d.op_name;
+        self.comm(name, d.stages, deps_comp, deps_comm)
+    }
+
+    /// Declares an EchelonFlow grouping over already-added flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any flow is unknown or already claimed by another
+    /// EchelonFlow of this job.
+    pub fn declare_echelon(
+        &mut self,
+        stages: Vec<Vec<FlowRef>>,
+        arrangement: ArrangementFn,
+    ) -> EchelonId {
+        let id = self.alloc.next_echelon();
+        for s in &stages {
+            for f in s {
+                assert!(
+                    self.declared_flows.contains(&f.id),
+                    "EchelonFlow references unknown flow {}",
+                    f.id
+                );
+                assert!(
+                    self.grouped_flows.insert(f.id),
+                    "flow {} grouped twice",
+                    f.id
+                );
+            }
+        }
+        self.echelons
+            .push(EchelonFlow::new(id, self.job, stages, arrangement));
+        id
+    }
+
+    /// Declares a Coflow grouping over already-added flows. Coflows are
+    /// the *alternative* formulation, so they may overlap EchelonFlows
+    /// but not each other.
+    pub fn declare_coflow(&mut self, flows: Vec<FlowRef>) -> EchelonId {
+        let id = self.alloc.next_echelon();
+        for f in &flows {
+            assert!(
+                self.declared_flows.contains(&f.id),
+                "Coflow references unknown flow {}",
+                f.id
+            );
+        }
+        self.coflows.push(Coflow::new(id, self.job, flows));
+        id
+    }
+
+    /// Finalizes the DAG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any flow was left out of the EchelonFlow grouping (every
+    /// flow must have an ideal finish time) or the Coflow grouping.
+    pub fn build(self) -> JobDag {
+        let coflow_flows: BTreeSet<FlowId> = self
+            .coflows
+            .iter()
+            .flat_map(|c| c.flows().iter().map(|f| f.id))
+            .collect();
+        for fid in &self.declared_flows {
+            assert!(
+                self.grouped_flows.contains(fid),
+                "flow {fid} has no EchelonFlow grouping"
+            );
+            assert!(
+                coflow_flows.contains(fid),
+                "flow {fid} has no Coflow grouping"
+            );
+        }
+        JobDag {
+            job: self.job,
+            comps: self.comps,
+            comms: self.comms,
+            programs: self.programs,
+            echelons: self.echelons,
+            coflows: self.coflows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_comp_dag(alloc: &mut IdAlloc) -> JobDag {
+        let mut b = DagBuilder::new(JobId(0), alloc);
+        let f1 = b.comp(NodeId(0), 1.0, CompKind::Forward, "F1", &[], &[]);
+        let send = b.comm_op(
+            &CollectiveOp::P2p {
+                src: NodeId(0),
+                dst: NodeId(1),
+                bytes: 2.0,
+            },
+            Style::Direct,
+            &[f1],
+            &[],
+        );
+        let _g1 = b.comp(NodeId(1), 1.0, CompKind::Forward, "F1'", &[], &[send]);
+        let flows = b.comms()[&send].flows().copied().collect::<Vec<_>>();
+        b.declare_echelon(vec![flows.clone()], ArrangementFn::Coflow);
+        b.declare_coflow(flows);
+        b.build()
+    }
+
+    #[test]
+    fn builds_and_reports() {
+        let mut alloc = IdAlloc::new();
+        let dag = two_comp_dag(&mut alloc);
+        assert_eq!(dag.comps.len(), 2);
+        assert_eq!(dag.comms.len(), 1);
+        assert_eq!(dag.workers(), vec![NodeId(0), NodeId(1)]);
+        assert_eq!(dag.all_flows().len(), 1);
+        assert_eq!(dag.total_bytes(), 2.0);
+        assert_eq!(dag.total_comp_time(), 2.0);
+        assert_eq!(dag.critical_compute_per_worker(), 1.0);
+        assert_eq!(dag.echelons.len(), 1);
+        assert_eq!(dag.coflows.len(), 1);
+    }
+
+    #[test]
+    fn program_order_follows_insertion() {
+        let mut alloc = IdAlloc::new();
+        let mut b = DagBuilder::new(JobId(0), &mut alloc);
+        let a = b.comp(NodeId(0), 1.0, CompKind::Forward, "a", &[], &[]);
+        let c = b.comp(NodeId(0), 1.0, CompKind::Forward, "c", &[], &[]);
+        let dag = b.build();
+        assert_eq!(dag.programs[&NodeId(0)], vec![a, c]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown comp dependency")]
+    fn unknown_dep_rejected() {
+        let mut alloc = IdAlloc::new();
+        let mut b = DagBuilder::new(JobId(0), &mut alloc);
+        b.comp(NodeId(0), 1.0, CompKind::Forward, "x", &[CompId(99)], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no EchelonFlow grouping")]
+    fn ungrouped_flow_rejected() {
+        let mut alloc = IdAlloc::new();
+        let mut b = DagBuilder::new(JobId(0), &mut alloc);
+        let _ = b.comm_op(
+            &CollectiveOp::P2p {
+                src: NodeId(0),
+                dst: NodeId(1),
+                bytes: 1.0,
+            },
+            Style::Direct,
+            &[],
+            &[],
+        );
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "grouped twice")]
+    fn double_grouping_rejected() {
+        let mut alloc = IdAlloc::new();
+        let mut b = DagBuilder::new(JobId(0), &mut alloc);
+        let send = b.comm_op(
+            &CollectiveOp::P2p {
+                src: NodeId(0),
+                dst: NodeId(1),
+                bytes: 1.0,
+            },
+            Style::Direct,
+            &[],
+            &[],
+        );
+        let flows = b.comms()[&send].flows().copied().collect::<Vec<_>>();
+        b.declare_echelon(vec![flows.clone()], ArrangementFn::Coflow);
+        b.declare_echelon(vec![flows], ArrangementFn::Coflow);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad comp duration")]
+    fn negative_duration_rejected() {
+        let mut alloc = IdAlloc::new();
+        let mut b = DagBuilder::new(JobId(0), &mut alloc);
+        b.comp(NodeId(0), -1.0, CompKind::Forward, "x", &[], &[]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Sincronia-style BSSI group ordering.
+//!
+//! Sincronia (SIGCOMM '18) showed that for Coflow scheduling it suffices
+//! to compute a good *ordering* of coflows and then serve flows with any
+//! ordering-respecting rate allocation. Its ordering primitive is BSSI
+//! (Bottleneck-Select-Scale-Iterate), a primal-dual style rule that
+//! repeatedly places one coflow **last**:
+//!
+//! 1. **Bottleneck**: find the most loaded resource `b`.
+//! 2. **Select**: among unplaced coflows with load on `b`, place last the
+//!    one with the largest load per unit weight.
+//! 3. **Scale**: discount the weights of the remaining coflows by their
+//!    share of the placed coflow's load on `b`.
+//! 4. **Iterate** on the rest.
+//!
+//! We use BSSI as an alternative *inter-group* ordering inside both the
+//! Varys-style coflow scheduler and the EchelonFlow scheduler (ablation
+//! E11); groups are abstracted as weighted per-resource loads.
+
+use echelon_core::EchelonId;
+use std::collections::BTreeMap;
+
+/// A group (coflow or EchelonFlow) reduced to its normalized resource
+/// loads: `load[r]` = remaining bytes the group must push through
+/// resource `r`, divided by the resource's capacity (i.e. seconds of
+/// occupancy).
+#[derive(Debug, Clone)]
+pub struct GroupLoad {
+    /// Group identifier.
+    pub id: EchelonId,
+    /// Group weight (higher = more important).
+    pub weight: f64,
+    /// Seconds of occupancy per resource index.
+    pub load: BTreeMap<u32, f64>,
+}
+
+impl GroupLoad {
+    /// The group's load on resource `r` (zero if it does not use it).
+    pub fn on(&self, r: u32) -> f64 {
+        self.load.get(&r).copied().unwrap_or(0.0)
+    }
+}
+
+/// Computes the BSSI ordering, first (highest priority) to last.
+pub fn bssi_order(groups: &[GroupLoad]) -> Vec<EchelonId> {
+    let mut remaining: Vec<GroupLoad> = groups.to_vec();
+    let mut order_rev: Vec<EchelonId> = Vec::with_capacity(groups.len());
+
+    while !remaining.is_empty() {
+        // 1. Bottleneck resource: max aggregate load (ties: smallest id).
+        let mut agg: BTreeMap<u32, f64> = BTreeMap::new();
+        for g in &remaining {
+            for (&r, &l) in &g.load {
+                *agg.entry(r).or_insert(0.0) += l;
+            }
+        }
+        let bottleneck = agg
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(a.0)))
+            .map(|(&r, _)| r);
+        let Some(b) = bottleneck else {
+            // No group has any load (degenerate); keep id order.
+            remaining.sort_by_key(|g| g.id);
+            for g in remaining.iter().rev() {
+                order_rev.push(g.id);
+            }
+            break;
+        };
+
+        // 2. Select the group to place last: largest load-per-weight on b.
+        //    Groups without load on b are not candidates unless all are.
+        let candidate = remaining
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.on(b) > 0.0)
+            .max_by(|(_, x), (_, y)| {
+                let kx = x.on(b) / x.weight.max(1e-12);
+                let ky = y.on(b) / y.weight.max(1e-12);
+                kx.total_cmp(&ky).then(y.id.cmp(&x.id))
+            })
+            .map(|(i, _)| i);
+        let idx = match candidate {
+            Some(i) => i,
+            // All groups avoid the bottleneck (cannot happen when agg[b] >
+            // 0, but guard anyway): place the largest-id group last.
+            None => {
+                remaining
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, g)| g.id)
+                    .map(|(i, _)| i)
+                    .unwrap()
+            }
+        };
+        let placed = remaining.swap_remove(idx);
+
+        // 3. Scale the remaining weights.
+        let denom = placed.on(b);
+        if denom > 0.0 {
+            for g in &mut remaining {
+                g.weight = (g.weight - placed.weight * g.on(b) / denom).max(1e-12);
+            }
+        }
+        order_rev.push(placed.id);
+    }
+
+    order_rev.reverse();
+    order_rev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group(id: u64, weight: f64, loads: &[(u32, f64)]) -> GroupLoad {
+        GroupLoad {
+            id: EchelonId(id),
+            weight,
+            load: loads.iter().copied().collect(),
+        }
+    }
+
+    #[test]
+    fn single_group() {
+        let order = bssi_order(&[group(0, 1.0, &[(0, 2.0)])]);
+        assert_eq!(order, vec![EchelonId(0)]);
+    }
+
+    #[test]
+    fn smaller_group_goes_first_on_shared_bottleneck() {
+        // Classic SJF shape: equal weights, the heavy group is placed
+        // last.
+        let order = bssi_order(&[
+            group(0, 1.0, &[(0, 10.0)]),
+            group(1, 1.0, &[(0, 1.0)]),
+        ]);
+        assert_eq!(order, vec![EchelonId(1), EchelonId(0)]);
+    }
+
+    #[test]
+    fn weight_overrides_size() {
+        // The big group is 10x heavier in weight, so per-unit-weight it is
+        // *smaller* and goes first.
+        let order = bssi_order(&[
+            group(0, 10.0, &[(0, 10.0)]),
+            group(1, 1.0, &[(0, 2.0)]),
+        ]);
+        assert_eq!(order, vec![EchelonId(0), EchelonId(1)]);
+    }
+
+    #[test]
+    fn disjoint_resources_any_order_is_consistent() {
+        let a = [
+            group(0, 1.0, &[(0, 3.0)]),
+            group(1, 1.0, &[(1, 2.0)]),
+        ];
+        let order = bssi_order(&a);
+        assert_eq!(order.len(), 2);
+        // Deterministic across calls.
+        assert_eq!(order, bssi_order(&a));
+    }
+
+    #[test]
+    fn three_groups_two_resources() {
+        // r0 is the global bottleneck (loads 4 + 3); group 0 dominates it
+        // and is placed last.
+        let order = bssi_order(&[
+            group(0, 1.0, &[(0, 4.0)]),
+            group(1, 1.0, &[(0, 3.0), (1, 1.0)]),
+            group(2, 1.0, &[(1, 2.0)]),
+        ]);
+        assert_eq!(*order.last().unwrap(), EchelonId(0));
+        assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(bssi_order(&[]).is_empty());
+    }
+
+    #[test]
+    fn zero_load_groups_handled() {
+        let order = bssi_order(&[
+            group(0, 1.0, &[]),
+            group(1, 1.0, &[(0, 1.0)]),
+        ]);
+        assert_eq!(order.len(), 2);
+    }
+}

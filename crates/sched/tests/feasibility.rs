@@ -1,0 +1,171 @@
+//! Property tests: every scheduler's allocation is feasible on random
+//! inputs, on both topology families, with arbitrary group structures.
+
+use echelon_core::arrangement::ArrangementFn;
+use echelon_core::coflow::Coflow;
+use echelon_core::echelon::{EchelonFlow, FlowRef};
+use echelon_core::{EchelonId, JobId};
+use echelon_sched::baselines::{FifoPolicy, SrptPolicy};
+use echelon_sched::echelon::{EchelonMadd, InterOrder, IntraMode};
+use echelon_sched::varys::{CoflowOrder, VarysMadd};
+use echelon_simnet::alloc::check_feasible;
+use echelon_simnet::flow::ActiveFlowView;
+use echelon_simnet::ids::{FlowId, NodeId};
+use echelon_simnet::runner::{MaxMinPolicy, RatePolicy};
+use echelon_simnet::time::SimTime;
+use echelon_simnet::topology::Topology;
+use proptest::prelude::*;
+
+const HOSTS: u32 = 5;
+
+#[derive(Debug, Clone)]
+struct RawFlow {
+    src: u32,
+    dst_raw: u32,
+    size: f64,
+    progress: f64,
+    release: f64,
+}
+
+fn raw_flows() -> impl Strategy<Value = Vec<RawFlow>> {
+    prop::collection::vec(
+        (0..HOSTS, 0..HOSTS - 1, 0.1f64..5.0, 0.01f64..1.0, 0.0f64..4.0).prop_map(
+            |(src, dst_raw, size, progress, release)| RawFlow {
+                src,
+                dst_raw,
+                size,
+                progress,
+                release,
+            },
+        ),
+        1..12,
+    )
+}
+
+fn views(raw: &[RawFlow], topo: &Topology) -> Vec<ActiveFlowView> {
+    raw.iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let dst = if r.dst_raw >= r.src {
+                r.dst_raw + 1
+            } else {
+                r.dst_raw
+            };
+            ActiveFlowView {
+                id: FlowId(i as u64),
+                src: NodeId(r.src),
+                dst: NodeId(dst),
+                size: r.size,
+                remaining: (r.size * r.progress).max(1e-6),
+                release: SimTime::new(r.release),
+                route: topo.route(NodeId(r.src), NodeId(dst)),
+            }
+        })
+        .collect()
+}
+
+/// Groups the flows alternately into two EchelonFlows (one staggered, one
+/// coflow-shaped); leftover flows stay solo.
+fn group(views: &[ActiveFlowView]) -> (Vec<EchelonFlow>, Vec<Coflow>) {
+    let refs = |idx: &mut dyn Iterator<Item = usize>| -> Vec<FlowRef> {
+        idx.map(|i| {
+            let v = &views[i];
+            FlowRef::new(v.id, v.src, v.dst, v.size)
+        })
+        .collect()
+    };
+    let mut echelons = Vec::new();
+    let mut coflows = Vec::new();
+    let staggered = refs(&mut (0..views.len()).step_by(3));
+    if !staggered.is_empty() {
+        echelons.push(EchelonFlow::from_flows(
+            EchelonId(0),
+            JobId(0),
+            staggered.clone(),
+            ArrangementFn::Staggered { gap: 0.4 },
+        ));
+        coflows.push(Coflow::new(EchelonId(0), JobId(0), staggered));
+    }
+    let grouped = refs(&mut (0..views.len()).skip(1).step_by(3));
+    if !grouped.is_empty() {
+        echelons.push(EchelonFlow::new(
+            EchelonId(1),
+            JobId(1),
+            vec![grouped.clone()],
+            ArrangementFn::Coflow,
+        ));
+        coflows.push(Coflow::new(EchelonId(1), JobId(1), grouped));
+    }
+    (echelons, coflows)
+}
+
+fn check_policy(policy: &mut dyn RatePolicy, flows: &[ActiveFlowView], topo: &Topology) {
+    let alloc = policy.allocate(SimTime::new(5.0), flows, topo);
+    check_feasible(topo, flows, &alloc)
+        .unwrap_or_else(|e| panic!("{} infeasible: {e}", policy.name()));
+    // No flow is starved forever when capacity is free: at least one
+    // active flow must have positive rate.
+    if !flows.is_empty() {
+        let total: f64 = alloc.values().sum();
+        assert!(total > 0.0, "{} starved everything", policy.name());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_schedulers_feasible_on_big_switch(raw in raw_flows()) {
+        let topo = Topology::big_switch_uniform(HOSTS as usize, 1.0);
+        let flows = views(&raw, &topo);
+        let (echelons, coflows) = group(&flows);
+
+        check_policy(&mut MaxMinPolicy, &flows, &topo);
+        check_policy(&mut FifoPolicy, &flows, &topo);
+        check_policy(&mut SrptPolicy, &flows, &topo);
+        for order in [CoflowOrder::Sebf, CoflowOrder::Bssi, CoflowOrder::Arrival] {
+            let mut p = VarysMadd::new(coflows.clone()).with_order(order);
+            check_policy(&mut p, &flows, &topo);
+        }
+        for inter in [
+            InterOrder::EarliestDeadline,
+            InterOrder::LeastWork,
+            InterOrder::MostTardy,
+            InterOrder::Bssi,
+        ] {
+            for intra in [IntraMode::FinishEarly, IntraMode::Equalize] {
+                let mut p = EchelonMadd::new(echelons.clone())
+                    .with_inter(inter)
+                    .with_intra(intra);
+                check_policy(&mut p, &flows, &topo);
+            }
+        }
+    }
+
+    #[test]
+    fn all_schedulers_feasible_on_chain(raw in raw_flows()) {
+        let topo = Topology::chain(HOSTS as usize, 0.7);
+        let flows = views(&raw, &topo);
+        let (echelons, coflows) = group(&flows);
+        let mut varys = VarysMadd::new(coflows);
+        check_policy(&mut varys, &flows, &topo);
+        let mut echelon = EchelonMadd::new(echelons);
+        check_policy(&mut echelon, &flows, &topo);
+    }
+
+    #[test]
+    fn backfill_never_reduces_rates(raw in raw_flows()) {
+        let topo = Topology::big_switch_uniform(HOSTS as usize, 1.0);
+        let flows = views(&raw, &topo);
+        let (echelons, _) = group(&flows);
+        let mut with = EchelonMadd::new(echelons.clone());
+        let mut without = EchelonMadd::new(echelons).with_backfill(false);
+        let a = with.allocate(SimTime::new(5.0), &flows, &topo);
+        let b = without.allocate(SimTime::new(5.0), &flows, &topo);
+        for v in &flows {
+            let ra = a.get(&v.id).copied().unwrap_or(0.0);
+            let rb = b.get(&v.id).copied().unwrap_or(0.0);
+            prop_assert!(ra + 1e-9 >= rb, "backfill reduced {} from {rb} to {ra}", v.id);
+        }
+    }
+}

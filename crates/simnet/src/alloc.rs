@@ -1,0 +1,385 @@
+//! Bandwidth allocation primitives.
+//!
+//! Every scheduler in the EchelonFlow reproduction reduces to one of three
+//! allocation shapes over the active flows:
+//!
+//! - [`max_min_rates`] / [`weighted_rates`]: progressive-filling max-min
+//!   fairness — the "naive bandwidth fair sharing" baseline of the paper's
+//!   Fig. 2a, and the work-conserving backfill step of the MADD-family
+//!   schedulers.
+//! - [`waterfill`]: the general form — weighted max-min with optional
+//!   per-flow rate caps. MADD-style schedulers first pin each flow's rate to
+//!   its target (via caps) and then backfill the slack.
+//! - [`priority_fill`]: strict-priority greedy filling — flows are served
+//!   in a given order, each taking everything left on its path. This is how
+//!   the agent enforces schedules through priority queues (paper §5), and
+//!   how EDD/SEBF-style orderings become rates.
+//!
+//! All functions iterate flows in a caller-specified or id order, never in
+//! hash order, keeping allocations bit-for-bit deterministic.
+
+use crate::flow::ActiveFlowView;
+use crate::ids::{FlowId, ResourceId};
+use crate::time::EPS;
+use crate::topology::Topology;
+use std::collections::BTreeMap;
+
+/// A rate (bytes/second) per active flow. Flows absent from the map are
+/// treated as rate zero.
+pub type RateAlloc = BTreeMap<FlowId, f64>;
+
+/// Residual capacity per resource after subtracting an allocation.
+fn residuals(topo: &Topology, flows: &[ActiveFlowView], alloc: &RateAlloc) -> Vec<f64> {
+    let mut residual: Vec<f64> = (0..topo.num_resources())
+        .map(|r| topo.capacity(ResourceId(r as u32)))
+        .collect();
+    for f in flows {
+        let rate = alloc.get(&f.id).copied().unwrap_or(0.0);
+        for r in &f.route {
+            residual[r.0 as usize] -= rate;
+        }
+    }
+    residual
+}
+
+/// Verifies an allocation is feasible: no negative rates, and on every
+/// resource the summed rate does not exceed capacity (within [`EPS`]).
+pub fn check_feasible(
+    topo: &Topology,
+    flows: &[ActiveFlowView],
+    alloc: &RateAlloc,
+) -> Result<(), String> {
+    for f in flows {
+        let rate = alloc.get(&f.id).copied().unwrap_or(0.0);
+        if rate < -EPS {
+            return Err(format!("flow {} has negative rate {rate}", f.id));
+        }
+        if !rate.is_finite() {
+            return Err(format!("flow {} has non-finite rate {rate}", f.id));
+        }
+    }
+    for (idx, slack) in residuals(topo, flows, alloc).iter().enumerate() {
+        if *slack < -1e-6 {
+            return Err(format!(
+                "resource r{idx} oversubscribed by {}",
+                -slack
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Weighted max-min fairness with optional per-flow rate caps, by
+/// progressive filling.
+///
+/// Starting from an optional base allocation `floor` (useful for MADD's
+/// "pin targets, then backfill" pattern), all uncapped flows increase their
+/// rate proportionally to their weight until a resource saturates or a flow
+/// hits its cap; saturated/capped flows freeze and filling continues.
+///
+/// `weights` defaults to 1.0 for absent flows; `caps` to unbounded.
+pub fn waterfill(
+    topo: &Topology,
+    flows: &[ActiveFlowView],
+    weights: &BTreeMap<FlowId, f64>,
+    caps: &BTreeMap<FlowId, f64>,
+    floor: Option<&RateAlloc>,
+) -> RateAlloc {
+    let mut rates: RateAlloc = flows
+        .iter()
+        .map(|f| {
+            let base = floor.and_then(|fl| fl.get(&f.id)).copied().unwrap_or(0.0);
+            (f.id, base)
+        })
+        .collect();
+    let mut residual = residuals(topo, flows, &rates);
+    // Flows still participating in the filling.
+    let mut unfrozen: Vec<usize> = (0..flows.len()).collect();
+    // Freeze anything already at cap from the floor.
+    unfrozen.retain(|&i| {
+        let f = &flows[i];
+        let cap = caps.get(&f.id).copied().unwrap_or(f64::INFINITY);
+        rates[&f.id] + EPS < cap
+    });
+
+    while !unfrozen.is_empty() {
+        // Weight mass per resource among unfrozen flows.
+        let mut mass = vec![0.0f64; topo.num_resources()];
+        for &i in &unfrozen {
+            let f = &flows[i];
+            let w = weights.get(&f.id).copied().unwrap_or(1.0).max(0.0);
+            for r in &f.route {
+                mass[r.0 as usize] += w;
+            }
+        }
+        // Largest uniform increment before some resource saturates...
+        let mut inc = f64::INFINITY;
+        for (r, &m) in mass.iter().enumerate() {
+            if m > EPS {
+                inc = inc.min((residual[r].max(0.0)) / m);
+            }
+        }
+        // ...or some flow hits its cap.
+        for &i in &unfrozen {
+            let f = &flows[i];
+            let w = weights.get(&f.id).copied().unwrap_or(1.0).max(0.0);
+            if w > EPS {
+                let cap = caps.get(&f.id).copied().unwrap_or(f64::INFINITY);
+                if cap.is_finite() {
+                    inc = inc.min((cap - rates[&f.id]).max(0.0) / w);
+                }
+            }
+        }
+        if !inc.is_finite() {
+            // Only zero-weight flows remain: they get nothing more.
+            break;
+        }
+        // Apply the increment.
+        for &i in &unfrozen {
+            let f = &flows[i];
+            let w = weights.get(&f.id).copied().unwrap_or(1.0).max(0.0);
+            let delta = w * inc;
+            *rates.get_mut(&f.id).unwrap() += delta;
+            for r in &f.route {
+                residual[r.0 as usize] -= delta;
+            }
+        }
+        // Freeze flows on saturated resources or at their cap.
+        let before = unfrozen.len();
+        unfrozen.retain(|&i| {
+            let f = &flows[i];
+            let w = weights.get(&f.id).copied().unwrap_or(1.0).max(0.0);
+            if w <= EPS {
+                return false;
+            }
+            let cap = caps.get(&f.id).copied().unwrap_or(f64::INFINITY);
+            if rates[&f.id] + EPS >= cap {
+                return false;
+            }
+            for r in &f.route {
+                if residual[r.0 as usize] <= EPS {
+                    return false;
+                }
+            }
+            true
+        });
+        // Progress guarantee: each round freezes at least one flow, because
+        // the binding constraint (resource or cap) saturates exactly.
+        if unfrozen.len() == before {
+            break;
+        }
+    }
+    rates
+}
+
+/// Unweighted, uncapped max-min fairness: the paper's fair-sharing baseline.
+pub fn max_min_rates(topo: &Topology, flows: &[ActiveFlowView]) -> RateAlloc {
+    waterfill(topo, flows, &BTreeMap::new(), &BTreeMap::new(), None)
+}
+
+/// Weighted max-min fairness (no caps).
+pub fn weighted_rates(
+    topo: &Topology,
+    flows: &[ActiveFlowView],
+    weights: &BTreeMap<FlowId, f64>,
+) -> RateAlloc {
+    waterfill(topo, flows, weights, &BTreeMap::new(), None)
+}
+
+/// Strict-priority greedy filling.
+///
+/// Flows are served in the order given by `order` (earlier = higher
+/// priority); each takes the minimum residual capacity along its route,
+/// optionally limited by a per-flow cap. Flows not listed in `order`
+/// receive rate zero. This realizes priority-queue enforcement (paper §5)
+/// and turns EDD/SEBF orderings into concrete rates.
+pub fn priority_fill(
+    topo: &Topology,
+    flows: &[ActiveFlowView],
+    order: &[FlowId],
+    caps: &BTreeMap<FlowId, f64>,
+) -> RateAlloc {
+    let by_id: BTreeMap<FlowId, &ActiveFlowView> = flows.iter().map(|f| (f.id, f)).collect();
+    let mut residual: Vec<f64> = (0..topo.num_resources())
+        .map(|r| topo.capacity(ResourceId(r as u32)))
+        .collect();
+    let mut rates: RateAlloc = flows.iter().map(|f| (f.id, 0.0)).collect();
+    let mut seen = std::collections::BTreeSet::new();
+    for &fid in order {
+        if !seen.insert(fid) {
+            continue; // ignore duplicate entries
+        }
+        let Some(f) = by_id.get(&fid) else {
+            continue; // ordering may mention flows that already finished
+        };
+        let mut rate = f
+            .route
+            .iter()
+            .map(|r| residual[r.0 as usize])
+            .fold(f64::INFINITY, f64::min)
+            .max(0.0);
+        if let Some(&cap) = caps.get(&fid) {
+            rate = rate.min(cap.max(0.0));
+        }
+        if rate > EPS {
+            rates.insert(fid, rate);
+            for r in &f.route {
+                residual[r.0 as usize] -= rate;
+            }
+        }
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowDemand;
+    use crate::ids::NodeId;
+    use crate::time::SimTime;
+
+    fn view(topo: &Topology, d: &FlowDemand) -> ActiveFlowView {
+        ActiveFlowView {
+            id: d.id,
+            src: d.src,
+            dst: d.dst,
+            size: d.size,
+            remaining: d.size,
+            release: d.release,
+            route: topo.route(d.src, d.dst),
+        }
+    }
+
+    fn two_flows_one_port() -> (Topology, Vec<ActiveFlowView>) {
+        let topo = Topology::big_switch_uniform(3, 1.0);
+        let demands = [FlowDemand::new(FlowId(0), NodeId(0), NodeId(1), 2.0, SimTime::ZERO),
+            FlowDemand::new(FlowId(1), NodeId(0), NodeId(2), 2.0, SimTime::ZERO)];
+        let flows = demands.iter().map(|d| view(&topo, d)).collect();
+        (topo, flows)
+    }
+
+    #[test]
+    fn max_min_equal_split_on_shared_egress() {
+        let (topo, flows) = two_flows_one_port();
+        let rates = max_min_rates(&topo, &flows);
+        assert!((rates[&FlowId(0)] - 0.5).abs() < 1e-9);
+        assert!((rates[&FlowId(1)] - 0.5).abs() < 1e-9);
+        check_feasible(&topo, &flows, &rates).unwrap();
+    }
+
+    #[test]
+    fn max_min_uses_spare_capacity() {
+        // f0 and f1 share n0 egress; f2 is alone on n1 egress.
+        let topo = Topology::big_switch_uniform(4, 1.0);
+        let demands = [FlowDemand::new(FlowId(0), NodeId(0), NodeId(2), 1.0, SimTime::ZERO),
+            FlowDemand::new(FlowId(1), NodeId(0), NodeId(3), 1.0, SimTime::ZERO),
+            FlowDemand::new(FlowId(2), NodeId(1), NodeId(2), 1.0, SimTime::ZERO)];
+        let flows: Vec<_> = demands.iter().map(|d| view(&topo, d)).collect();
+        let rates = max_min_rates(&topo, &flows);
+        // f0 and f2 share n2's ingress: 0.5 each; f1 then gets n0's
+        // remaining egress 0.5.
+        assert!((rates[&FlowId(0)] - 0.5).abs() < 1e-9);
+        assert!((rates[&FlowId(2)] - 0.5).abs() < 1e-9);
+        assert!((rates[&FlowId(1)] - 0.5).abs() < 1e-9);
+        check_feasible(&topo, &flows, &rates).unwrap();
+    }
+
+    #[test]
+    fn weighted_split_follows_weights() {
+        let (topo, flows) = two_flows_one_port();
+        let mut weights = BTreeMap::new();
+        weights.insert(FlowId(0), 3.0);
+        weights.insert(FlowId(1), 1.0);
+        let rates = weighted_rates(&topo, &flows, &weights);
+        assert!((rates[&FlowId(0)] - 0.75).abs() < 1e-9);
+        assert!((rates[&FlowId(1)] - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn caps_freeze_then_backfill() {
+        let (topo, flows) = two_flows_one_port();
+        let mut caps = BTreeMap::new();
+        caps.insert(FlowId(0), 0.25);
+        let rates = waterfill(&topo, &flows, &BTreeMap::new(), &caps, None);
+        // f0 pinned at 0.25; f1 work-conservingly takes the remaining 0.75.
+        assert!((rates[&FlowId(0)] - 0.25).abs() < 1e-9);
+        assert!((rates[&FlowId(1)] - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn floor_is_respected() {
+        let (topo, flows) = two_flows_one_port();
+        let mut floor = RateAlloc::new();
+        floor.insert(FlowId(0), 0.6);
+        let mut caps = BTreeMap::new();
+        caps.insert(FlowId(0), 0.6); // frozen at its floor
+        let rates = waterfill(&topo, &flows, &BTreeMap::new(), &caps, Some(&floor));
+        assert!((rates[&FlowId(0)] - 0.6).abs() < 1e-9);
+        assert!((rates[&FlowId(1)] - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn priority_fill_is_strict() {
+        let (topo, flows) = two_flows_one_port();
+        let rates = priority_fill(&topo, &flows, &[FlowId(1), FlowId(0)], &BTreeMap::new());
+        assert!((rates[&FlowId(1)] - 1.0).abs() < 1e-9);
+        assert!(rates[&FlowId(0)].abs() < 1e-9);
+    }
+
+    #[test]
+    fn priority_fill_with_cap_leaves_room() {
+        let (topo, flows) = two_flows_one_port();
+        let mut caps = BTreeMap::new();
+        caps.insert(FlowId(1), 0.3);
+        let rates = priority_fill(&topo, &flows, &[FlowId(1), FlowId(0)], &caps);
+        assert!((rates[&FlowId(1)] - 0.3).abs() < 1e-9);
+        assert!((rates[&FlowId(0)] - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn priority_fill_ignores_unknown_and_duplicate_ids() {
+        let (topo, flows) = two_flows_one_port();
+        let order = [FlowId(99), FlowId(0), FlowId(0), FlowId(1)];
+        let rates = priority_fill(&topo, &flows, &order, &BTreeMap::new());
+        assert!((rates[&FlowId(0)] - 1.0).abs() < 1e-9);
+        assert!(rates[&FlowId(1)].abs() < 1e-9);
+    }
+
+    #[test]
+    fn unlisted_flows_get_zero() {
+        let (topo, flows) = two_flows_one_port();
+        let rates = priority_fill(&topo, &flows, &[FlowId(0)], &BTreeMap::new());
+        assert_eq!(rates[&FlowId(1)], 0.0);
+    }
+
+    #[test]
+    fn feasibility_rejects_oversubscription() {
+        let (topo, flows) = two_flows_one_port();
+        let mut alloc = RateAlloc::new();
+        alloc.insert(FlowId(0), 0.8);
+        alloc.insert(FlowId(1), 0.8);
+        assert!(check_feasible(&topo, &flows, &alloc).is_err());
+    }
+
+    #[test]
+    fn feasibility_rejects_negative_rates() {
+        let (topo, flows) = two_flows_one_port();
+        let mut alloc = RateAlloc::new();
+        alloc.insert(FlowId(0), -0.5);
+        assert!(check_feasible(&topo, &flows, &alloc).is_err());
+    }
+
+    #[test]
+    fn max_min_on_chain_bottleneck() {
+        // Fig. 2 geometry: one link of capacity B = 1 between two workers.
+        let topo = Topology::chain(2, 1.0);
+        let demands = [FlowDemand::new(FlowId(0), NodeId(0), NodeId(1), 2.0, SimTime::ZERO),
+            FlowDemand::new(FlowId(1), NodeId(0), NodeId(1), 2.0, SimTime::ZERO),
+            FlowDemand::new(FlowId(2), NodeId(0), NodeId(1), 2.0, SimTime::ZERO)];
+        let flows: Vec<_> = demands.iter().map(|d| view(&topo, d)).collect();
+        let rates = max_min_rates(&topo, &flows);
+        for f in &flows {
+            assert!((rates[&f.id] - 1.0 / 3.0).abs() < 1e-9);
+        }
+    }
+}

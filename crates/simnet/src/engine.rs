@@ -1,0 +1,239 @@
+//! Generic discrete-event queue.
+//!
+//! [`EventQueue`] is a minimal, deterministic discrete-event simulation
+//! core: a priority queue of `(time, sequence, payload)` entries. Ties in
+//! time are broken by insertion sequence, so the queue is a total order and
+//! replaying the same schedule of insertions always produces the same
+//! schedule of pops. Events can be cancelled by id (tombstoning), which the
+//! fluid layer uses to retract predicted flow completions whenever rates
+//! change.
+
+use crate::time::SimTime;
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, HashSet};
+
+/// Handle for a scheduled event, usable to cancel it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    id: EventId,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A deterministic discrete-event queue over payload type `E`.
+///
+/// The queue tracks the current simulated time: popping an event advances
+/// `now` to the event's timestamp. Scheduling into the past is a logic error
+/// and panics (with a small epsilon allowance for float round-off, where the
+/// event is clamped to `now`).
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    cancelled: HashSet<EventId>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulated time (timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` to fire at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is more than an epsilon before [`Self::now`].
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        assert!(
+            self.now.at_or_before(time),
+            "scheduling into the past: now={:?} event={:?}",
+            self.now,
+            time
+        );
+        let time = time.max(self.now);
+        let id = EventId(self.next_seq);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry {
+            time,
+            seq,
+            id,
+            payload,
+        }));
+        id
+    }
+
+    /// Schedules `payload` to fire `delay` seconds from now.
+    pub fn schedule_after(&mut self, delay: f64, payload: E) -> EventId {
+        let t = self.now + delay;
+        self.schedule(t, payload)
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an already-fired or
+    /// already-cancelled event is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id);
+    }
+
+    /// Pops the next live event, advancing the clock to its timestamp.
+    /// Returns `None` when the queue is exhausted.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            debug_assert!(self.now.at_or_before(entry.time), "time went backwards");
+            self.now = self.now.max(entry.time);
+            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+
+    /// Timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.cancelled.contains(&entry.id) {
+                let id = entry.id;
+                self.heap.pop();
+                self.cancelled.remove(&id);
+                continue;
+            }
+            return Some(entry.time);
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) events still queued.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// `true` when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(3.0), "c");
+        q.schedule(SimTime::new(1.0), "a");
+        q.schedule(SimTime::new(2.0), "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_broken_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(1.0), 1);
+        q.schedule(SimTime::new(1.0), 2);
+        q.schedule(SimTime::new(1.0), 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(5.0), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::new(5.0));
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::new(1.0), "a");
+        q.schedule(SimTime::new(2.0), "b");
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::new(1.0), "a");
+        q.pop();
+        q.cancel(a); // must not panic or corrupt len
+        q.schedule(SimTime::new(2.0), "b");
+        assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::new(1.0), "a");
+        q.schedule(SimTime::new(2.0), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::new(2.0)));
+        assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    fn schedule_after_uses_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(2.0), "first");
+        q.pop();
+        q.schedule_after(3.0, "second");
+        let (t, _) = q.pop().unwrap();
+        assert!(t.approx_eq(SimTime::new(5.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(2.0), ());
+        q.pop();
+        q.schedule(SimTime::new(1.0), ());
+    }
+}

@@ -1,0 +1,177 @@
+//! K-ary fat-tree topology (the paper's datacenter context).
+//!
+//! The canonical three-tier Clos fabric of Al-Fares et al.: `k` pods,
+//! each with `k/2` edge and `k/2` aggregation switches, `(k/2)²` core
+//! switches, and `k³/4` hosts. We model each switch-to-switch and
+//! host-to-edge connection as a pair of directed links; routing is
+//! deterministic up-down (the up-path is picked by hashing the
+//! destination host, a static ECMP stand-in, so a given host pair always
+//! uses one path and the simulation stays reproducible).
+//!
+//! An **oversubscription** factor `f` divides the capacity of the
+//! edge-to-aggregation and aggregation-to-core uplinks: `f = 1.0` is a
+//! full-bisection fabric, `f = 4.0` the classic 4:1 oversubscribed
+//! datacenter where cross-pod coflows actually contend — the regime where
+//! scheduling policy matters most.
+
+use crate::ids::NodeId;
+use crate::topology::{LinkGraph, Topology};
+
+/// Builder for k-ary fat-trees.
+#[derive(Debug, Clone, Copy)]
+pub struct FatTree {
+    /// Pod count / switch radix. Must be even and ≥ 2.
+    pub k: usize,
+    /// Host NIC / edge downlink capacity.
+    pub host_capacity: f64,
+    /// Oversubscription factor: uplink capacity = `host capacity ×
+    /// (k/2) / factor` per uplink bundle... modelled per-link as
+    /// `host_capacity / factor`.
+    pub oversubscription: f64,
+}
+
+impl FatTree {
+    /// Creates a full-bisection k-ary fat-tree spec.
+    pub fn new(k: usize) -> FatTree {
+        FatTree {
+            k,
+            host_capacity: 1.0,
+            oversubscription: 1.0,
+        }
+    }
+
+    /// Sets the oversubscription factor.
+    pub fn with_oversubscription(mut self, f: f64) -> FatTree {
+        assert!(f >= 1.0 && f.is_finite(), "bad oversubscription {f}");
+        self.oversubscription = f;
+        self
+    }
+
+    /// Number of hosts: `k³/4`.
+    pub fn hosts(&self) -> usize {
+        self.k * self.k * self.k / 4
+    }
+
+    /// Builds the topology. Node numbering: hosts first (`0..k³/4`), then
+    /// edge switches, aggregation switches, core switches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is odd or < 2.
+    pub fn build(&self) -> Topology {
+        let k = self.k;
+        assert!(k >= 2 && k.is_multiple_of(2), "fat-tree needs even k >= 2, got {k}");
+        let half = k / 2;
+        let hosts = self.hosts();
+        let edges = k * half; // k pods × k/2 edge switches
+        let aggs = k * half;
+        let cores = half * half;
+
+        let host_id = |h: usize| NodeId(h as u32);
+        let edge_id = |pod: usize, e: usize| NodeId((hosts + pod * half + e) as u32);
+        let agg_id = |pod: usize, a: usize| NodeId((hosts + edges + pod * half + a) as u32);
+        let core_id = |c: usize| NodeId((hosts + edges + aggs + c) as u32);
+
+        let edge_cap = self.host_capacity;
+        let up_cap = self.host_capacity / self.oversubscription;
+
+        let mut links = Vec::new();
+        let both = |a: NodeId, b: NodeId, cap: f64, links: &mut Vec<(NodeId, NodeId, f64)>| {
+            links.push((a, b, cap));
+            links.push((b, a, cap));
+        };
+
+        // Hosts ↔ edge switches: host h lives in pod h/(k²/4), under edge
+        // switch (h / half) % half within the pod.
+        for h in 0..hosts {
+            let pod = h / (half * half);
+            let e = (h / half) % half;
+            both(host_id(h), edge_id(pod, e), edge_cap, &mut links);
+        }
+        // Edge ↔ aggregation (full mesh within a pod).
+        for pod in 0..k {
+            for e in 0..half {
+                for a in 0..half {
+                    both(edge_id(pod, e), agg_id(pod, a), up_cap, &mut links);
+                }
+            }
+        }
+        // Aggregation ↔ core: aggregation switch a of each pod connects
+        // to cores [a·k/2, (a+1)·k/2).
+        for pod in 0..k {
+            for a in 0..half {
+                for i in 0..half {
+                    both(agg_id(pod, a), core_id(a * half + i), up_cap, &mut links);
+                }
+            }
+        }
+
+        let total_nodes = hosts + edges + aggs + cores;
+        Topology::LinkGraph(LinkGraph::new(total_nodes, links))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k4_counts() {
+        let ft = FatTree::new(4);
+        assert_eq!(ft.hosts(), 16);
+        let topo = ft.build();
+        // 16 hosts + 8 edge + 8 agg + 4 core = 36 nodes.
+        assert_eq!(topo.num_nodes(), 36);
+        // Links: 16 host pairs + 4·2·2 edge-agg pairs ×... just check
+        // resource count is positive and consistent.
+        assert!(topo.num_resources() > 0);
+    }
+
+    #[test]
+    fn same_edge_traffic_stays_local() {
+        let topo = FatTree::new(4).build();
+        // Hosts 0 and 1 share an edge switch: two hops.
+        let route = topo.route(NodeId(0), NodeId(1));
+        assert_eq!(route.len(), 2);
+    }
+
+    #[test]
+    fn cross_pod_traffic_traverses_core() {
+        let topo = FatTree::new(4).build();
+        // Host 0 (pod 0) to host 15 (pod 3): up to core and down = 6 hops.
+        let route = topo.route(NodeId(0), NodeId(15));
+        assert_eq!(route.len(), 6);
+    }
+
+    #[test]
+    fn oversubscription_shrinks_uplinks() {
+        let full = FatTree::new(4).build();
+        let over = FatTree::new(4).with_oversubscription(4.0).build();
+        // Cross-pod bottleneck shrinks by the factor.
+        let b_full = full.bottleneck_capacity(NodeId(0), NodeId(15));
+        let b_over = over.bottleneck_capacity(NodeId(0), NodeId(15));
+        assert!((b_full - 1.0).abs() < 1e-12);
+        assert!((b_over - 0.25).abs() < 1e-12);
+        // Same-edge traffic is unaffected.
+        assert!((over.bottleneck_capacity(NodeId(0), NodeId(1)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_host_pair_is_connected() {
+        let topo = FatTree::new(4).build();
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                if a != b {
+                    let route = topo.route(NodeId(a), NodeId(b));
+                    assert!(!route.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even k")]
+    fn odd_k_rejected() {
+        let _ = FatTree::new(3).build();
+    }
+}

@@ -1,0 +1,135 @@
+//! Flow demands and live flow state.
+
+use crate::ids::{FlowId, NodeId, ResourceId};
+use crate::time::SimTime;
+
+/// A flow to be injected into the network: `size` abstract bytes from
+/// `src` to `dst`, released (earliest start) at `release`.
+///
+/// Sizes use the same abstract unit as link capacities-per-second, so a
+/// flow of size `2B` over a link of capacity `B` needs 2 seconds alone —
+/// exactly the units of the paper's Fig. 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowDemand {
+    /// Globally unique flow identifier.
+    pub id: FlowId,
+    /// Sending host.
+    pub src: NodeId,
+    /// Receiving host.
+    pub dst: NodeId,
+    /// Bytes to transfer. Must be positive and finite.
+    pub size: f64,
+    /// Earliest time the flow may transmit.
+    pub release: SimTime,
+}
+
+impl FlowDemand {
+    /// Creates a demand, validating the size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is non-positive or non-finite, or `src == dst`.
+    pub fn new(id: FlowId, src: NodeId, dst: NodeId, size: f64, release: SimTime) -> FlowDemand {
+        assert!(size > 0.0 && size.is_finite(), "flow size must be positive: {size}");
+        assert!(src != dst, "flow endpoints coincide: {src}");
+        FlowDemand {
+            id,
+            src,
+            dst,
+            size,
+            release,
+        }
+    }
+}
+
+/// Read-only view of an active (released, unfinished) flow, handed to rate
+/// policies each time rates are recomputed.
+#[derive(Debug, Clone)]
+pub struct ActiveFlowView {
+    /// Flow identifier.
+    pub id: FlowId,
+    /// Sending host.
+    pub src: NodeId,
+    /// Receiving host.
+    pub dst: NodeId,
+    /// Original size in bytes.
+    pub size: f64,
+    /// Bytes still to transfer (0 < remaining <= size).
+    pub remaining: f64,
+    /// Time the flow was released.
+    pub release: SimTime,
+    /// Resources the flow occupies, from the topology's routing.
+    pub route: Vec<ResourceId>,
+}
+
+impl ActiveFlowView {
+    /// Fraction of the flow already transferred, in `[0, 1)`.
+    pub fn progress(&self) -> f64 {
+        1.0 - self.remaining / self.size
+    }
+}
+
+/// Final record of a completed flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowCompletion {
+    /// Flow identifier.
+    pub id: FlowId,
+    /// Release time of the flow.
+    pub release: SimTime,
+    /// Time the last byte was delivered.
+    pub finish: SimTime,
+    /// Original size in bytes.
+    pub size: f64,
+}
+
+impl FlowCompletion {
+    /// Flow completion time: `finish − release`.
+    pub fn fct(&self) -> f64 {
+        self.finish - self.release
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demand_construction() {
+        let d = FlowDemand::new(FlowId(1), NodeId(0), NodeId(1), 2.0, SimTime::new(1.0));
+        assert_eq!(d.size, 2.0);
+        assert_eq!(d.release, SimTime::new(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_size_rejected() {
+        let _ = FlowDemand::new(FlowId(1), NodeId(0), NodeId(1), 0.0, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "coincide")]
+    fn loopback_rejected() {
+        let _ = FlowDemand::new(FlowId(1), NodeId(3), NodeId(3), 1.0, SimTime::ZERO);
+    }
+
+    #[test]
+    fn progress_and_fct() {
+        let v = ActiveFlowView {
+            id: FlowId(0),
+            src: NodeId(0),
+            dst: NodeId(1),
+            size: 4.0,
+            remaining: 1.0,
+            release: SimTime::ZERO,
+            route: vec![],
+        };
+        assert!((v.progress() - 0.75).abs() < 1e-12);
+        let c = FlowCompletion {
+            id: FlowId(0),
+            release: SimTime::new(1.0),
+            finish: SimTime::new(3.5),
+            size: 4.0,
+        };
+        assert!((c.fct() - 2.5).abs() < 1e-12);
+    }
+}

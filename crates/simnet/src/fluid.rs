@@ -1,0 +1,319 @@
+//! The active-flow table of the fluid model.
+//!
+//! [`FluidNetwork`] holds every released-but-unfinished flow together with
+//! its current rate. The surrounding simulation loop alternates between:
+//!
+//! 1. asking a policy for a [`RateAlloc`] over the current flows,
+//! 2. applying it with [`FluidNetwork::set_rates`] (feasibility-checked),
+//! 3. advancing to the next event with [`FluidNetwork::advance`], using
+//!    [`FluidNetwork::next_completion_in`] to bound the step.
+//!
+//! Byte conservation is enforced: a flow finishes exactly when its
+//! remaining size crosses zero (within epsilon), and `advance` never
+//! overshoots a completion.
+
+use crate::alloc::{check_feasible, RateAlloc};
+use crate::flow::{ActiveFlowView, FlowCompletion, FlowDemand};
+use crate::ids::FlowId;
+use crate::time::{SimTime, EPS};
+use crate::topology::Topology;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+struct LiveFlow {
+    view: ActiveFlowView,
+    rate: f64,
+}
+
+/// The set of in-flight flows and their currently assigned rates.
+#[derive(Debug)]
+pub struct FluidNetwork {
+    topology: Topology,
+    flows: BTreeMap<FlowId, LiveFlow>,
+    now: SimTime,
+    completions: Vec<FlowCompletion>,
+}
+
+impl FluidNetwork {
+    /// Creates an empty network over `topology` at time zero.
+    pub fn new(topology: Topology) -> FluidNetwork {
+        FluidNetwork {
+            topology,
+            flows: BTreeMap::new(),
+            now: SimTime::ZERO,
+            completions: Vec::new(),
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of active flows.
+    pub fn active_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Releases a flow into the network at the current time.
+    ///
+    /// The demand's `release` must not be in the future (the caller's event
+    /// loop is responsible for holding flows until their release time).
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate ids or a future release time.
+    pub fn release(&mut self, demand: &FlowDemand) {
+        assert!(
+            demand.release.at_or_before(self.now),
+            "flow {} released at {:?} before its release time {:?}",
+            demand.id,
+            self.now,
+            demand.release
+        );
+        let route = self.topology.route(demand.src, demand.dst);
+        let prev = self.flows.insert(
+            demand.id,
+            LiveFlow {
+                view: ActiveFlowView {
+                    id: demand.id,
+                    src: demand.src,
+                    dst: demand.dst,
+                    size: demand.size,
+                    remaining: demand.size,
+                    release: demand.release,
+                    route,
+                },
+                rate: 0.0,
+            },
+        );
+        assert!(prev.is_none(), "duplicate flow id {}", demand.id);
+    }
+
+    /// Snapshot of all active flows in ascending id order, as handed to
+    /// rate policies.
+    pub fn views(&self) -> Vec<ActiveFlowView> {
+        self.flows.values().map(|lf| lf.view.clone()).collect()
+    }
+
+    /// Applies a rate allocation. Missing flows get rate zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocation is infeasible for the topology.
+    pub fn set_rates(&mut self, alloc: &RateAlloc) {
+        let views = self.views();
+        if let Err(msg) = check_feasible(&self.topology, &views, alloc) {
+            panic!("infeasible rate allocation: {msg}");
+        }
+        for (id, lf) in self.flows.iter_mut() {
+            lf.rate = alloc.get(id).copied().unwrap_or(0.0).max(0.0);
+        }
+    }
+
+    /// Current rate of a flow (zero if inactive).
+    pub fn rate_of(&self, id: FlowId) -> f64 {
+        self.flows.get(&id).map(|lf| lf.rate).unwrap_or(0.0)
+    }
+
+    /// Seconds until the earliest flow completion at current rates, or
+    /// `None` if no flow is making progress.
+    pub fn next_completion_in(&self) -> Option<f64> {
+        self.flows
+            .values()
+            .filter(|lf| lf.rate > EPS)
+            .map(|lf| lf.view.remaining / lf.rate)
+            .min_by(|a, b| a.total_cmp(b))
+    }
+
+    /// Advances the clock by `dt` seconds at current rates, transferring
+    /// bytes and collecting any flows that finish.
+    ///
+    /// Completions are returned in ascending flow-id order; their `finish`
+    /// time is the new clock value. `dt` must not overshoot the earliest
+    /// completion by more than epsilon (use [`Self::next_completion_in`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is negative or overshoots a completion (which would
+    /// silently destroy bytes).
+    pub fn advance(&mut self, dt: f64) -> Vec<FlowCompletion> {
+        assert!(dt >= -EPS, "cannot advance by negative dt {dt}");
+        let dt = dt.max(0.0);
+        if let Some(first) = self.next_completion_in() {
+            assert!(
+                dt <= first + 1e-6,
+                "advance overshoots earliest completion: dt={dt} first={first}"
+            );
+        }
+        self.now += dt;
+        let now = self.now;
+        let mut done = Vec::new();
+        self.flows.retain(|_, lf| {
+            lf.view.remaining -= lf.rate * dt;
+            if lf.view.remaining <= EPS.max(lf.view.size * 1e-12) {
+                done.push(FlowCompletion {
+                    id: lf.view.id,
+                    release: lf.view.release,
+                    finish: now,
+                    size: lf.view.size,
+                });
+                false
+            } else {
+                true
+            }
+        });
+        self.completions.extend(done.iter().copied());
+        done
+    }
+
+    /// All completions recorded so far, in completion order.
+    pub fn completions(&self) -> &[FlowCompletion] {
+        &self.completions
+    }
+
+    /// Aggregate bytes/second currently flowing.
+    pub fn total_rate(&self) -> f64 {
+        self.flows.values().map(|lf| lf.rate).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::max_min_rates;
+    use crate::ids::NodeId;
+
+    fn demand(id: u64, src: u32, dst: u32, size: f64, release: f64) -> FlowDemand {
+        FlowDemand::new(
+            FlowId(id),
+            NodeId(src),
+            NodeId(dst),
+            size,
+            SimTime::new(release),
+        )
+    }
+
+    #[test]
+    fn single_flow_runs_to_completion() {
+        let mut net = FluidNetwork::new(Topology::big_switch_uniform(2, 1.0));
+        net.release(&demand(0, 0, 1, 2.0, 0.0));
+        let rates = max_min_rates(net.topology(), &net.views());
+        net.set_rates(&rates);
+        let dt = net.next_completion_in().unwrap();
+        assert!((dt - 2.0).abs() < 1e-9);
+        let done = net.advance(dt);
+        assert_eq!(done.len(), 1);
+        assert!(done[0].finish.approx_eq(SimTime::new(2.0)));
+        assert_eq!(net.active_count(), 0);
+    }
+
+    #[test]
+    fn two_flows_fair_share_finish_together() {
+        let mut net = FluidNetwork::new(Topology::big_switch_uniform(2, 1.0));
+        net.release(&demand(0, 0, 1, 2.0, 0.0));
+        net.release(&demand(1, 0, 1, 2.0, 0.0));
+        let rates = max_min_rates(net.topology(), &net.views());
+        net.set_rates(&rates);
+        let dt = net.next_completion_in().unwrap();
+        assert!((dt - 4.0).abs() < 1e-9);
+        let done = net.advance(dt);
+        assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn partial_advance_conserves_bytes() {
+        let mut net = FluidNetwork::new(Topology::big_switch_uniform(2, 1.0));
+        net.release(&demand(0, 0, 1, 2.0, 0.0));
+        let rates = max_min_rates(net.topology(), &net.views());
+        net.set_rates(&rates);
+        let done = net.advance(0.5);
+        assert!(done.is_empty());
+        let views = net.views();
+        assert!((views[0].remaining - 1.5).abs() < 1e-9);
+        assert!((views[0].progress() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_rate_flow_never_completes() {
+        let mut net = FluidNetwork::new(Topology::big_switch_uniform(2, 1.0));
+        net.release(&demand(0, 0, 1, 2.0, 0.0));
+        // No rates applied: flow sits idle.
+        assert!(net.next_completion_in().is_none());
+        let done = net.advance(10.0);
+        assert!(done.is_empty());
+        assert_eq!(net.active_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn infeasible_rates_rejected() {
+        let mut net = FluidNetwork::new(Topology::big_switch_uniform(2, 1.0));
+        net.release(&demand(0, 0, 1, 2.0, 0.0));
+        let mut alloc = RateAlloc::new();
+        alloc.insert(FlowId(0), 5.0);
+        net.set_rates(&alloc);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate flow id")]
+    fn duplicate_release_rejected() {
+        let mut net = FluidNetwork::new(Topology::big_switch_uniform(2, 1.0));
+        net.release(&demand(0, 0, 1, 2.0, 0.0));
+        net.release(&demand(0, 0, 1, 2.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "overshoots")]
+    fn overshooting_advance_rejected() {
+        let mut net = FluidNetwork::new(Topology::big_switch_uniform(2, 1.0));
+        net.release(&demand(0, 0, 1, 1.0, 0.0));
+        let rates = max_min_rates(net.topology(), &net.views());
+        net.set_rates(&rates);
+        net.advance(5.0);
+    }
+
+    #[test]
+    fn rate_changes_mid_flight() {
+        let mut net = FluidNetwork::new(Topology::big_switch_uniform(2, 1.0));
+        net.release(&demand(0, 0, 1, 2.0, 0.0));
+        let mut alloc = RateAlloc::new();
+        alloc.insert(FlowId(0), 0.5);
+        net.set_rates(&alloc);
+        net.advance(2.0); // 1.0 bytes left
+        alloc.insert(FlowId(0), 1.0);
+        net.set_rates(&alloc);
+        let dt = net.next_completion_in().unwrap();
+        assert!((dt - 1.0).abs() < 1e-9);
+        let done = net.advance(dt);
+        assert!(done[0].finish.approx_eq(SimTime::new(3.0)));
+        assert!((done[0].fct() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn completion_log_accumulates() {
+        let mut net = FluidNetwork::new(Topology::big_switch_uniform(3, 1.0));
+        net.release(&demand(0, 0, 1, 1.0, 0.0));
+        net.release(&demand(1, 2, 1, 1.0, 0.0));
+        let rates = max_min_rates(net.topology(), &net.views());
+        net.set_rates(&rates);
+        let dt = net.next_completion_in().unwrap();
+        net.advance(dt);
+        assert_eq!(net.completions().len(), 2);
+    }
+
+    #[test]
+    fn total_rate_sums_active_rates() {
+        let mut net = FluidNetwork::new(Topology::big_switch_uniform(3, 1.0));
+        net.release(&demand(0, 0, 2, 1.0, 0.0));
+        net.release(&demand(1, 1, 2, 1.0, 0.0));
+        let rates = max_min_rates(net.topology(), &net.views());
+        net.set_rates(&rates);
+        assert!((net.total_rate() - 1.0).abs() < 1e-9); // n2 ingress bound
+    }
+}

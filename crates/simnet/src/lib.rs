@@ -1,0 +1,84 @@
+//! # echelon-simnet — deterministic discrete-event fluid network simulator
+//!
+//! This crate is the network substrate of the EchelonFlow reproduction
+//! (HotNets '22). It simulates flows as *fluids*: between two consecutive
+//! events every active flow transmits at a constant rate chosen by a
+//! scheduling policy, and rates are recomputed whenever a flow starts or
+//! finishes. This is the standard evaluation substrate of the Coflow
+//! literature (Varys, Sincronia) and exercises exactly the code path the
+//! paper's claims are about — *who finishes when under a given bandwidth
+//! allocation policy*.
+//!
+//! Design follows the smoltcp philosophy: event-driven, deterministic,
+//! simple and robust over clever type tricks. There is no async runtime —
+//! the simulation is CPU-bound and single-threaded, and events are totally
+//! ordered by `(time, sequence)` so identical inputs always produce
+//! identical traces.
+//!
+//! ## Layout
+//!
+//! - [`time`] — simulated time ([`time::SimTime`]) and epsilon-aware comparison.
+//! - [`ids`] — small integer identifiers for nodes, links and flows.
+//! - [`engine`] — a generic discrete-event queue with cancellation.
+//! - [`fattree`] — k-ary fat-tree builder with oversubscription, the
+//!   datacenter fabric experiments run on.
+//! - [`topology`] — the two network models used throughout: a non-blocking
+//!   [`topology::BigSwitch`] fabric (per-host NIC capacities, the Varys
+//!   model) and an explicit [`topology::LinkGraph`] with static shortest
+//!   path routing.
+//! - [`flow`] — flow demands and live flow state.
+//! - [`alloc`] — allocation primitives shared by all schedulers: max-min
+//!   waterfilling, weighted fairness, and priority filling with
+//!   work-conserving backfill.
+//! - [`fluid`] — the active-flow table: applies a rate allocation, advances
+//!   time, and predicts the next flow completion.
+//! - [`quantized`] — chunk-quantized transmission, validating the fluid
+//!   model against discretized behaviour.
+//! - [`runner`] — a self-contained simulation loop that drives a set of
+//!   flow demands to completion under a [`runner::RatePolicy`].
+//! - [`trace`] — a time-series recorder used to regenerate the paper's
+//!   figures.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use echelon_simnet::prelude::*;
+//!
+//! // Two hosts on a non-blocking big switch with unit NIC capacity.
+//! let topo = Topology::big_switch_uniform(2, 1.0);
+//! let demands = vec![
+//!     FlowDemand::new(FlowId(0), NodeId(0), NodeId(1), 2.0, SimTime::ZERO),
+//!     FlowDemand::new(FlowId(1), NodeId(0), NodeId(1), 2.0, SimTime::ZERO),
+//! ];
+//! let mut policy = MaxMinPolicy;
+//! let outcome = run_flows(&topo, demands, &mut policy);
+//! // Two equal flows share the egress port fairly: both finish at t = 4.
+//! assert!(outcome.finish(FlowId(0)).unwrap().approx_eq(SimTime::new(4.0)));
+//! ```
+
+pub mod alloc;
+pub mod engine;
+pub mod fattree;
+pub mod flow;
+pub mod fluid;
+pub mod ids;
+pub mod quantized;
+pub mod runner;
+pub mod time;
+pub mod topology;
+pub mod trace;
+
+/// Convenient re-exports of the most commonly used types.
+pub mod prelude {
+    pub use crate::alloc::{max_min_rates, priority_fill, weighted_rates, RateAlloc};
+    pub use crate::engine::{EventId, EventQueue};
+    pub use crate::fattree::FatTree;
+    pub use crate::flow::{ActiveFlowView, FlowDemand};
+    pub use crate::fluid::FluidNetwork;
+    pub use crate::ids::{FlowId, LinkId, NodeId, ResourceId};
+    pub use crate::quantized::{run_flows_quantized, QuantizedOutcome};
+    pub use crate::runner::{run_flows, FlowOutcomes, MaxMinPolicy, RatePolicy};
+    pub use crate::time::SimTime;
+    pub use crate::topology::Topology;
+    pub use crate::trace::{FlowTrace, TraceEvent, TraceEventKind};
+}

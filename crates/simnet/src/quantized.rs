@@ -1,0 +1,361 @@
+//! Chunk-quantized transmission: a validation mode for the fluid model.
+//!
+//! The fluid model lets a flow's rate change continuously; real transports
+//! move discrete segments. [`run_flows_quantized`] re-runs a demand set
+//! with every flow split into fixed-size chunks released back-to-back:
+//! the policy is consulted at every chunk completion, so rate decisions
+//! apply at chunk granularity — a coarse stand-in for
+//! packetized/windowed behaviour.
+//!
+//! The bundled validation experiment shows fluid and quantized finish
+//! times converge as the chunk size shrinks, which is the standard
+//! justification for evaluating coflow-style schedulers on fluid
+//! simulators.
+
+use crate::flow::{ActiveFlowView, FlowDemand};
+use crate::ids::FlowId;
+use crate::runner::RatePolicy;
+use crate::time::SimTime;
+use crate::topology::Topology;
+use std::collections::BTreeMap;
+
+/// A policy adapter that presents chunk flows to the inner policy as if
+/// they were their parents: ids are translated both ways, and the
+/// disguised view reports the parent's *total* backlog (active chunk plus
+/// still-queued bytes) and original size. Group- and size-aware
+/// schedulers therefore see flow state, while enforcement happens at
+/// chunk granularity — the realistic split between control and data
+/// plane.
+struct ChunkAdapter<'a> {
+    inner: &'a mut dyn RatePolicy,
+    chunk_to_parent: BTreeMap<FlowId, FlowId>,
+    /// Queued (not yet released) bytes per parent.
+    backlog: BTreeMap<FlowId, f64>,
+    /// Original size per parent.
+    parent_size: BTreeMap<FlowId, f64>,
+}
+
+impl RatePolicy for ChunkAdapter<'_> {
+    fn allocate(
+        &mut self,
+        now: SimTime,
+        flows: &[ActiveFlowView],
+        topo: &Topology,
+    ) -> crate::alloc::RateAlloc {
+        // Present each chunk under its parent's identity. At most one
+        // chunk per parent is active at a time (chunks chain release
+        // times), so ids never collide.
+        let mut disguised = Vec::with_capacity(flows.len());
+        let mut reverse: BTreeMap<FlowId, FlowId> = BTreeMap::new();
+        for v in flows {
+            let parent = self.chunk_to_parent.get(&v.id).copied().unwrap_or(v.id);
+            reverse.insert(parent, v.id);
+            let mut pv = v.clone();
+            pv.id = parent;
+            pv.remaining += self.backlog.get(&parent).copied().unwrap_or(0.0);
+            if let Some(&size) = self.parent_size.get(&parent) {
+                pv.size = size;
+            }
+            disguised.push(pv);
+        }
+        disguised.sort_by_key(|v| v.id);
+        let rates = self.inner.allocate(now, &disguised, topo);
+        rates
+            .into_iter()
+            .filter_map(|(parent, rate)| reverse.get(&parent).map(|&chunk| (chunk, rate)))
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "chunk-adapter"
+    }
+}
+
+/// What the inner policy sees about a chunked flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkVisibility {
+    /// The policy sees the parent flow's total backlog and original size
+    /// (a scheduler with flow-level state, the normal case). With this
+    /// visibility the fluid model is *exact* for any chunk size: rates
+    /// recompute at every event, so chunking changes nothing observable.
+    FlowState,
+    /// The policy sees only the in-flight chunk (a per-packet scheduler
+    /// without flow state). Size-based disciplines like SRPT degrade
+    /// toward fair sharing as chunks shrink — quantifying how much of
+    /// their benefit comes from flow-level visibility.
+    ChunkLocal,
+}
+
+/// Result of a quantized run: per original flow, its last chunk's finish.
+#[derive(Debug, Clone)]
+pub struct QuantizedOutcome {
+    /// Finish time per original flow.
+    pub finishes: BTreeMap<FlowId, SimTime>,
+}
+
+/// Runs `demands` with each flow quantized into `chunk` byte pieces.
+///
+/// Chunks of one flow are strictly sequential: chunk `i+1` enters the
+/// network the instant chunk `i` completes (completion-triggered
+/// releases, like a windowed transport draining a send queue).
+///
+/// # Panics
+///
+/// Panics on a non-positive chunk size.
+pub fn run_flows_quantized(
+    topology: &Topology,
+    demands: Vec<FlowDemand>,
+    policy: &mut dyn RatePolicy,
+    chunk: f64,
+) -> QuantizedOutcome {
+    run_flows_quantized_with(topology, demands, policy, chunk, ChunkVisibility::FlowState)
+}
+
+/// [`run_flows_quantized`] with explicit policy visibility.
+///
+/// # Panics
+///
+/// Panics on a non-positive chunk size.
+pub fn run_flows_quantized_with(
+    topology: &Topology,
+    demands: Vec<FlowDemand>,
+    policy: &mut dyn RatePolicy,
+    chunk: f64,
+    visibility: ChunkVisibility,
+) -> QuantizedOutcome {
+    use crate::fluid::FluidNetwork;
+    assert!(chunk > 0.0 && chunk.is_finite(), "bad chunk size {chunk}");
+
+    // Per flow: the queue of chunk sizes still to send (front = next).
+    let mut queues: BTreeMap<FlowId, Vec<f64>> = BTreeMap::new();
+    let mut next_id: u64 = demands.iter().map(|d| d.id.0).max().unwrap_or(0) + 1;
+    let mut chunk_to_parent: BTreeMap<FlowId, FlowId> = BTreeMap::new();
+    for d in &demands {
+        let mut sizes = Vec::new();
+        let mut remaining = d.size;
+        while remaining > 1e-12 {
+            let size = remaining.min(chunk);
+            sizes.push(size);
+            remaining -= size;
+        }
+        sizes.reverse(); // pop() yields the next chunk
+        queues.insert(d.id, sizes);
+    }
+    let by_id: BTreeMap<FlowId, &FlowDemand> = demands.iter().map(|d| (d.id, d)).collect();
+
+    // Pending initial releases, sorted by (release, id).
+    let mut pending: Vec<&FlowDemand> = demands.iter().collect();
+    pending.sort_by(|a, b| a.release.cmp(&b.release).then(a.id.cmp(&b.id)));
+    let mut pending = pending.into_iter().peekable();
+
+    let mut net = FluidNetwork::new(topology.clone());
+    let mut finishes: BTreeMap<FlowId, SimTime> = BTreeMap::new();
+    let mut active_parents: BTreeMap<FlowId, FlowId> = BTreeMap::new(); // chunk -> parent
+    let mut now = SimTime::ZERO;
+
+    // Releases the next chunk of `parent` (if any) at `now`.
+    let mut release_next = |parent: FlowId,
+                            now: SimTime,
+                            net: &mut FluidNetwork,
+                            queues: &mut BTreeMap<FlowId, Vec<f64>>,
+                            active_parents: &mut BTreeMap<FlowId, FlowId>,
+                            chunk_to_parent: &mut BTreeMap<FlowId, FlowId>|
+     -> bool {
+        let Some(size) = queues.get_mut(&parent).and_then(|q| q.pop()) else {
+            return false;
+        };
+        let d = by_id[&parent];
+        let id = FlowId(next_id);
+        next_id += 1;
+        chunk_to_parent.insert(id, parent);
+        active_parents.insert(id, parent);
+        net.release(&FlowDemand::new(id, d.src, d.dst, size, now));
+        true
+    };
+
+    let total_parents = demands.len();
+    while finishes.len() < total_parents {
+        // Start flows whose first chunk is due.
+        while let Some(d) = pending.peek() {
+            if d.release.at_or_before(now) {
+                let d = pending.next().unwrap();
+                release_next(
+                    d.id,
+                    now,
+                    &mut net,
+                    &mut queues,
+                    &mut active_parents,
+                    &mut chunk_to_parent,
+                );
+            } else {
+                break;
+            }
+        }
+
+        if net.active_count() > 0 {
+            let views = net.views();
+            let (backlog, parent_size) = match visibility {
+                ChunkVisibility::FlowState => (
+                    queues
+                        .iter()
+                        .map(|(parent, q)| (*parent, q.iter().sum()))
+                        .collect(),
+                    demands.iter().map(|d| (d.id, d.size)).collect(),
+                ),
+                ChunkVisibility::ChunkLocal => (BTreeMap::new(), BTreeMap::new()),
+            };
+            let mut adapter = ChunkAdapter {
+                inner: policy,
+                chunk_to_parent: chunk_to_parent.clone(),
+                backlog,
+                parent_size,
+            };
+            let alloc = adapter.allocate(now, &views, topology);
+            net.set_rates(&alloc);
+        }
+
+        let dt_release = pending.peek().map(|d| (d.release - now).max(0.0));
+        let dt_done = net.next_completion_in();
+        let dt = match (dt_release, dt_done) {
+            (Some(r), Some(c)) => r.min(c),
+            (Some(r), None) => r,
+            (None, Some(c)) => c,
+            (None, None) => panic!(
+                "quantized run stalled: {} chunks active with zero rate",
+                net.active_count()
+            ),
+        };
+        let done = net.advance(dt);
+        now = net.now();
+        for c in done {
+            let parent = active_parents.remove(&c.id).expect("known chunk");
+            let released = release_next(
+                parent,
+                now,
+                &mut net,
+                &mut queues,
+                &mut active_parents,
+                &mut chunk_to_parent,
+            );
+            if !released {
+                finishes.insert(parent, now);
+            }
+        }
+    }
+
+    QuantizedOutcome { finishes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+    use crate::runner::{run_flows, MaxMinPolicy};
+
+    fn demand(id: u64, size: f64, release: f64) -> FlowDemand {
+        FlowDemand::new(
+            FlowId(id),
+            NodeId(0),
+            NodeId(1),
+            size,
+            SimTime::new(release),
+        )
+    }
+
+    #[test]
+    fn single_flow_matches_fluid_exactly() {
+        let topo = Topology::chain(2, 1.0);
+        let fluid = run_flows(&topo, vec![demand(0, 2.0, 0.0)], &mut MaxMinPolicy);
+        let quant =
+            run_flows_quantized(&topo, vec![demand(0, 2.0, 0.0)], &mut MaxMinPolicy, 0.5);
+        assert!(quant.finishes[&FlowId(0)].approx_eq(fluid.finish(FlowId(0)).unwrap()));
+    }
+
+    #[test]
+    fn chunking_converges_to_fluid() {
+        // The fair-sharing Fig. 2 instance: finishes 4.5, 6.5, 7.0.
+        let topo = Topology::chain(2, 1.0);
+        let demands = vec![
+            demand(0, 2.0, 1.0),
+            demand(1, 2.0, 2.0),
+            demand(2, 2.0, 3.0),
+        ];
+        let fluid = run_flows(&topo, demands.clone(), &mut MaxMinPolicy);
+        let mut prev_err = f64::INFINITY;
+        for chunk in [1.0, 0.25, 0.05] {
+            let quant =
+                run_flows_quantized(&topo, demands.clone(), &mut MaxMinPolicy, chunk);
+            let err: f64 = demands
+                .iter()
+                .map(|d| (quant.finishes[&d.id] - fluid.finish(d.id).unwrap()).abs())
+                .fold(0.0, f64::max);
+            assert!(
+                err <= prev_err + 1e-9,
+                "error grew from {prev_err} to {err} at chunk {chunk}"
+            );
+            prev_err = err;
+        }
+        assert!(prev_err < 0.15, "residual error {prev_err} too large");
+    }
+
+    #[test]
+    fn chunk_larger_than_flow_degenerates() {
+        let topo = Topology::chain(2, 1.0);
+        let fluid = run_flows(&topo, vec![demand(0, 2.0, 0.0)], &mut MaxMinPolicy);
+        let quant =
+            run_flows_quantized(&topo, vec![demand(0, 2.0, 0.0)], &mut MaxMinPolicy, 100.0);
+        assert!(quant.finishes[&FlowId(0)].approx_eq(fluid.finish(FlowId(0)).unwrap()));
+    }
+
+    #[test]
+    fn chunk_local_srpt_differs_from_fluid() {
+        use crate::topology::Topology;
+        // A crude SRPT stand-in over the visible remaining bytes.
+        struct Srpt;
+        impl RatePolicy for Srpt {
+            fn allocate(
+                &mut self,
+                _now: SimTime,
+                flows: &[ActiveFlowView],
+                topo: &Topology,
+            ) -> crate::alloc::RateAlloc {
+                let mut order: Vec<&ActiveFlowView> = flows.iter().collect();
+                order.sort_by(|a, b| a.remaining.total_cmp(&b.remaining).then(a.id.cmp(&b.id)));
+                let ids: Vec<FlowId> = order.into_iter().map(|f| f.id).collect();
+                crate::alloc::priority_fill(topo, flows, &ids, &BTreeMap::new())
+            }
+        }
+        let topo = Topology::chain(2, 1.0);
+        let demands = vec![demand(0, 2.0, 0.0), demand(1, 1.2, 0.2)];
+        let fluid = run_flows(&topo, demands.clone(), &mut Srpt);
+        let aware = run_flows_quantized_with(
+            &topo,
+            demands.clone(),
+            &mut Srpt,
+            0.25,
+            ChunkVisibility::FlowState,
+        );
+        let local = run_flows_quantized_with(
+            &topo,
+            demands.clone(),
+            &mut Srpt,
+            0.25,
+            ChunkVisibility::ChunkLocal,
+        );
+        // Flow-state visibility reproduces fluid exactly.
+        assert!(aware.finishes[&FlowId(1)].approx_eq(fluid.finish(FlowId(1)).unwrap()));
+        // Chunk-local state loses SRPT's preemption: the short flow
+        // finishes later than under fluid SRPT.
+        assert!(
+            local.finishes[&FlowId(1)].secs()
+                > fluid.finish(FlowId(1)).unwrap().secs() + 0.05
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bad chunk size")]
+    fn zero_chunk_rejected() {
+        let topo = Topology::chain(2, 1.0);
+        let _ = run_flows_quantized(&topo, vec![demand(0, 1.0, 0.0)], &mut MaxMinPolicy, 0.0);
+    }
+}

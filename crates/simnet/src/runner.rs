@@ -1,0 +1,276 @@
+//! Self-contained flow simulation loop.
+//!
+//! [`run_flows`] drives a static set of [`FlowDemand`]s to completion under
+//! a [`RatePolicy`], recomputing rates at every flow release and completion
+//! (the fluid model's only rate-change points for static demand sets).
+//! Higher layers with *dynamic* demands (compute units emitting flows) run
+//! their own loops on top of [`crate::fluid::FluidNetwork`] directly; this
+//! runner is the workhorse for scheduler unit tests and the pure-network
+//! experiments.
+
+use crate::alloc::RateAlloc;
+use crate::flow::{ActiveFlowView, FlowCompletion, FlowDemand};
+use crate::fluid::FluidNetwork;
+use crate::ids::FlowId;
+use crate::time::{SimTime, EPS};
+use crate::topology::Topology;
+use crate::trace::{FlowTrace, TraceEventKind};
+use std::collections::BTreeMap;
+
+/// A bandwidth allocation policy: the single extension point all
+/// schedulers implement.
+///
+/// `allocate` is called whenever the set of active flows changes (or, for
+/// interval-driven coordinators, on a timer) and must return a feasible
+/// allocation. Policies may keep internal state (e.g. coflow orderings
+/// computed on arrival).
+pub trait RatePolicy {
+    /// Computes rates for the currently active flows.
+    fn allocate(&mut self, now: SimTime, flows: &[ActiveFlowView], topo: &Topology) -> RateAlloc;
+
+    /// Human-readable policy name for reports.
+    fn name(&self) -> &'static str {
+        "policy"
+    }
+}
+
+/// Max-min fair sharing: the paper's baseline (Fig. 2a).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MaxMinPolicy;
+
+impl RatePolicy for MaxMinPolicy {
+    fn allocate(&mut self, _now: SimTime, flows: &[ActiveFlowView], topo: &Topology) -> RateAlloc {
+        crate::alloc::max_min_rates(topo, flows)
+    }
+
+    fn name(&self) -> &'static str {
+        "fair-sharing"
+    }
+}
+
+/// Results of a completed flow simulation.
+#[derive(Debug, Clone)]
+pub struct FlowOutcomes {
+    completions: BTreeMap<FlowId, FlowCompletion>,
+    trace: FlowTrace,
+    makespan: SimTime,
+}
+
+impl FlowOutcomes {
+    /// Completion record of a flow.
+    pub fn completion(&self, id: FlowId) -> Option<&FlowCompletion> {
+        self.completions.get(&id)
+    }
+
+    /// Finish time of a flow.
+    pub fn finish(&self, id: FlowId) -> Option<SimTime> {
+        self.completions.get(&id).map(|c| c.finish)
+    }
+
+    /// All completions keyed by flow id.
+    pub fn completions(&self) -> &BTreeMap<FlowId, FlowCompletion> {
+        &self.completions
+    }
+
+    /// The recorded rate/event trace.
+    pub fn trace(&self) -> &FlowTrace {
+        &self.trace
+    }
+
+    /// Time the last flow finished.
+    pub fn makespan(&self) -> SimTime {
+        self.makespan
+    }
+
+    /// Mean flow completion time.
+    pub fn mean_fct(&self) -> f64 {
+        if self.completions.is_empty() {
+            return 0.0;
+        }
+        self.completions.values().map(|c| c.fct()).sum::<f64>() / self.completions.len() as f64
+    }
+}
+
+/// Runs `demands` to completion under `policy` on `topology`.
+///
+/// # Panics
+///
+/// Panics if the policy ever returns an infeasible allocation, or if the
+/// simulation stops making progress while flows remain (a policy that
+/// starves all flows forever).
+pub fn run_flows(
+    topology: &Topology,
+    demands: Vec<FlowDemand>,
+    policy: &mut dyn RatePolicy,
+) -> FlowOutcomes {
+    let mut pending = demands;
+    // Ascending release order, ties by id for determinism.
+    pending.sort_by(|a, b| a.release.cmp(&b.release).then(a.id.cmp(&b.id)));
+    let total = pending.len();
+    let mut pending = pending.into_iter().peekable();
+
+    let mut net = FluidNetwork::new(topology.clone());
+    let mut trace = FlowTrace::new();
+    let mut completions: BTreeMap<FlowId, FlowCompletion> = BTreeMap::new();
+    let mut now = SimTime::ZERO;
+    let mut makespan = SimTime::ZERO;
+
+    while completions.len() < total {
+        // Release everything due now.
+        let mut released_any = false;
+        while let Some(d) = pending.peek() {
+            if d.release.at_or_before(now) {
+                let d = pending.next().unwrap();
+                trace.record(now, d.id, TraceEventKind::Released);
+                net.release(&d);
+                released_any = true;
+            } else {
+                break;
+            }
+        }
+        let _ = released_any;
+
+        if net.active_count() > 0 {
+            // Recompute rates for the current flow set.
+            let views = net.views();
+            let alloc = policy.allocate(now, &views, topology);
+            net.set_rates(&alloc);
+            for v in &views {
+                trace.record_rate(now, v.id, net.rate_of(v.id));
+            }
+        }
+
+        // Next event: earliest of (next release, next completion). Work
+        // with relative deltas — subtracting absolute times can round a
+        // sub-ulp completion delta down to zero and stall the loop.
+        let dt_release = pending.peek().map(|d| (d.release - now).max(0.0));
+        let dt_done = net.next_completion_in();
+        let dt = match (dt_release, dt_done) {
+            (Some(r), Some(c)) => r.min(c),
+            (Some(r), None) => r,
+            (None, Some(c)) => c,
+            (None, None) => {
+                panic!(
+                    "deadlock: {} flows active with zero rate and nothing pending (policy {})",
+                    net.active_count(),
+                    policy.name()
+                );
+            }
+        };
+        debug_assert!(dt >= -EPS);
+        let done = net.advance(dt);
+        now = net.now();
+        for c in done {
+            trace.record(now, c.id, TraceEventKind::Finished);
+            completions.insert(c.id, c);
+            makespan = makespan.max(now);
+        }
+    }
+
+    FlowOutcomes {
+        completions,
+        trace,
+        makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    fn demand(id: u64, src: u32, dst: u32, size: f64, release: f64) -> FlowDemand {
+        FlowDemand::new(
+            FlowId(id),
+            NodeId(src),
+            NodeId(dst),
+            size,
+            SimTime::new(release),
+        )
+    }
+
+    #[test]
+    fn fair_sharing_two_equal_flows() {
+        let topo = Topology::big_switch_uniform(2, 1.0);
+        let out = run_flows(
+            &topo,
+            vec![demand(0, 0, 1, 2.0, 0.0), demand(1, 0, 1, 2.0, 0.0)],
+            &mut MaxMinPolicy,
+        );
+        assert!(out.finish(FlowId(0)).unwrap().approx_eq(SimTime::new(4.0)));
+        assert!(out.finish(FlowId(1)).unwrap().approx_eq(SimTime::new(4.0)));
+        assert!(out.makespan().approx_eq(SimTime::new(4.0)));
+    }
+
+    #[test]
+    fn staggered_releases_fair_sharing() {
+        // The fair-sharing half of the paper's Fig. 2 geometry: three 2B
+        // flows over a B=1 link, released at t = 1, 2, 3.
+        let topo = Topology::chain(2, 1.0);
+        let out = run_flows(
+            &topo,
+            vec![
+                demand(0, 0, 1, 2.0, 1.0),
+                demand(1, 0, 1, 2.0, 2.0),
+                demand(2, 0, 1, 2.0, 3.0),
+            ],
+            &mut MaxMinPolicy,
+        );
+        // Worked out by hand: f0 finishes at 4.5, f1 at 6.5, f2 at 7.0.
+        assert!(out.finish(FlowId(0)).unwrap().approx_eq(SimTime::new(4.5)));
+        assert!(out.finish(FlowId(1)).unwrap().approx_eq(SimTime::new(6.5)));
+        assert!(out.finish(FlowId(2)).unwrap().approx_eq(SimTime::new(7.0)));
+    }
+
+    #[test]
+    fn trace_conserves_bytes() {
+        let topo = Topology::chain(2, 1.0);
+        let demands = vec![
+            demand(0, 0, 1, 2.0, 1.0),
+            demand(1, 0, 1, 2.0, 2.0),
+            demand(2, 0, 1, 2.0, 3.0),
+        ];
+        let out = run_flows(&topo, demands, &mut MaxMinPolicy);
+        for id in [FlowId(0), FlowId(1), FlowId(2)] {
+            assert!(
+                (out.trace().delivered_bytes(id) - 2.0).abs() < 1e-6,
+                "flow {id} delivered {} of 2.0",
+                out.trace().delivered_bytes(id)
+            );
+        }
+    }
+
+    #[test]
+    fn mean_fct_reported() {
+        let topo = Topology::big_switch_uniform(2, 1.0);
+        let out = run_flows(
+            &topo,
+            vec![demand(0, 0, 1, 1.0, 0.0)],
+            &mut MaxMinPolicy,
+        );
+        assert!((out.mean_fct() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_demand_set() {
+        let topo = Topology::big_switch_uniform(2, 1.0);
+        let out = run_flows(&topo, vec![], &mut MaxMinPolicy);
+        assert_eq!(out.completions().len(), 0);
+        assert_eq!(out.makespan(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn identical_runs_identical_traces() {
+        let topo = Topology::big_switch_uniform(4, 1.0);
+        let demands = || {
+            vec![
+                demand(0, 0, 1, 2.0, 0.0),
+                demand(1, 2, 1, 1.0, 0.5),
+                demand(2, 0, 3, 3.0, 1.0),
+            ]
+        };
+        let a = run_flows(&topo, demands(), &mut MaxMinPolicy);
+        let b = run_flows(&topo, demands(), &mut MaxMinPolicy);
+        assert_eq!(a.trace().events(), b.trace().events());
+    }
+}

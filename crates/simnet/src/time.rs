@@ -1,0 +1,209 @@
+//! Simulated time.
+//!
+//! Time is a non-negative `f64` number of abstract seconds wrapped in
+//! [`SimTime`]. The fluid model produces rational rate changes (thirds,
+//! halves, ...) so an integer tick clock would force an arbitrary
+//! quantization; instead we use `f64` with a small epsilon for equality and
+//! keep the simulation deterministic by never depending on the *order* of
+//! floating point reductions (flows are always iterated in `FlowId` order).
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// Comparison slack used throughout the simulator.
+///
+/// Two times closer than `EPS` are considered equal. All quantities in the
+/// experiments are O(1)..O(1e5), so an absolute epsilon is appropriate.
+pub const EPS: f64 = 1e-9;
+
+/// A point in simulated time (abstract seconds since simulation start).
+///
+/// `SimTime` is totally ordered (via `f64::total_cmp`) so it can be used
+/// directly as a key in the event queue.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// A time later than every event that can occur in practice.
+    pub const INFINITY: SimTime = SimTime(f64::INFINITY);
+
+    /// Creates a time from a number of seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is NaN or negative (negative zero is accepted).
+    pub fn new(secs: f64) -> SimTime {
+        assert!(!secs.is_nan(), "SimTime cannot be NaN");
+        assert!(secs >= -0.0, "SimTime cannot be negative: {secs}");
+        SimTime(secs.max(0.0))
+    }
+
+    /// Returns the raw number of seconds.
+    pub fn secs(self) -> f64 {
+        self.0
+    }
+
+    /// `true` if `self` and `other` are within [`EPS`] of each other.
+    pub fn approx_eq(self, other: SimTime) -> bool {
+        (self.0 - other.0).abs() < EPS || (self.0.is_infinite() && other.0.is_infinite())
+    }
+
+    /// `true` if `self` is earlier than `other` by more than [`EPS`].
+    pub fn definitely_before(self, other: SimTime) -> bool {
+        self.0 + EPS < other.0
+    }
+
+    /// `true` if `self <= other` up to [`EPS`] slack.
+    pub fn at_or_before(self, other: SimTime) -> bool {
+        self.0 <= other.0 + EPS
+    }
+
+    /// Elapsed seconds from `earlier` to `self`, clamped at zero.
+    pub fn since(self, earlier: SimTime) -> f64 {
+        (self.0 - earlier.0).max(0.0)
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two times.
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// `true` for the unreachable [`SimTime::INFINITY`] sentinel.
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: f64) -> SimTime {
+        debug_assert!(rhs >= -EPS, "advancing time by negative delta {rhs}");
+        SimTime((self.0 + rhs).max(0.0))
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, rhs: f64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = f64;
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+        assert_eq!(SimTime::ZERO.secs(), 0.0);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::new(1.0);
+        let b = SimTime::new(2.0);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+        assert!(SimTime::INFINITY > b);
+    }
+
+    #[test]
+    fn approx_eq_respects_eps() {
+        let a = SimTime::new(1.0);
+        let b = SimTime::new(1.0 + EPS / 2.0);
+        assert!(a.approx_eq(b));
+        let c = SimTime::new(1.0 + 1e-6);
+        assert!(!a.approx_eq(c));
+        assert!(SimTime::INFINITY.approx_eq(SimTime::INFINITY));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::new(1.5);
+        assert_eq!((a + 2.5).secs(), 4.0);
+        assert_eq!(a + 2.5 - a, 2.5);
+        assert_eq!(SimTime::new(5.0).since(SimTime::new(2.0)), 3.0);
+        assert_eq!(SimTime::new(2.0).since(SimTime::new(5.0)), 0.0);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = SimTime::new(1.0);
+        let b = SimTime::new(2.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_rejected() {
+        let _ = SimTime::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = SimTime::new(f64::NAN);
+    }
+
+    #[test]
+    fn definitely_before_and_at_or_before() {
+        let a = SimTime::new(1.0);
+        let b = SimTime::new(1.0 + EPS / 10.0);
+        assert!(!a.definitely_before(b));
+        assert!(a.at_or_before(b));
+        assert!(b.at_or_before(a));
+        assert!(a.definitely_before(SimTime::new(2.0)));
+    }
+}

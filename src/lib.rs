@@ -1,0 +1,33 @@
+//! # EchelonFlow
+//!
+//! A production-quality Rust reproduction of **"Efficient Flow Scheduling
+//! in Distributed Deep Learning Training with Echelon Formation"**
+//! (HotNets '22): the EchelonFlow network abstraction, its schedulers, the
+//! agent/coordinator system sketch, the DDLT workload models it targets,
+//! and the discrete-event network substrate everything runs on.
+//!
+//! This umbrella crate re-exports the workspace's public API. See the
+//! individual crates for module-level documentation:
+//!
+//! - [`simnet`]: deterministic discrete-event fluid network simulator.
+//! - [`core`]: the EchelonFlow abstraction (arrangement functions,
+//!   tardiness, Coflow compatibility).
+//! - [`sched`]: schedulers — fair sharing, SRPT, Varys/MADD coflow
+//!   scheduling, and EchelonFlow scheduling.
+//! - [`collectives`]: NCCL-style collective-to-flow decomposition.
+//! - [`paradigms`]: DP / PS / PP / TP / FSDP training workload models.
+//! - [`agent`]: the EchelonFlow Agent + Coordinator system sketch.
+//! - [`cluster`]: multi-tenant GPU cluster simulation.
+
+pub use echelon_agent as agent;
+pub use echelon_cluster as cluster;
+pub use echelon_collectives as collectives;
+pub use echelon_core as core;
+pub use echelon_paradigms as paradigms;
+pub use echelon_sched as sched;
+pub use echelon_simnet as simnet;
+
+/// Crate-level prelude: the types most programs need.
+pub mod prelude {
+    pub use echelon_simnet::prelude::*;
+}

@@ -1,0 +1,187 @@
+//! Property-based invariants across the whole stack.
+//!
+//! Random flow workloads are generated and run under every scheduler;
+//! whatever the policy does, the physics must hold: bytes are conserved,
+//! capacities are never exceeded, nothing is starved forever, runs are
+//! deterministic, and the superset relation between EchelonFlow and
+//! Coflow survives arbitrary inputs.
+
+use echelonflow::core::arrangement::ArrangementFn;
+use echelonflow::core::coflow::Coflow;
+use echelonflow::core::echelon::{EchelonFlow, FlowRef};
+use echelonflow::core::{EchelonId, JobId};
+use echelonflow::sched::baselines::{FifoPolicy, SrptPolicy};
+use echelonflow::sched::echelon::EchelonMadd;
+use echelonflow::sched::varys::VarysMadd;
+use echelonflow::simnet::flow::FlowDemand;
+use echelonflow::simnet::ids::{FlowId, NodeId};
+use echelonflow::simnet::runner::{run_flows, FlowOutcomes, MaxMinPolicy, RatePolicy};
+use echelonflow::simnet::time::SimTime;
+use echelonflow::simnet::topology::Topology;
+use proptest::prelude::*;
+
+const HOSTS: u32 = 4;
+
+/// Random demand sets: up to 8 flows between random distinct hosts.
+fn demands_strategy() -> impl Strategy<Value = Vec<FlowDemand>> {
+    prop::collection::vec(
+        (
+            0..HOSTS,
+            0..HOSTS - 1,
+            0.1f64..4.0,
+            0.0f64..3.0,
+        ),
+        1..8,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (src, dst_raw, size, release))| {
+                // Map dst into the hosts other than src.
+                let dst = if dst_raw >= src { dst_raw + 1 } else { dst_raw };
+                FlowDemand::new(
+                    FlowId(i as u64),
+                    NodeId(src),
+                    NodeId(dst),
+                    size,
+                    SimTime::new(release),
+                )
+            })
+            .collect()
+    })
+}
+
+/// Groups the first k flows into one EchelonFlow with a staggered
+/// arrangement; the rest stay solo.
+fn echelon_over(demands: &[FlowDemand]) -> Vec<EchelonFlow> {
+    let k = demands.len().min(3);
+    let flows: Vec<FlowRef> = demands[..k]
+        .iter()
+        .map(|d| FlowRef::new(d.id, d.src, d.dst, d.size))
+        .collect();
+    vec![EchelonFlow::from_flows(
+        EchelonId(0),
+        JobId(0),
+        flows,
+        ArrangementFn::Staggered { gap: 0.7 },
+    )]
+}
+
+fn check_all_finished(demands: &[FlowDemand], out: &FlowOutcomes) {
+    for d in demands {
+        let c = out.completion(d.id).unwrap_or_else(|| {
+            panic!("flow {} never finished", d.id);
+        });
+        // Finish after release.
+        assert!(d.release.at_or_before(c.finish));
+        // Trace conserves bytes.
+        let delivered = out.trace().delivered_bytes(d.id);
+        assert!(
+            (delivered - d.size).abs() < 1e-6 * d.size.max(1.0),
+            "flow {} delivered {delivered} of {}",
+            d.id,
+            d.size
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every policy finishes every flow and conserves bytes.
+    #[test]
+    fn all_policies_conserve_bytes(demands in demands_strategy()) {
+        let topo = Topology::big_switch_uniform(HOSTS as usize, 1.0);
+        let policies: Vec<Box<dyn RatePolicy>> = vec![
+            Box::new(MaxMinPolicy),
+            Box::new(FifoPolicy),
+            Box::new(SrptPolicy),
+            Box::new(VarysMadd::new(vec![])),
+            Box::new(EchelonMadd::new(echelon_over(&demands))),
+        ];
+        for mut p in policies {
+            let out = run_flows(&topo, demands.clone(), p.as_mut());
+            check_all_finished(&demands, &out);
+        }
+    }
+
+    /// Work conservation bound: no policy with backfill finishes later
+    /// than the per-resource load bound plus the last release.
+    #[test]
+    fn makespan_bounded_by_load(demands in demands_strategy()) {
+        let topo = Topology::big_switch_uniform(HOSTS as usize, 1.0);
+        let last_release = demands
+            .iter()
+            .map(|d| d.release.secs())
+            .fold(0.0f64, f64::max);
+        let total: f64 = demands.iter().map(|d| d.size).sum();
+        // Crude upper bound: everything after the last release through
+        // one unit-capacity resource.
+        let bound = last_release + total + 1e-6;
+        let mut policy = EchelonMadd::new(echelon_over(&demands));
+        let out = run_flows(&topo, demands.clone(), &mut policy);
+        prop_assert!(out.makespan().secs() <= bound);
+    }
+
+    /// Determinism: identical inputs produce identical traces.
+    #[test]
+    fn runs_are_deterministic(demands in demands_strategy()) {
+        let topo = Topology::big_switch_uniform(HOSTS as usize, 1.0);
+        let mut p1 = EchelonMadd::new(echelon_over(&demands));
+        let mut p2 = EchelonMadd::new(echelon_over(&demands));
+        let a = run_flows(&topo, demands.clone(), &mut p1);
+        let b = run_flows(&topo, demands.clone(), &mut p2);
+        prop_assert_eq!(a.trace().events(), b.trace().events());
+    }
+
+    /// Superset invariant (Property 2 under random inputs): any Coflow
+    /// instance scheduled as a degenerate EchelonFlow yields the same
+    /// CCT as Varys/MADD.
+    #[test]
+    fn coflow_embedding_preserves_cct(demands in demands_strategy()) {
+        let topo = Topology::big_switch_uniform(HOSTS as usize, 1.0);
+        let flows: Vec<FlowRef> = demands
+            .iter()
+            .map(|d| FlowRef::new(d.id, d.src, d.dst, d.size))
+            .collect();
+        let coflow = Coflow::new(EchelonId(0), JobId(0), flows.clone());
+
+        let mut varys = VarysMadd::new(vec![coflow.clone()]).with_backfill(false);
+        let via_varys = run_flows(&topo, demands.clone(), &mut varys);
+        let mut echelon =
+            EchelonMadd::new(vec![coflow.into_echelon()]).with_backfill(false);
+        let via_echelon = run_flows(&topo, demands.clone(), &mut echelon);
+
+        let cct = |out: &FlowOutcomes| {
+            flows
+                .iter()
+                .map(|f| out.finish(f.id).unwrap())
+                .fold(SimTime::ZERO, SimTime::max)
+        };
+        prop_assert!(
+            cct(&via_varys).approx_eq(cct(&via_echelon)),
+            "varys {:?} vs echelon {:?}",
+            cct(&via_varys),
+            cct(&via_echelon)
+        );
+    }
+
+    /// SRPT never has a worse mean FCT than FIFO on a single shared link
+    /// (the classic scheduling fact, as a cross-check of the substrate).
+    #[test]
+    fn srpt_mean_fct_beats_fifo(
+        sizes in prop::collection::vec(0.1f64..4.0, 2..6)
+    ) {
+        let topo = Topology::chain(2, 1.0);
+        let demands: Vec<FlowDemand> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                FlowDemand::new(FlowId(i as u64), NodeId(0), NodeId(1), s, SimTime::ZERO)
+            })
+            .collect();
+        let srpt = run_flows(&topo, demands.clone(), &mut SrptPolicy);
+        let fifo = run_flows(&topo, demands, &mut FifoPolicy);
+        prop_assert!(srpt.mean_fct() <= fifo.mean_fct() + 1e-9);
+    }
+}

@@ -1,0 +1,202 @@
+//! Experiments E6-E8 — the paper's formal properties, validated
+//! empirically (§3.3).
+//!
+//! - **Property 1**: EchelonFlow scheduling minimizes completion times of
+//!   popular DDLT paradigms — checked against the brute-force optimal
+//!   permutation schedule on small instances.
+//! - **Property 2**: EchelonFlow ⊇ Coflow — scheduling a Coflow as a
+//!   degenerate EchelonFlow yields the same completion times as Varys.
+//! - **Property 4**: Coflow algorithms adapt at the same complexity —
+//!   the adapted scheduler produces the same group-level metrics on
+//!   Coflow-compliant inputs.
+
+use echelonflow::core::arrangement::ArrangementFn;
+use echelonflow::core::coflow::Coflow;
+use echelonflow::core::echelon::{EchelonFlow, FlowRef};
+use echelonflow::core::{EchelonId, JobId};
+use echelonflow::sched::echelon::EchelonMadd;
+use echelonflow::sched::optimal::{optimal_schedule, Objective};
+use echelonflow::sched::varys::VarysMadd;
+use echelonflow::simnet::flow::FlowDemand;
+use echelonflow::simnet::ids::{FlowId, NodeId};
+use echelonflow::simnet::runner::run_flows;
+use echelonflow::simnet::time::SimTime;
+use echelonflow::simnet::topology::Topology;
+use std::collections::BTreeMap;
+
+fn fr(id: u64, src: u32, dst: u32, size: f64) -> FlowRef {
+    FlowRef::new(FlowId(id), NodeId(src), NodeId(dst), size)
+}
+
+fn demand(id: u64, src: u32, dst: u32, size: f64, release: f64) -> FlowDemand {
+    FlowDemand::new(
+        FlowId(id),
+        NodeId(src),
+        NodeId(dst),
+        size,
+        SimTime::new(release),
+    )
+}
+
+/// Property 1 on the Fig. 2 (pipeline) instance: EchelonMadd achieves the
+/// optimal maximum tardiness (= 4) found by exhaustive search.
+#[test]
+fn property1_pipeline_matches_optimal_max_tardiness() {
+    let topo = Topology::chain(2, 1.0);
+    let demands = vec![
+        demand(0, 0, 1, 2.0, 1.0),
+        demand(1, 0, 1, 2.0, 2.0),
+        demand(2, 0, 1, 2.0, 3.0),
+    ];
+    let deadlines: BTreeMap<FlowId, SimTime> = [(0u64, 1.0), (1, 2.0), (2, 3.0)]
+        .into_iter()
+        .map(|(id, t)| (FlowId(id), SimTime::new(t)))
+        .collect();
+    let objective = Objective::MaxTardiness(deadlines.clone());
+    let best = optimal_schedule(&topo, &demands, &objective);
+
+    let h = EchelonFlow::from_flows(
+        EchelonId(0),
+        JobId(0),
+        vec![fr(0, 0, 1, 2.0), fr(1, 0, 1, 2.0), fr(2, 0, 1, 2.0)],
+        ArrangementFn::Staggered { gap: 1.0 },
+    );
+    let mut policy = EchelonMadd::new(vec![h]);
+    let out = run_flows(&topo, demands, &mut policy);
+    let achieved = deadlines
+        .iter()
+        .map(|(id, d)| out.finish(*id).unwrap() - *d)
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        (achieved - best.best_value).abs() < 1e-9,
+        "echelon {achieved} vs optimal {}",
+        best.best_value
+    );
+}
+
+/// Property 1 on a Coflow-shaped (DP-like) instance: EchelonMadd achieves
+/// the optimal makespan for a single gradient-sync group.
+#[test]
+fn property1_coflow_instance_matches_optimal_makespan() {
+    let topo = Topology::big_switch_uniform(4, 1.0);
+    // A 4-worker star of gradient pushes (PS-like), all released at 0.
+    let demands = vec![
+        demand(0, 0, 3, 1.5, 0.0),
+        demand(1, 1, 3, 1.0, 0.0),
+        demand(2, 2, 3, 0.5, 0.0),
+    ];
+    let best = optimal_schedule(&topo, &demands, &Objective::Makespan);
+
+    let h = EchelonFlow::new(
+        EchelonId(0),
+        JobId(0),
+        vec![vec![fr(0, 0, 3, 1.5), fr(1, 1, 3, 1.0), fr(2, 2, 3, 0.5)]],
+        ArrangementFn::Coflow,
+    );
+    let mut policy = EchelonMadd::new(vec![h]);
+    let out = run_flows(&topo, demands, &mut policy);
+    assert!(
+        (out.makespan().secs() - best.best_value).abs() < 1e-9,
+        "echelon {} vs optimal {}",
+        out.makespan().secs(),
+        best.best_value
+    );
+}
+
+/// Property 2: a Coflow scheduled as its degenerate EchelonFlow finishes
+/// every flow at the same time as Varys/MADD does.
+#[test]
+fn property2_coflow_embedding_matches_varys() {
+    let topo = Topology::big_switch_uniform(4, 1.0);
+    let flows = vec![fr(0, 0, 3, 2.0), fr(1, 1, 3, 1.0), fr(2, 2, 0, 1.5)];
+    let demands = vec![
+        demand(0, 0, 3, 2.0, 0.0),
+        demand(1, 1, 3, 1.0, 0.5),
+        demand(2, 2, 0, 1.5, 1.0),
+    ];
+
+    let coflow = Coflow::new(EchelonId(0), JobId(0), flows.clone());
+    let mut varys = VarysMadd::new(vec![coflow.clone()]).with_backfill(false);
+    let via_varys = run_flows(&topo, demands.clone(), &mut varys);
+
+    let mut echelon = EchelonMadd::new(vec![coflow.into_echelon()]).with_backfill(false);
+    let via_echelon = run_flows(&topo, demands, &mut echelon);
+
+    for f in &flows {
+        assert!(
+            via_varys
+                .finish(f.id)
+                .unwrap()
+                .approx_eq(via_echelon.finish(f.id).unwrap()),
+            "flow {} differs: varys {:?} echelon {:?}",
+            f.id,
+            via_varys.finish(f.id),
+            via_echelon.finish(f.id)
+        );
+    }
+}
+
+/// Property 4: on a workload of several Coflow-compliant groups, the
+/// adapted algorithm (EchelonMadd with least-work ordering — the SEBF
+/// analog) reproduces Varys' per-group completion times.
+#[test]
+fn property4_metric_swap_preserves_group_completions() {
+    use echelonflow::sched::echelon::InterOrder;
+    let topo = Topology::big_switch_uniform(4, 1.0);
+    let groups = vec![
+        (EchelonId(0), vec![fr(0, 0, 3, 1.0), fr(1, 1, 3, 1.0)]),
+        (EchelonId(1), vec![fr(10, 0, 2, 3.0), fr(11, 1, 2, 2.0)]),
+    ];
+    let demands = vec![
+        demand(0, 0, 3, 1.0, 0.0),
+        demand(1, 1, 3, 1.0, 0.0),
+        demand(10, 0, 2, 3.0, 0.0),
+        demand(11, 1, 2, 2.0, 0.0),
+    ];
+
+    let coflows: Vec<Coflow> = groups
+        .iter()
+        .map(|(id, flows)| Coflow::new(*id, JobId(0), flows.clone()))
+        .collect();
+    let mut varys = VarysMadd::new(coflows.clone()).with_backfill(false);
+    let via_varys = run_flows(&topo, demands.clone(), &mut varys);
+
+    let echelons: Vec<EchelonFlow> =
+        coflows.into_iter().map(|c| c.into_echelon()).collect();
+    let mut echelon = EchelonMadd::new(echelons)
+        .with_inter(InterOrder::LeastWork)
+        .with_backfill(false);
+    let via_echelon = run_flows(&topo, demands, &mut echelon);
+
+    // Group-level metric: the completion time of each group (its last
+    // flow) must match.
+    for (id, flows) in &groups {
+        let cct = |out: &echelonflow::simnet::runner::FlowOutcomes| {
+            flows
+                .iter()
+                .map(|f| out.finish(f.id).unwrap())
+                .fold(SimTime::ZERO, SimTime::max)
+        };
+        assert!(
+            cct(&via_varys).approx_eq(cct(&via_echelon)),
+            "group {id} differs: varys {:?} echelon {:?}",
+            cct(&via_varys),
+            cct(&via_echelon)
+        );
+    }
+}
+
+/// Property 3 is theoretical (NP-hardness); its practical face is that
+/// the exhaustive search space grows factorially while the heuristic
+/// stays polynomial — sanity-check the search size here.
+#[test]
+fn property3_search_space_grows_factorially() {
+    let topo = Topology::chain(2, 1.0);
+    for n in 2..=5u64 {
+        let demands: Vec<FlowDemand> =
+            (0..n).map(|i| demand(i, 0, 1, 1.0, 0.0)).collect();
+        let res = optimal_schedule(&topo, &demands, &Objective::Makespan);
+        let expected: usize = (1..=n as usize).product();
+        assert_eq!(res.evaluated, expected);
+    }
+}
