@@ -25,6 +25,7 @@ use echelon_core::EchelonId;
 use echelon_sched::echelon::{EchelonMadd, InterOrder, IntraMode};
 use echelon_simnet::alloc::{priority_fill, waterfill, RateAlloc};
 use echelon_simnet::flow::ActiveFlowView;
+use echelon_simnet::fluid::FlowDelta;
 use echelon_simnet::ids::FlowId;
 use echelon_simnet::runner::RatePolicy;
 use echelon_simnet::time::SimTime;
@@ -126,6 +127,9 @@ impl Coordinator {
             last_groups: Vec::new(),
             first_seen: BTreeMap::new(),
             decisions_computed: 0,
+            group_counts: BTreeMap::new(),
+            counts_valid: false,
+            cached_between: None,
         }
     }
 }
@@ -143,6 +147,17 @@ pub struct CoordinatedPolicy {
     last_groups: Vec<EchelonId>,
     first_seen: BTreeMap<FlowId, SimTime>,
     decisions_computed: usize,
+    /// Incremental state: active member count per EchelonFlow, maintained
+    /// from flow deltas so `active_groups` need not rescan every flow.
+    group_counts: BTreeMap<EchelonId, usize>,
+    /// Whether `group_counts` has been initialised from a full scan.
+    counts_valid: bool,
+    /// Between-decisions cache: the last allocation returned while no
+    /// decision was due, plus the fresh-flow ids it was computed for.
+    /// Valid while the flow set and the known/fresh split are unchanged
+    /// (`priority_fill`/`waterfill` depend only on routes and capacities,
+    /// not on remaining bytes, so the naive recompute would reproduce it).
+    cached_between: Option<(RateAlloc, Vec<FlowId>)>,
 }
 
 impl CoordinatedPolicy {
@@ -158,9 +173,7 @@ impl CoordinatedPolicy {
         match self.config.trigger {
             Trigger::PerEvent => true,
             Trigger::PerGroupChange => self.last_groups != active_groups,
-            Trigger::Interval(dt) => {
-                now.secs() - self.last_decision.unwrap().secs() + 1e-12 >= dt
-            }
+            Trigger::Interval(dt) => now.secs() - self.last_decision.unwrap().secs() + 1e-12 >= dt,
         }
     }
 
@@ -175,6 +188,109 @@ impl CoordinatedPolicy {
         groups.dedup();
         groups
     }
+
+    /// Maintains `group_counts` from the event delta (full scan on the
+    /// first call), so the active-group set is read off the map keys
+    /// instead of re-derived from every flow.
+    fn update_group_counts(&mut self, flows: &[ActiveFlowView], delta: &FlowDelta) {
+        if !self.counts_valid {
+            self.group_counts.clear();
+            for v in flows {
+                if let Some(h) = self.engine.book().echelon_of(v.id) {
+                    *self.group_counts.entry(h.id()).or_insert(0) += 1;
+                }
+            }
+            self.counts_valid = true;
+            return;
+        }
+        for &id in &delta.arrived {
+            if flows.binary_search_by(|v| v.id.cmp(&id)).is_err() {
+                continue; // arrived and departed without ever being seen
+            }
+            if let Some(h) = self.engine.book().echelon_of(id) {
+                *self.group_counts.entry(h.id()).or_insert(0) += 1;
+            }
+        }
+        for &id in &delta.departed {
+            if let Some(h) = self.engine.book().echelon_of(id) {
+                let gid = h.id();
+                if let Some(c) = self.group_counts.get_mut(&gid) {
+                    *c = c.saturating_sub(1);
+                    if *c == 0 {
+                        self.group_counts.remove(&gid);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Shared decision-due bookkeeping: runs the engine, caches the
+    /// implied priority order, and extends to fresh flows via backfill.
+    #[allow(clippy::too_many_arguments)]
+    fn decide(
+        &mut self,
+        now: SimTime,
+        flows: &[ActiveFlowView],
+        known: &[ActiveFlowView],
+        fresh_empty: bool,
+        groups: Vec<EchelonId>,
+        rates: RateAlloc,
+        topo: &Topology,
+    ) -> RateAlloc {
+        self.last_decision = Some(now);
+        self.last_groups = groups;
+        self.decisions_computed += 1;
+        self.cached_between = None;
+        // Cache the order: flows sorted by allocated rate share of
+        // their bottleneck — higher rate first — approximating the
+        // engine's serve order for reuse between decisions.
+        let mut order: Vec<FlowId> = known.iter().map(|v| v.id).collect();
+        order.sort_by(|a, b| {
+            let ra = rates.get(a).copied().unwrap_or(0.0);
+            let rb = rates.get(b).copied().unwrap_or(0.0);
+            rb.total_cmp(&ra).then(a.cmp(b))
+        });
+        self.cached_order = order;
+        if fresh_empty {
+            return rates;
+        }
+        // Fresh flows: leftover bandwidth only.
+        waterfill(
+            topo,
+            flows,
+            &BTreeMap::new(),
+            &BTreeMap::new(),
+            Some(&rates),
+        )
+    }
+
+    /// Shared between-decisions path: enforce the cached order via
+    /// priority filling; unknown flows queue after it in id order.
+    fn between_decisions(
+        &mut self,
+        flows: &[ActiveFlowView],
+        known: &[ActiveFlowView],
+        fresh_empty: bool,
+        topo: &Topology,
+    ) -> RateAlloc {
+        let mut order = self.cached_order.clone();
+        for v in known {
+            if !order.contains(&v.id) {
+                order.push(v.id);
+            }
+        }
+        let rates = priority_fill(topo, known, &order, &BTreeMap::new());
+        if fresh_empty && known.len() == flows.len() {
+            return rates;
+        }
+        waterfill(
+            topo,
+            flows,
+            &BTreeMap::new(),
+            &BTreeMap::new(),
+            Some(&rates),
+        )
+    }
 }
 
 impl RatePolicy for CoordinatedPolicy {
@@ -186,8 +302,7 @@ impl RatePolicy for CoordinatedPolicy {
         }
         let (known, fresh): (Vec<ActiveFlowView>, Vec<ActiveFlowView>) =
             flows.iter().cloned().partition(|v| {
-                now.secs() - self.first_seen[&v.id].secs() + 1e-12
-                    >= self.config.control_latency
+                now.secs() - self.first_seen[&v.id].secs() + 1e-12 >= self.config.control_latency
             });
 
         let groups = self.active_groups(flows);
@@ -195,39 +310,72 @@ impl RatePolicy for CoordinatedPolicy {
             // Full heuristic run: rates for known flows, and the implied
             // global priority order becomes the cached decision.
             let rates = self.engine.allocate(now, &known, topo);
-            self.last_decision = Some(now);
-            self.last_groups = groups;
-            self.decisions_computed += 1;
-            // Cache the order: flows sorted by allocated rate share of
-            // their bottleneck — higher rate first — approximating the
-            // engine's serve order for reuse between decisions.
-            let mut order: Vec<FlowId> = known.iter().map(|v| v.id).collect();
-            order.sort_by(|a, b| {
-                let ra = rates.get(a).copied().unwrap_or(0.0);
-                let rb = rates.get(b).copied().unwrap_or(0.0);
-                rb.total_cmp(&ra).then(a.cmp(b))
-            });
-            self.cached_order = order;
-            if fresh.is_empty() {
-                return rates;
-            }
-            // Fresh flows: leftover bandwidth only.
-            return waterfill(topo, flows, &BTreeMap::new(), &BTreeMap::new(), Some(&rates));
+            return self.decide(now, flows, &known, fresh.is_empty(), groups, rates, topo);
         }
+        self.between_decisions(flows, &known, fresh.is_empty(), topo)
+    }
 
-        // Between decisions: enforce the cached order via priority
-        // filling; unknown flows queue after it in id order.
-        let mut order = self.cached_order.clone();
-        for v in &known {
-            if !order.contains(&v.id) {
-                order.push(v.id);
+    fn allocate_incremental(
+        &mut self,
+        now: SimTime,
+        flows: &[ActiveFlowView],
+        delta: &FlowDelta,
+        topo: &Topology,
+    ) -> RateAlloc {
+        self.update_group_counts(flows, delta);
+        let groups: Vec<EchelonId> = self.group_counts.keys().copied().collect();
+
+        if self.config.control_latency <= 0.0 {
+            // Every flow is immediately known, so the known set is exactly
+            // `flows` and the engine's incremental path applies. Feed the
+            // engine its delta at *every* event — not just when a decision
+            // is due — so its caches never go stale across skipped
+            // decisions.
+            self.engine.apply_delta(now, flows, delta);
+            if self.decision_due(now, &groups) {
+                let rates = self.engine.allocate_cached(now, flows, topo);
+                return self.decide(now, flows, flows, true, groups, rates, topo);
             }
-        }
-        let rates = priority_fill(topo, &known, &order, &BTreeMap::new());
-        if fresh.is_empty() && known.len() == flows.len() {
+            // Between decisions with an unchanged flow set, the cached
+            // allocation is exactly what the naive path would recompute.
+            if delta.is_empty() {
+                if let Some((rates, ids)) = &self.cached_between {
+                    if ids.is_empty() {
+                        return rates.clone();
+                    }
+                }
+            }
+            let rates = self.between_decisions(flows, flows, true, topo);
+            self.cached_between = Some((rates.clone(), Vec::new()));
             return rates;
         }
-        waterfill(topo, flows, &BTreeMap::new(), &BTreeMap::new(), Some(&rates))
+
+        // With control latency the known set changes as flows age in ways
+        // a flow delta does not capture, so the engine runs its full path
+        // on the known subset; group counting and the between-decisions
+        // cache still apply.
+        for v in flows {
+            self.first_seen.entry(v.id).or_insert(now);
+        }
+        let (known, fresh): (Vec<ActiveFlowView>, Vec<ActiveFlowView>) =
+            flows.iter().cloned().partition(|v| {
+                now.secs() - self.first_seen[&v.id].secs() + 1e-12 >= self.config.control_latency
+            });
+        if self.decision_due(now, &groups) {
+            let rates = self.engine.allocate(now, &known, topo);
+            return self.decide(now, flows, &known, fresh.is_empty(), groups, rates, topo);
+        }
+        let fresh_ids: Vec<FlowId> = fresh.iter().map(|v| v.id).collect();
+        if delta.is_empty() {
+            if let Some((rates, ids)) = &self.cached_between {
+                if *ids == fresh_ids {
+                    return rates.clone();
+                }
+            }
+        }
+        let rates = self.between_decisions(flows, &known, fresh.is_empty(), topo);
+        self.cached_between = Some((rates.clone(), fresh_ids));
+        rates
     }
 
     fn name(&self) -> &'static str {
@@ -239,11 +387,11 @@ impl RatePolicy for CoordinatedPolicy {
 mod tests {
     use super::*;
     use crate::api::requests_from_dag;
+    use echelon_core::JobId;
     use echelon_paradigms::config::PpConfig;
     use echelon_paradigms::ids::IdAlloc;
     use echelon_paradigms::pp::build_pp_gpipe;
     use echelon_paradigms::runtime::run_job;
-    use echelon_core::JobId;
 
     fn fig2_dag() -> echelon_paradigms::dag::JobDag {
         let mut alloc = IdAlloc::new();
@@ -325,5 +473,57 @@ mod tests {
         let without = run_job(&topo, &dag, &mut policy0);
 
         assert!(with_latency.makespan.secs() + 1e-9 >= without.makespan.secs());
+    }
+
+    /// The incremental entry point produces bit-identical traces to the
+    /// naive full-recompute path for every trigger, with and without
+    /// control latency.
+    #[test]
+    fn incremental_path_matches_naive() {
+        use echelon_paradigms::runtime::run_job_with;
+        use echelon_simnet::runner::RecomputeMode;
+
+        let configs = [
+            CoordinatorConfig::default(),
+            CoordinatorConfig {
+                trigger: Trigger::PerGroupChange,
+                ..CoordinatorConfig::default()
+            },
+            CoordinatorConfig {
+                trigger: Trigger::Interval(3.0),
+                ..CoordinatorConfig::default()
+            },
+            CoordinatorConfig {
+                control_latency: 0.5,
+                ..CoordinatorConfig::default()
+            },
+            CoordinatorConfig {
+                trigger: Trigger::Interval(3.0),
+                control_latency: 0.5,
+                ..CoordinatorConfig::default()
+            },
+        ];
+        let topo = Topology::chain(2, 1.0);
+        for cfg in configs {
+            let dag = fig2_dag();
+
+            let mut coord = Coordinator::new(cfg);
+            coord.submit_all(requests_from_dag(&dag));
+            let mut naive = coord.into_policy();
+            let full = run_job_with(&topo, &dag, &mut naive, RecomputeMode::Full);
+
+            let mut coord = Coordinator::new(cfg);
+            coord.submit_all(requests_from_dag(&dag));
+            let mut inc = coord.into_policy();
+            let fast = run_job_with(&topo, &dag, &mut inc, RecomputeMode::Incremental);
+
+            assert_eq!(
+                full.trace.events(),
+                fast.trace.events(),
+                "trace mismatch for {:?}",
+                cfg
+            );
+            assert_eq!(naive.decisions_computed(), inc.decisions_computed());
+        }
     }
 }

@@ -135,10 +135,10 @@ impl<P: RatePolicy> RatePolicy for QueueEnforcedPolicy<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use echelon_sched::baselines::SrptPolicy;
     use echelon_simnet::flow::FlowDemand;
     use echelon_simnet::ids::NodeId;
     use echelon_simnet::runner::{run_flows, MaxMinPolicy};
-    use echelon_sched::baselines::SrptPolicy;
 
     fn views(topo: &Topology, demands: &[FlowDemand]) -> Vec<ActiveFlowView> {
         demands
@@ -162,7 +162,12 @@ mod tests {
     #[test]
     fn quantization_ranks_by_rate() {
         let topo = Topology::chain(2, 1.0);
-        let demands = vec![demand(0, 1.0), demand(1, 1.0), demand(2, 1.0), demand(3, 1.0)];
+        let demands = vec![
+            demand(0, 1.0),
+            demand(1, 1.0),
+            demand(2, 1.0),
+            demand(3, 1.0),
+        ];
         let flows = views(&topo, &demands);
         let mut rates = RateAlloc::new();
         rates.insert(FlowId(0), 0.5);
@@ -201,9 +206,7 @@ mod tests {
         let mut enforced = QueueEnforcedPolicy::new(SrptPolicy, QueueConfig::default());
         let quantized = run_flows(&topo, demands, &mut enforced);
         // Ordering preserved.
-        assert!(
-            quantized.finish(FlowId(1)).unwrap() < quantized.finish(FlowId(0)).unwrap()
-        );
+        assert!(quantized.finish(FlowId(1)).unwrap() < quantized.finish(FlowId(0)).unwrap());
         // Makespan identical (work conservation).
         assert!(quantized.makespan().approx_eq(exact.makespan()));
         // But the short flow is somewhat slower than exact SRPT.

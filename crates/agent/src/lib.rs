@@ -29,6 +29,6 @@ pub mod enforce;
 pub mod prelude {
     pub use crate::agent::EchelonAgent;
     pub use crate::api::EchelonRequest;
-    pub use crate::coordinator::{Coordinator, CoordinatorConfig, CoordinatedPolicy, Trigger};
-    pub use crate::enforce::{quantize_to_queues, QueueEnforcedPolicy, QueueConfig};
+    pub use crate::coordinator::{CoordinatedPolicy, Coordinator, CoordinatorConfig, Trigger};
+    pub use crate::enforce::{quantize_to_queues, QueueConfig, QueueEnforcedPolicy};
 }

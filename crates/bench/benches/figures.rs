@@ -1,59 +1,31 @@
 //! End-to-end figure/table regeneration benches: one group per paper
 //! artifact, measuring the full simulation behind it (E1, E2, E5, E10).
 //! These double as performance-regression canaries for the simulator.
+//!
+//! Plain `main()` harness (`harness = false`): run with
+//! `cargo bench --bench figures`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use echelon_bench::experiments as exp;
+use echelon_bench::timing::run;
 use echelon_collectives::{decompose, CollectiveOp, Style};
 use echelon_simnet::ids::{FlowIdGen, NodeId};
 
-fn bench_fig2(c: &mut Criterion) {
-    c.bench_function("fig2_all_schedulers", |b| {
-        b.iter(exp::fig2);
-    });
-}
+fn main() {
+    run("fig2_all_schedulers", exp::fig2);
+    run("table1_matrix", exp::table1);
+    run("workflows_fig3_4_5", exp::workflows);
+    run("multijob_4jobs_24hosts", || exp::multijob(7, 4, 24, false));
 
-fn bench_table1(c: &mut Criterion) {
-    c.bench_function("table1_matrix", |b| {
-        b.iter(exp::table1);
-    });
-}
-
-fn bench_workflows(c: &mut Criterion) {
-    c.bench_function("workflows_fig3_4_5", |b| {
-        b.iter(exp::workflows);
-    });
-}
-
-fn bench_multijob(c: &mut Criterion) {
-    c.bench_function("multijob_4jobs_24hosts", |b| {
-        b.iter(|| exp::multijob(7, 4, 24, false));
-    });
-}
-
-fn bench_collectives(c: &mut Criterion) {
     let participants: Vec<NodeId> = (0..16).map(NodeId).collect();
-    c.bench_function("decompose_ring_allreduce_16", |b| {
-        b.iter(|| {
-            let mut ids = FlowIdGen::new();
-            decompose(
-                &CollectiveOp::AllReduce {
-                    participants: participants.clone(),
-                    bytes: 64.0,
-                },
-                Style::Ring,
-                &mut ids,
-            )
-        });
+    run("decompose_ring_allreduce_16", || {
+        let mut ids = FlowIdGen::new();
+        decompose(
+            &CollectiveOp::AllReduce {
+                participants: participants.clone(),
+                bytes: 64.0,
+            },
+            Style::Ring,
+            &mut ids,
+        )
     });
 }
-
-criterion_group!(
-    benches,
-    bench_fig2,
-    bench_table1,
-    bench_workflows,
-    bench_multijob,
-    bench_collectives
-);
-criterion_main!(benches);

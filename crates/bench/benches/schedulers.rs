@@ -5,8 +5,11 @@
 //! `allocate()` call of Varys/MADD (CCT metric) and EchelonMadd
 //! (tardiness metric) over growing flow populations — the curves should
 //! have the same shape, separated by a constant factor.
+//!
+//! Plain `main()` harness (`harness = false`): run with
+//! `cargo bench --bench schedulers`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use echelon_bench::timing::run;
 use echelon_core::arrangement::ArrangementFn;
 use echelon_core::coflow::Coflow;
 use echelon_core::echelon::{EchelonFlow, FlowRef};
@@ -80,25 +83,24 @@ fn make_echelons(n: usize) -> Vec<EchelonFlow> {
         .collect()
 }
 
-fn bench_allocate(c: &mut Criterion) {
+fn main() {
     let topo = Topology::big_switch_uniform(HOSTS, 1.0);
-    let mut group = c.benchmark_group("madd_scaling");
     for &n in &[16usize, 64, 128, 256] {
         let views = make_views(n, &topo);
-        group.bench_with_input(BenchmarkId::new("varys_cct", n), &n, |b, _| {
+        {
             let mut policy = VarysMadd::new(make_coflows(n));
-            b.iter(|| policy.allocate(SimTime::new(1.0), &views, &topo));
-        });
-        group.bench_with_input(BenchmarkId::new("echelon_tardiness", n), &n, |b, _| {
+            run(&format!("madd_scaling/varys_cct/{n}"), || {
+                policy.allocate(SimTime::new(1.0), &views, &topo)
+            });
+        }
+        {
             let mut policy = EchelonMadd::new(make_echelons(n));
-            b.iter(|| policy.allocate(SimTime::new(1.0), &views, &topo));
-        });
-        group.bench_with_input(BenchmarkId::new("max_min_baseline", n), &n, |b, _| {
-            b.iter(|| max_min_rates(&topo, &views));
+            run(&format!("madd_scaling/echelon_tardiness/{n}"), || {
+                policy.allocate(SimTime::new(1.0), &views, &topo)
+            });
+        }
+        run(&format!("madd_scaling/max_min_baseline/{n}"), || {
+            max_min_rates(&topo, &views)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_allocate);
-criterion_main!(benches);

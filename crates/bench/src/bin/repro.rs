@@ -99,7 +99,11 @@ fn jitter() {
     banner("E13 — compute jitter (imperfect GPU isolation)");
     let mut t = Table::new(&["jitter", "coflow tardiness", "echelon tardiness"]);
     for (frac, coflow, echelon) in exp::jitter_experiment(42) {
-        t.row(vec![format!("±{:.0}%", frac * 100.0), f(coflow), f(echelon)]);
+        t.row(vec![
+            format!("±{:.0}%", frac * 100.0),
+            f(coflow),
+            f(echelon),
+        ]);
     }
     print!("{}", t.render());
 }
@@ -183,7 +187,11 @@ fn table1() {
 fn fig1() {
     banner("E3 / Fig. 1a — GPipe timeline (4 stages x 4 micro-batches)");
     for (name, grouping, bytes) in [
-        ("fair-sharing, paper regime (transfers fit the gaps)", None, 1.0),
+        (
+            "fair-sharing, paper regime (transfers fit the gaps)",
+            None,
+            1.0,
+        ),
         ("fair-sharing, contended (3B activations)", None, 3.0),
         (
             "echelonflow, contended (3B activations)",
@@ -221,7 +229,13 @@ fn fig1() {
 
 fn fig6() {
     banner("E4 / Fig. 6b — reference-time recalibration");
-    let mut t = Table::new(&["flow", "start", "ideal finish", "actual finish", "tardiness"]);
+    let mut t = Table::new(&[
+        "flow",
+        "start",
+        "ideal finish",
+        "actual finish",
+        "tardiness",
+    ]);
     for (label, start, ideal, actual, tardiness) in exp::fig6_trace() {
         t.row(vec![label, f(start), f(ideal), f(actual), f(tardiness)]);
     }
@@ -275,12 +289,7 @@ fn multijob() {
 
     banner("E10 sweep — 10 seeds, 5 jobs, 32 hosts");
     let seeds: Vec<u64> = (1..=10).collect();
-    let mut t = Table::new(&[
-        "scheduler",
-        "mean tardiness",
-        "mean JCT",
-        "best-on-seeds",
-    ]);
+    let mut t = Table::new(&["scheduler", "mean tardiness", "mean JCT", "best-on-seeds"]);
     for (name, tardiness, jct, wins) in exp::multijob_sweep(&seeds, 5, 32) {
         t.row(vec![
             name.to_string(),

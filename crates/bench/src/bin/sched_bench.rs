@@ -1,0 +1,257 @@
+//! Scheduling event-loop throughput: full recompute vs incremental.
+//!
+//! Multi-tenant scenarios — N jobs of 8 staggered flows each on a
+//! 128-host big switch — are run to completion under every scheduler in
+//! both [`RecomputeMode`]s. The bench asserts the two traces are
+//! bit-identical (the differential guarantee, enforced here too so a
+//! perf number can never come from a divergent schedule), then reports
+//! events per second and the speedup.
+//!
+//! Output: human-readable table on stdout plus `BENCH_sched.json`
+//! (hand-rolled JSON; the container has no serde) in the current
+//! directory. Run from the workspace root:
+//!
+//! ```text
+//! cargo run --release -p echelon-bench --bin sched_bench
+//! ```
+
+use echelon_core::arrangement::ArrangementFn;
+use echelon_core::coflow::Coflow;
+use echelon_core::echelon::{EchelonFlow, FlowRef};
+use echelon_core::{EchelonId, JobId};
+use echelon_detrand::DetRng;
+use echelon_sched::echelon::EchelonMadd;
+use echelon_sched::varys::VarysMadd;
+use echelon_simnet::flow::FlowDemand;
+use echelon_simnet::ids::{FlowId, NodeId};
+use echelon_simnet::runner::{run_flows_with, FlowOutcomes, RatePolicy, RecomputeMode};
+use echelon_simnet::time::SimTime;
+use echelon_simnet::topology::Topology;
+use std::time::Instant;
+
+const HOSTS: usize = 128;
+const FLOWS_PER_JOB: usize = 8;
+const JOB_COUNTS: [usize; 4] = [16, 32, 64, 96];
+const REPEATS: usize = 3;
+
+struct Scenario {
+    jobs: usize,
+    demands: Vec<FlowDemand>,
+    echelons: Vec<EchelonFlow>,
+    coflows: Vec<Coflow>,
+}
+
+/// N tenants, each an 8-flow staggered EchelonFlow between its own hosts,
+/// with jittered releases so groups arrive and depart throughout the run.
+fn scenario(jobs: usize) -> Scenario {
+    let mut rng = DetRng::seed_from_u64(0xEC4E10 + jobs as u64);
+    let mut demands = Vec::new();
+    let mut echelons = Vec::new();
+    let mut coflows = Vec::new();
+    let mut next_id = 0u64;
+    for j in 0..jobs {
+        let base = (j * 2) % HOSTS;
+        let start = rng.f64_range(0.0, 10.0);
+        let gap = rng.f64_range(0.2, 0.8);
+        let mut refs = Vec::new();
+        for k in 0..FLOWS_PER_JOB {
+            // Alternate direction between the tenant's host pair so both
+            // links carry load.
+            let (src, dst) = if k % 2 == 0 {
+                (base, (base + 1) % HOSTS)
+            } else {
+                ((base + 1) % HOSTS, base)
+            };
+            let d = FlowDemand {
+                id: FlowId(next_id),
+                src: NodeId(src as u32),
+                dst: NodeId(dst as u32),
+                size: rng.f64_range(0.5, 3.0),
+                release: SimTime::new(start + k as f64 * gap),
+            };
+            refs.push(FlowRef::new(d.id, d.src, d.dst, d.size));
+            demands.push(d);
+            next_id += 1;
+        }
+        echelons.push(EchelonFlow::from_flows(
+            EchelonId(j as u64),
+            JobId(j as u32),
+            refs.clone(),
+            ArrangementFn::Staggered { gap },
+        ));
+        coflows.push(Coflow::new(EchelonId(j as u64), JobId(j as u32), refs));
+    }
+    Scenario {
+        jobs,
+        demands,
+        echelons,
+        coflows,
+    }
+}
+
+/// Runs the scenario once in `mode`, returning the outcome and elapsed
+/// seconds. Repeated [`REPEATS`] times; the minimum elapsed is reported
+/// (least-noise estimator for wall-clock benches).
+fn timed_run(
+    sc: &Scenario,
+    topo: &Topology,
+    mk: &dyn Fn(&Scenario) -> Box<dyn RatePolicy>,
+    mode: RecomputeMode,
+) -> (FlowOutcomes, f64) {
+    let mut best: Option<(FlowOutcomes, f64)> = None;
+    for _ in 0..REPEATS {
+        let mut policy = mk(sc);
+        let start = Instant::now();
+        let out = run_flows_with(topo, sc.demands.clone(), policy.as_mut(), mode);
+        let secs = start.elapsed().as_secs_f64();
+        if best.as_ref().is_none_or(|(_, b)| secs < *b) {
+            best = Some((out, secs));
+        }
+    }
+    best.unwrap()
+}
+
+struct SchedResult {
+    name: &'static str,
+    events: usize,
+    full_eps: f64,
+    inc_eps: f64,
+    speedup: f64,
+}
+
+fn bench_scheduler(
+    sc: &Scenario,
+    topo: &Topology,
+    name: &'static str,
+    mk: &dyn Fn(&Scenario) -> Box<dyn RatePolicy>,
+) -> SchedResult {
+    let (full, full_secs) = timed_run(sc, topo, mk, RecomputeMode::Full);
+    let (inc, inc_secs) = timed_run(sc, topo, mk, RecomputeMode::Incremental);
+    assert_eq!(
+        full.trace().events(),
+        inc.trace().events(),
+        "{name}: incremental trace diverged from full on {} jobs",
+        sc.jobs
+    );
+    let events = full.trace().events().len();
+    SchedResult {
+        name,
+        events,
+        full_eps: events as f64 / full_secs,
+        inc_eps: events as f64 / inc_secs,
+        speedup: full_secs / inc_secs,
+    }
+}
+
+/// Time-averaged number of concurrently active flows: Σ fct / makespan.
+fn mean_active_flows(out: &FlowOutcomes) -> f64 {
+    let span = out.makespan().secs();
+    if span <= 0.0 {
+        return 0.0;
+    }
+    let total_fct: f64 = out
+        .completions()
+        .values()
+        .map(|c| c.finish - c.release)
+        .sum();
+    total_fct / span
+}
+
+fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let topo = Topology::big_switch_uniform(HOSTS, 2.0);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"sched\",\n");
+    json.push_str(&format!(
+        "  \"topology\": \"big_switch_uniform({HOSTS})\",\n"
+    ));
+    json.push_str(&format!("  \"flows_per_job\": {FLOWS_PER_JOB},\n"));
+    json.push_str(&format!("  \"repeats\": {REPEATS},\n"));
+    json.push_str("  \"scenarios\": [\n");
+
+    println!(
+        "{:<24} {:>5} {:>7} {:>8} {:>12} {:>12} {:>8}",
+        "scheduler", "jobs", "flows", "events", "full ev/s", "incr ev/s", "speedup"
+    );
+
+    for (si, &jobs) in JOB_COUNTS.iter().enumerate() {
+        let sc = scenario(jobs);
+
+        // Mean concurrency is a property of the workload + a scheduler;
+        // report it under the reference (EchelonMadd full) run.
+        let mut ech_ref: Box<dyn RatePolicy> = Box::new(EchelonMadd::new(sc.echelons.clone()));
+        let ref_out = run_flows_with(
+            &topo,
+            sc.demands.clone(),
+            ech_ref.as_mut(),
+            RecomputeMode::Full,
+        );
+        let active = mean_active_flows(&ref_out);
+
+        let results = [
+            bench_scheduler(&sc, &topo, "echelon-madd", &|sc: &Scenario| {
+                Box::new(EchelonMadd::new(sc.echelons.clone()))
+            }),
+            bench_scheduler(&sc, &topo, "varys-madd", &|sc: &Scenario| {
+                Box::new(VarysMadd::new(sc.coflows.clone()))
+            }),
+        ];
+
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"jobs\": {jobs},\n"));
+        json.push_str(&format!("      \"flows\": {},\n", sc.demands.len()));
+        json.push_str(&format!(
+            "      \"mean_active_flows\": {},\n",
+            fmt_f64(active)
+        ));
+        json.push_str("      \"schedulers\": [\n");
+        for (ri, r) in results.iter().enumerate() {
+            println!(
+                "{:<24} {:>5} {:>7} {:>8} {:>12.0} {:>12.0} {:>7.2}x",
+                r.name,
+                jobs,
+                sc.demands.len(),
+                r.events,
+                r.full_eps,
+                r.inc_eps,
+                r.speedup
+            );
+            json.push_str("        {\n");
+            json.push_str(&format!("          \"name\": \"{}\",\n", r.name));
+            json.push_str(&format!("          \"trace_events\": {},\n", r.events));
+            json.push_str(&format!(
+                "          \"full_events_per_sec\": {},\n",
+                fmt_f64(r.full_eps)
+            ));
+            json.push_str(&format!(
+                "          \"incremental_events_per_sec\": {},\n",
+                fmt_f64(r.inc_eps)
+            ));
+            json.push_str(&format!("          \"speedup\": {},\n", fmt_f64(r.speedup)));
+            json.push_str("          \"trace_identical\": true\n");
+            json.push_str(if ri + 1 < results.len() {
+                "        },\n"
+            } else {
+                "        }\n"
+            });
+        }
+        json.push_str("      ]\n");
+        json.push_str(if si + 1 < JOB_COUNTS.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_sched.json", &json).expect("write BENCH_sched.json");
+    println!("\nwrote BENCH_sched.json");
+}

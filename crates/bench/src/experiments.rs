@@ -455,11 +455,7 @@ pub fn prop1() -> Vec<(&'static str, f64, f64)> {
             .into_iter()
             .map(|(i, t)| (FlowId(i), SimTime::new(t)))
             .collect();
-        let best = optimal_schedule(
-            &topo,
-            &demands,
-            &Objective::MaxTardiness(deadlines.clone()),
-        );
+        let best = optimal_schedule(&topo, &demands, &Objective::MaxTardiness(deadlines.clone()));
         let h = EchelonFlow::from_flows(
             EchelonId(0),
             JobId(0),
@@ -520,11 +516,7 @@ pub fn prop1() -> Vec<(&'static str, f64, f64)> {
         let deadlines: BTreeMap<FlowId, SimTime> = (0..4)
             .map(|i| (FlowId(i), SimTime::new(0.5 * i as f64)))
             .collect();
-        let best = optimal_schedule(
-            &topo,
-            &demands,
-            &Objective::MaxTardiness(deadlines.clone()),
-        );
+        let best = optimal_schedule(&topo, &demands, &Objective::MaxTardiness(deadlines.clone()));
         let h = EchelonFlow::from_flows(
             EchelonId(0),
             JobId(0),
@@ -548,10 +540,17 @@ pub fn prop1() -> Vec<(&'static str, f64, f64)> {
 // --------------------------------------------------------------- E10 --
 
 /// E10 — the multi-tenant comparison: `(scheduler, metrics)` per policy.
-pub fn multijob(seed: u64, jobs: usize, hosts: usize, scattered: bool) -> Vec<(&'static str, ScenarioMetrics)> {
+pub fn multijob(
+    seed: u64,
+    jobs: usize,
+    hosts: usize,
+    scattered: bool,
+) -> Vec<(&'static str, ScenarioMetrics)> {
     let mut cfg = WorkloadConfig::default_mix(seed, jobs, hosts);
     if scattered {
-        cfg.placement = PlacementPolicy::Scattered { seed: seed ^ 0xDEAD };
+        cfg.placement = PlacementPolicy::Scattered {
+            seed: seed ^ 0xDEAD,
+        };
     }
     let scenario = Scenario::generate(&cfg);
     SchedulerKind::ALL
@@ -563,7 +562,11 @@ pub fn multijob(seed: u64, jobs: usize, hosts: usize, scattered: bool) -> Vec<(&
 /// E10 supplement — the multi-tenant comparison across many seeds:
 /// per scheduler, mean total tardiness, mean JCT, and the number of
 /// seeds on which it achieved the (possibly tied) best tardiness.
-pub fn multijob_sweep(seeds: &[u64], jobs: usize, hosts: usize) -> Vec<(&'static str, f64, f64, usize)> {
+pub fn multijob_sweep(
+    seeds: &[u64],
+    jobs: usize,
+    hosts: usize,
+) -> Vec<(&'static str, f64, f64, usize)> {
     use echelon_sched::echelon::InterOrder;
     let mut names: Vec<&'static str> = SchedulerKind::ALL.iter().map(|k| k.name()).collect();
     names.push("echelon(least-work)");
@@ -572,7 +575,9 @@ pub fn multijob_sweep(seeds: &[u64], jobs: usize, hosts: usize) -> Vec<(&'static
     let mut wins = vec![0usize; names.len()];
     for &seed in seeds {
         let mut cfg = WorkloadConfig::default_mix(seed, jobs, hosts);
-        cfg.placement = PlacementPolicy::Scattered { seed: seed ^ 0xDEAD };
+        cfg.placement = PlacementPolicy::Scattered {
+            seed: seed ^ 0xDEAD,
+        };
         let scenario = Scenario::generate(&cfg);
         let mut per_seed: Vec<(f64, f64)> = SchedulerKind::ALL
             .iter()
@@ -637,9 +642,7 @@ pub fn ablation_profile_error() -> Vec<(f64, f64)> {
 
 /// Rebuilds an EchelonFlow with its arrangement distances scaled.
 fn scale_arrangement(h: &EchelonFlow, factor: f64) -> EchelonFlow {
-    let stages: Vec<Vec<FlowRef>> = (0..h.num_stages())
-        .map(|j| h.stage(j).to_vec())
-        .collect();
+    let stages: Vec<Vec<FlowRef>> = (0..h.num_stages()).map(|j| h.stage(j).to_vec()).collect();
     let arrangement = match h.arrangement() {
         ArrangementFn::Coflow => ArrangementFn::Coflow,
         ArrangementFn::Staggered { gap } => ArrangementFn::Staggered { gap: gap * factor },
@@ -787,7 +790,10 @@ pub fn ablation_queues() -> Vec<(String, f64)> {
             alloc,
         )
     };
-    let dags = [mk(JobId(0), 0, 2, &mut alloc), mk(JobId(1), 1, 3, &mut alloc)];
+    let dags = [
+        mk(JobId(0), 0, 2, &mut alloc),
+        mk(JobId(1), 1, 3, &mut alloc),
+    ];
     let dag_refs: Vec<&_> = dags.iter().collect();
 
     let mut rows = Vec::new();
@@ -821,13 +827,22 @@ pub fn placement_experiment(seed: u64) -> Vec<(&'static str, &'static str, f64, 
     let mut rows = Vec::new();
     for (pname, placement) in [
         ("packed", PlacementPolicy::Packed),
-        ("scattered", PlacementPolicy::Scattered { seed: seed ^ 0xF00D }),
+        (
+            "scattered",
+            PlacementPolicy::Scattered {
+                seed: seed ^ 0xF00D,
+            },
+        ),
     ] {
         let mut cfg = WorkloadConfig::default_mix(seed, 3, 16);
         cfg.placement = placement;
         let fabric = FatTree::new(4).with_oversubscription(4.0).build();
         let scenario = Scenario::generate_on(&cfg, fabric);
-        for kind in [SchedulerKind::Fair, SchedulerKind::Coflow, SchedulerKind::Echelon] {
+        for kind in [
+            SchedulerKind::Fair,
+            SchedulerKind::Coflow,
+            SchedulerKind::Echelon,
+        ] {
             let (_, m) = scenario.run(kind);
             rows.push((pname, kind.name(), m.total_tardiness, m.mean_jct));
         }
@@ -856,15 +871,14 @@ pub fn placement_experiment(seed: u64) -> Vec<(&'static str, &'static str, f64, 
 /// Returns `(jitter %, coflow tardiness, echelon tardiness)` rows.
 pub fn jitter_experiment(seed: u64) -> Vec<(f64, f64, f64)> {
     use echelon_cluster::workload::{apply_compute_jitter, generate_workload};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use echelon_detrand::DetRng;
 
     let mut rows = Vec::new();
     for frac in [0.0, 0.1, 0.3] {
         let cfg = WorkloadConfig::default_mix(seed, 5, 32);
         let mut alloc = IdAlloc::new();
         let mut jobs = generate_workload(&cfg, &mut alloc);
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+        let mut rng = DetRng::seed_from_u64(seed ^ 0xBEEF);
         for j in &mut jobs {
             apply_compute_jitter(&mut j.dag, frac, &mut rng);
         }
@@ -1026,8 +1040,7 @@ mod tests {
     #[test]
     fn fig2_reproduces_paper_numbers() {
         let r = fig2();
-        let by_name: BTreeMap<&str, f64> =
-            r.rows.iter().map(|(n, t, _)| (*n, *t)).collect();
+        let by_name: BTreeMap<&str, f64> = r.rows.iter().map(|(n, t, _)| (*n, *t)).collect();
         assert!((by_name["fair-sharing"] - 8.5).abs() < 1e-6);
         assert!((by_name["coflow"] - 10.0).abs() < 1e-6);
         assert!((by_name["echelonflow"] - 8.0).abs() < 1e-6);
@@ -1151,7 +1164,12 @@ mod tests {
         let rows = hierarchy_experiment();
         let flat = rows.iter().find(|r| r.0.starts_with("flat")).unwrap();
         let hier = rows.iter().find(|r| r.0.starts_with("hier")).unwrap();
-        assert!(hier.1 <= flat.1 + 1e-6, "hier {} vs flat {}", hier.1, flat.1);
+        assert!(
+            hier.1 <= flat.1 + 1e-6,
+            "hier {} vs flat {}",
+            hier.1,
+            flat.1
+        );
         assert!(hier.2 < flat.2, "cross flows {} !< {}", hier.2, flat.2);
     }
 

@@ -2,8 +2,9 @@
 //!
 //! Each module under [`experiments`] regenerates one artifact of the
 //! paper (see `DESIGN.md` §4 for the index E1-E11). The `repro` binary
-//! prints them as tables; the Criterion benches under `benches/` measure
-//! the scheduler costs behind Property 4.
+//! prints them as tables; the plain-`main` benches under `benches/`
+//! (built on [`timing`]) measure the scheduler costs behind Property 4.
 
 pub mod experiments;
 pub mod table;
+pub mod timing;

@@ -1,0 +1,87 @@
+//! Minimal self-contained timing harness for the `benches/` targets.
+//!
+//! The container has no access to external crates, so the benches are
+//! plain `fn main()` binaries (`harness = false`) built on
+//! `std::time::Instant`: warm up, then run enough iterations to pass a
+//! minimum measurement window, and report the per-iteration mean.
+
+use std::time::Instant;
+
+/// One measured benchmark result.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark label, e.g. `varys_cct/64`.
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Iterations actually timed.
+    pub iters: u64,
+}
+
+impl Measurement {
+    /// Iterations per second implied by the mean.
+    pub fn per_sec(&self) -> f64 {
+        if self.mean_ns > 0.0 {
+            1e9 / self.mean_ns
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Times `f`, returning the mean ns/iter over a ~200 ms window after a
+/// short warm-up. The closure's result is returned through a black-box
+/// sink so the optimiser cannot delete the work.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> Measurement {
+    // Warm-up: run for ~20 ms or at least once.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm_iters == 0 || warm_start.elapsed().as_millis() < 20 {
+        std::hint::black_box(f());
+        warm_iters += 1;
+        if warm_iters > 1_000_000 {
+            break;
+        }
+    }
+
+    // Measure: batches until the window is filled.
+    let mut iters = 0u64;
+    let start = Instant::now();
+    while iters == 0 || start.elapsed().as_millis() < 200 {
+        std::hint::black_box(f());
+        iters += 1;
+        if iters > 10_000_000 {
+            break;
+        }
+    }
+    let total_ns = start.elapsed().as_nanos() as f64;
+    Measurement {
+        name: name.to_string(),
+        mean_ns: total_ns / iters as f64,
+        iters,
+    }
+}
+
+/// Prints a measurement in a stable, greppable one-line format.
+pub fn report(m: &Measurement) {
+    let (value, unit) = if m.mean_ns >= 1e9 {
+        (m.mean_ns / 1e9, "s")
+    } else if m.mean_ns >= 1e6 {
+        (m.mean_ns / 1e6, "ms")
+    } else if m.mean_ns >= 1e3 {
+        (m.mean_ns / 1e3, "us")
+    } else {
+        (m.mean_ns, "ns")
+    };
+    println!(
+        "bench {:<40} {:>10.3} {}/iter  ({} iters)",
+        m.name, value, unit, m.iters
+    );
+}
+
+/// Convenience: time and immediately report.
+pub fn run<T>(name: &str, f: impl FnMut() -> T) -> Measurement {
+    let m = bench(name, f);
+    report(&m);
+    m
+}

@@ -5,10 +5,8 @@
 //! increases contention with other jobs. Placement assigns each job a
 //! disjoint set of hosts under one of two policies.
 
+use echelon_detrand::DetRng;
 use echelon_simnet::ids::NodeId;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 /// How jobs' workers map onto hosts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,8 +39,7 @@ pub fn place_jobs(policy: PlacementPolicy, hosts: usize, demands: &[usize]) -> V
         PlacementPolicy::Packed => (0..hosts as u32).map(NodeId).collect(),
         PlacementPolicy::Scattered { seed } => {
             let mut pool: Vec<NodeId> = (0..hosts as u32).map(NodeId).collect();
-            let mut rng = StdRng::seed_from_u64(seed);
-            pool.shuffle(&mut rng);
+            DetRng::seed_from_u64(seed).shuffle(&mut pool);
             pool
         }
     };

@@ -7,6 +7,7 @@
 
 use crate::placement::{place_jobs, PlacementPolicy};
 use echelon_core::JobId;
+use echelon_detrand::DetRng;
 use echelon_paradigms::config::{DpConfig, FsdpConfig, PpConfig, TpConfig};
 use echelon_paradigms::dag::{CompKind, CompUnit, JobDag};
 use echelon_paradigms::dp::{build_dp_allreduce, build_dp_ps};
@@ -16,8 +17,6 @@ use echelon_paradigms::ids::IdAlloc;
 use echelon_paradigms::pp::{build_pp_1f1b, build_pp_gpipe};
 use echelon_paradigms::tp::build_tp;
 use echelon_simnet::ids::NodeId;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Label used for arrival-gate units so metrics can exclude them from
 /// busy-time accounting.
@@ -97,10 +96,10 @@ pub struct GeneratedJob {
     pub placement: Vec<NodeId>,
 }
 
-fn pick_kind(rng: &mut StdRng, mix: &[(ParadigmKind, f64)]) -> ParadigmKind {
+fn pick_kind(rng: &mut DetRng, mix: &[(ParadigmKind, f64)]) -> ParadigmKind {
     let total: f64 = mix.iter().map(|(_, w)| w).sum();
     assert!(total > 0.0, "paradigm mix has zero total weight");
-    let mut x = rng.gen_range(0.0..total);
+    let mut x = rng.f64_range(0.0, total);
     for &(kind, w) in mix {
         if x < w {
             return kind;
@@ -123,7 +122,10 @@ fn hosts_needed(kind: ParadigmKind, workers: usize) -> usize {
 /// front of every worker's program and gates every dependency-free
 /// communication unit on those gates.
 pub fn delay_start(mut dag: JobDag, arrival: f64, alloc: &mut IdAlloc) -> JobDag {
-    assert!(arrival >= 0.0 && arrival.is_finite(), "bad arrival {arrival}");
+    assert!(
+        arrival >= 0.0 && arrival.is_finite(),
+        "bad arrival {arrival}"
+    );
     if arrival == 0.0 {
         return dag;
     }
@@ -165,11 +167,14 @@ pub fn delay_start(mut dag: JobDag, arrival: f64, alloc: &mut IdAlloc) -> JobDag
 /// # Panics
 ///
 /// Panics unless `0 ≤ frac < 1`.
-pub fn apply_compute_jitter(dag: &mut JobDag, frac: f64, rng: &mut StdRng) {
-    assert!((0.0..1.0).contains(&frac), "jitter fraction out of range: {frac}");
+pub fn apply_compute_jitter(dag: &mut JobDag, frac: f64, rng: &mut DetRng) {
+    assert!(
+        (0.0..1.0).contains(&frac),
+        "jitter fraction out of range: {frac}"
+    );
     for comp in dag.comps.values_mut() {
         if comp.duration > 0.0 {
-            let factor = 1.0 + rng.gen_range(-frac..=frac);
+            let factor = 1.0 + rng.f64_range_inclusive(-frac, frac);
             comp.duration *= factor;
         }
     }
@@ -183,7 +188,7 @@ pub fn apply_compute_jitter(dag: &mut JobDag, frac: f64, rng: &mut StdRng) {
 /// Panics if the sampled jobs need more hosts than the cluster has.
 pub fn generate_workload(cfg: &WorkloadConfig, alloc: &mut IdAlloc) -> Vec<GeneratedJob> {
     assert!(cfg.jobs >= 1, "need at least one job");
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = DetRng::seed_from_u64(cfg.seed);
 
     // Sample paradigm, size, and arrival per job first so placement can
     // see total demand.
@@ -200,18 +205,18 @@ pub fn generate_workload(cfg: &WorkloadConfig, alloc: &mut IdAlloc) -> Vec<Gener
         let kind = pick_kind(&mut rng, &cfg.mix);
         let workers = match kind {
             // Pipelines stay small so 1F1B's micro-batch bound holds.
-            ParadigmKind::PpGpipe | ParadigmKind::Pp1f1b => rng.gen_range(2..=3),
-            _ => rng.gen_range(2..=4),
+            ParadigmKind::PpGpipe | ParadigmKind::Pp1f1b => rng.usize_range_inclusive(2, 3),
+            _ => rng.usize_range_inclusive(2, 4),
         };
         // Poisson arrivals by inverse transform.
-        let u: f64 = rng.gen_range(1e-12..1.0);
+        let u: f64 = rng.f64_range(1e-12, 1.0);
         t += -u.ln() * cfg.mean_interarrival;
         drafts.push(Draft {
             kind,
             workers,
             arrival: t,
-            comp_scale: rng.gen_range(0.5..2.0),
-            bytes_scale: rng.gen_range(0.5..2.0),
+            comp_scale: rng.f64_range(0.5, 2.0),
+            bytes_scale: rng.f64_range(0.5, 2.0),
         });
     }
 
@@ -293,10 +298,7 @@ pub fn generate_workload(cfg: &WorkloadConfig, alloc: &mut IdAlloc) -> Vec<Gener
             ParadigmKind::Hybrid => build_hybrid(
                 job,
                 &HybridConfig {
-                    replicas: vec![
-                        hosts[0..2].to_vec(),
-                        hosts[2..4].to_vec(),
-                    ],
+                    replicas: vec![hosts[0..2].to_vec(), hosts[2..4].to_vec()],
                     micro_batches: 3,
                     fwd_time: 0.5 * c,
                     bwd_time: 0.5 * c,
@@ -334,10 +336,10 @@ pub fn generate_workload(cfg: &WorkloadConfig, alloc: &mut IdAlloc) -> Vec<Gener
 #[cfg(test)]
 mod tests {
     use super::*;
+    use echelon_paradigms::runtime::run_jobs;
     use echelon_simnet::runner::MaxMinPolicy;
     use echelon_simnet::time::SimTime;
     use echelon_simnet::topology::Topology;
-    use echelon_paradigms::runtime::run_jobs;
 
     #[test]
     fn generation_is_deterministic() {
@@ -406,7 +408,7 @@ mod tests {
             .iter()
             .map(|h| h.arrangement().clone())
             .collect();
-        let mut rng = rand::SeedableRng::seed_from_u64(9);
+        let mut rng = DetRng::seed_from_u64(9);
         apply_compute_jitter(&mut jobs[0].dag, 0.3, &mut rng);
         let after: Vec<f64> = jobs[0].dag.comps.values().map(|c| c.duration).collect();
         assert_ne!(before, after);

@@ -127,11 +127,7 @@ mod tests {
 
     fn groups(g: usize, per: usize) -> Vec<Vec<NodeId>> {
         (0..g)
-            .map(|i| {
-                (0..per)
-                    .map(|j| NodeId((i * per + j) as u32))
-                    .collect()
-            })
+            .map(|i| (0..per).map(|j| NodeId((i * per + j) as u32)).collect())
             .collect()
     }
 

@@ -285,7 +285,10 @@ pub fn decompose(op: &CollectiveOp, style: Style, ids: &mut FlowIdGen) -> Decomp
             }
         }
         CollectiveOp::P2p { src, dst, bytes } => {
-            assert!(*bytes > 0.0 && bytes.is_finite(), "payload must be positive");
+            assert!(
+                *bytes > 0.0 && bytes.is_finite(),
+                "payload must be positive"
+            );
             Decomposition {
                 op_name: "p2p",
                 stages: vec![FlowStage {

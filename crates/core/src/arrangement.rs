@@ -117,7 +117,9 @@ impl ArrangementFn {
 
     /// All offsets for an EchelonFlow of `num_stages` stages.
     pub fn offsets(&self, num_stages: usize) -> Vec<f64> {
-        (0..num_stages).map(|j| self.offset(j, num_stages)).collect()
+        (0..num_stages)
+            .map(|j| self.offset(j, num_stages))
+            .collect()
     }
 
     /// `true` when every stage shares the head's ideal finish time, i.e.

@@ -46,7 +46,10 @@ impl Coflow {
 
     /// Sets the Coflow's weight.
     pub fn with_weight(mut self, weight: f64) -> Coflow {
-        assert!(weight > 0.0 && weight.is_finite(), "weight must be positive");
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "weight must be positive"
+        );
         self.weight = weight;
         self
     }
@@ -108,10 +111,7 @@ pub fn try_into_coflow(h: &EchelonFlow) -> Option<Coflow> {
     if !h.is_coflow_compliant() {
         return None;
     }
-    Some(
-        Coflow::new(h.id(), h.job(), h.flows().copied().collect())
-            .with_weight(h.weight()),
-    )
+    Some(Coflow::new(h.id(), h.job(), h.flows().copied().collect()).with_weight(h.weight()))
 }
 
 #[cfg(test)]
@@ -156,8 +156,7 @@ mod tests {
 
     #[test]
     fn round_trip_through_echelon() {
-        let c = Coflow::new(EchelonId(3), JobId(1), vec![fr(0, 1.0), fr(1, 2.0)])
-            .with_weight(2.0);
+        let c = Coflow::new(EchelonId(3), JobId(1), vec![fr(0, 1.0), fr(1, 2.0)]).with_weight(2.0);
         let h = c.into_echelon();
         let back = try_into_coflow(&h).expect("compliant EchelonFlow");
         assert_eq!(back.id(), EchelonId(3));

@@ -24,11 +24,7 @@ use crate::{EchelonId, JobId};
 /// # Panics
 ///
 /// Panics on an empty chain, a nonzero head gap, or a negative gap.
-pub fn chain_coflows(
-    id: EchelonId,
-    job: JobId,
-    stages: Vec<(Vec<FlowRef>, f64)>,
-) -> EchelonFlow {
+pub fn chain_coflows(id: EchelonId, job: JobId, stages: Vec<(Vec<FlowRef>, f64)>) -> EchelonFlow {
     assert!(!stages.is_empty(), "chain needs at least one Coflow");
     assert!(
         stages[0].1.abs() < 1e-12,
@@ -102,12 +98,7 @@ pub fn phased_chain(
 
 /// Splits a Coflow list into a chain with uniform gaps — the simplest
 /// §6 multi-stage-application shape.
-pub fn uniform_chain(
-    id: EchelonId,
-    job: JobId,
-    coflows: Vec<Coflow>,
-    gap: f64,
-) -> EchelonFlow {
+pub fn uniform_chain(id: EchelonId, job: JobId, coflows: Vec<Coflow>, gap: f64) -> EchelonFlow {
     assert!(!coflows.is_empty(), "chain needs at least one Coflow");
     let stages = coflows
         .into_iter()
@@ -135,11 +126,7 @@ mod tests {
         let h = chain_coflows(
             EchelonId(0),
             JobId(0),
-            vec![
-                (vec![fr(0)], 0.0),
-                (vec![fr(1)], 1.5),
-                (vec![fr(2)], 0.5),
-            ],
+            vec![(vec![fr(0)], 0.0), (vec![fr(1)], 1.5), (vec![fr(2)], 0.5)],
         );
         assert_eq!(h.arrangement().offsets(3), vec![0.0, 1.5, 2.0]);
     }
@@ -208,18 +195,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "appears twice")]
     fn concat_rejects_shared_flows() {
-        let a = EchelonFlow::from_flows(
-            EchelonId(0),
-            JobId(0),
-            vec![fr(0)],
-            ArrangementFn::Coflow,
-        );
-        let b = EchelonFlow::from_flows(
-            EchelonId(1),
-            JobId(0),
-            vec![fr(0)],
-            ArrangementFn::Coflow,
-        );
+        let a = EchelonFlow::from_flows(EchelonId(0), JobId(0), vec![fr(0)], ArrangementFn::Coflow);
+        let b = EchelonFlow::from_flows(EchelonId(1), JobId(0), vec![fr(0)], ArrangementFn::Coflow);
         let _ = concat(EchelonId(2), &a, &b, 0.0);
     }
 }

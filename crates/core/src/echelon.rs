@@ -111,7 +111,10 @@ impl EchelonFlow {
     ///
     /// Panics on non-positive weight.
     pub fn with_weight(mut self, weight: f64) -> EchelonFlow {
-        assert!(weight > 0.0 && weight.is_finite(), "weight must be positive");
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "weight must be positive"
+        );
         self.weight = weight;
         self
     }

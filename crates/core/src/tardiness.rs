@@ -23,7 +23,8 @@ pub fn flow_tardiness(actual: SimTime, ideal: SimTime) -> f64 {
 }
 
 /// Eq. 2 — tardiness of an EchelonFlow: the maximum flow tardiness over
-/// all its flows.
+/// all its flows. An EchelonFlow with no flows has tardiness `0.0` (an
+/// empty max would otherwise be `-inf`, which poisons Eq. 4 sums).
 ///
 /// Every flow of `h` must appear in `finishes`; use
 /// [`echelon_tardiness_partial`] while flows are still in flight.
@@ -32,17 +33,18 @@ pub fn flow_tardiness(actual: SimTime, ideal: SimTime) -> f64 {
 ///
 /// Panics if the reference time is unbound or a flow's finish is missing.
 pub fn echelon_tardiness(h: &EchelonFlow, finishes: &BTreeMap<FlowId, SimTime>) -> f64 {
-    let mut max_t = f64::NEG_INFINITY;
+    let mut max_t: Option<f64> = None;
     for j in 0..h.num_stages() {
         let d = h.ideal_finish_of_stage(j);
         for f in h.stage(j) {
             let e = finishes
                 .get(&f.id)
                 .unwrap_or_else(|| panic!("flow {} has no recorded finish", f.id));
-            max_t = max_t.max(flow_tardiness(*e, d));
+            let t = flow_tardiness(*e, d);
+            max_t = Some(max_t.map_or(t, |m| m.max(t)));
         }
     }
-    max_t
+    max_t.unwrap_or(0.0)
 }
 
 /// Eq. 2 restricted to flows that have finished. Returns `None` when no
@@ -98,7 +100,7 @@ impl TardinessReport {
     /// [`echelon_tardiness`]).
     pub fn build(h: &EchelonFlow, finishes: &BTreeMap<FlowId, SimTime>) -> TardinessReport {
         let mut per_flow = Vec::new();
-        let mut max_t = f64::NEG_INFINITY;
+        let mut max_t: Option<f64> = None;
         for j in 0..h.num_stages() {
             let d = h.ideal_finish_of_stage(j);
             for f in h.stage(j) {
@@ -106,13 +108,15 @@ impl TardinessReport {
                     .get(&f.id)
                     .unwrap_or_else(|| panic!("flow {} has no recorded finish", f.id));
                 let t = flow_tardiness(e, d);
-                max_t = max_t.max(t);
+                max_t = Some(max_t.map_or(t, |m| m.max(t)));
                 per_flow.push((j, f.id, d, e, t));
             }
         }
         TardinessReport {
             per_flow,
-            max_tardiness: max_t,
+            // Empty EchelonFlows have zero tardiness, not -inf (same
+            // contract as `echelon_tardiness`).
+            max_tardiness: max_t.unwrap_or(0.0),
         }
     }
 }
@@ -149,14 +153,8 @@ mod tests {
 
     #[test]
     fn flow_tardiness_signed() {
-        assert_eq!(
-            flow_tardiness(SimTime::new(5.0), SimTime::new(3.0)),
-            2.0
-        );
-        assert_eq!(
-            flow_tardiness(SimTime::new(2.0), SimTime::new(3.0)),
-            -1.0
-        );
+        assert_eq!(flow_tardiness(SimTime::new(5.0), SimTime::new(3.0)), 2.0);
+        assert_eq!(flow_tardiness(SimTime::new(2.0), SimTime::new(3.0)), -1.0);
     }
 
     #[test]
@@ -229,5 +227,21 @@ mod tests {
         let h = pipeline(1.0, 1.0);
         let fin = finishes(&[(0, 3.0)]);
         let _ = echelon_tardiness(&h, &fin);
+    }
+
+    /// Regression: an EchelonFlow with zero flows must not reach the
+    /// tardiness math (where an empty max used to yield `-inf` and poison
+    /// Eq. 4 aggregation) — the constructor rejects it outright.
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_flow_set_rejected_by_constructor() {
+        let _ = EchelonFlow::from_flows(EchelonId(0), JobId(0), Vec::new(), ArrangementFn::Coflow);
+    }
+
+    /// Regression: aggregating over zero EchelonFlows is 0.0, not `-inf`.
+    #[test]
+    fn total_tardiness_of_nothing_is_zero() {
+        let fin = finishes(&[]);
+        assert_eq!(total_tardiness(&[], &fin), 0.0);
     }
 }

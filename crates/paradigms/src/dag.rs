@@ -102,7 +102,10 @@ impl JobDag {
 
     /// All flow references across communication units.
     pub fn all_flows(&self) -> Vec<FlowRef> {
-        self.comms.values().flat_map(|c| c.flows().copied()).collect()
+        self.comms
+            .values()
+            .flat_map(|c| c.flows().copied())
+            .collect()
     }
 
     /// Total bytes the job moves over the network.
@@ -117,11 +120,9 @@ impl JobDag {
 
     /// Lower bound on iteration time: the longest per-worker program.
     pub fn critical_compute_per_worker(&self) -> f64 {
-        self.programs.values().map(|prog| {
-                prog.iter()
-                    .map(|id| self.comps[id].duration)
-                    .sum::<f64>()
-            })
+        self.programs
+            .values()
+            .map(|prog| prog.iter().map(|id| self.comps[id].duration).sum::<f64>())
             .fold(0.0, f64::max)
     }
 }

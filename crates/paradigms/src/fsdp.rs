@@ -53,9 +53,9 @@ pub fn build_fsdp(job: JobId, cfg: &FsdpConfig, alloc: &mut IdAlloc) -> JobDag {
         let mut ag_stage_flows: Vec<Vec<FlowRef>> = Vec::with_capacity(2 * n);
 
         let gather = |b: &mut DagBuilder<'_>,
-                          stage_flows: &mut Vec<Vec<FlowRef>>,
-                          deps_comp: &[CompId],
-                          bytes: f64| {
+                      stage_flows: &mut Vec<Vec<FlowRef>>,
+                      deps_comp: &[CompId],
+                      bytes: f64| {
             let ag = b.comm_op(
                 &CollectiveOp::AllGather {
                     participants: workers.clone(),
@@ -72,7 +72,12 @@ pub fn build_fsdp(job: JobId, cfg: &FsdpConfig, alloc: &mut IdAlloc) -> JobDag {
         // Forward: AG_l → F_l per worker.
         let mut fwd_comps: Vec<Vec<CompId>> = Vec::with_capacity(n);
         for l in 0..n {
-            let ag = gather(&mut b, &mut ag_stage_flows, &prev_update.clone(), bytes_of(l));
+            let ag = gather(
+                &mut b,
+                &mut ag_stage_flows,
+                &prev_update.clone(),
+                bytes_of(l),
+            );
             let comps: Vec<CompId> = workers
                 .iter()
                 .map(|&node| {
@@ -92,7 +97,12 @@ pub fn build_fsdp(job: JobId, cfg: &FsdpConfig, alloc: &mut IdAlloc) -> JobDag {
         // Backward: AG'_l → B_l → RS_l, deepest layer first.
         let mut rs_comms: Vec<CommId> = Vec::with_capacity(n);
         for l in (0..n).rev() {
-            let ag = gather(&mut b, &mut ag_stage_flows, &prev_update.clone(), bytes_of(l));
+            let ag = gather(
+                &mut b,
+                &mut ag_stage_flows,
+                &prev_update.clone(),
+                bytes_of(l),
+            );
             let comps: Vec<CompId> = workers
                 .iter()
                 .map(|&node| {

@@ -154,10 +154,7 @@ mod tests {
     fn cfg() -> HybridConfig {
         HybridConfig {
             // 2 replicas × 2 stages on workers 0..4.
-            replicas: vec![
-                vec![NodeId(0), NodeId(1)],
-                vec![NodeId(2), NodeId(3)],
-            ],
+            replicas: vec![vec![NodeId(0), NodeId(1)], vec![NodeId(2), NodeId(3)]],
             micro_batches: 3,
             fwd_time: 1.0,
             bwd_time: 1.0,
@@ -209,10 +206,14 @@ mod tests {
         };
         let dag_e = mk();
         let mut pe = make_policy(Grouping::Echelon, &[&dag_e]);
-        let e = run_job(&topo, &dag_e, pe.as_mut()).comp_finish_time().secs();
+        let e = run_job(&topo, &dag_e, pe.as_mut())
+            .comp_finish_time()
+            .secs();
         let dag_c = mk();
         let mut pc = make_policy(Grouping::Coflow, &[&dag_c]);
-        let c = run_job(&topo, &dag_c, pc.as_mut()).comp_finish_time().secs();
+        let c = run_job(&topo, &dag_c, pc.as_mut())
+            .comp_finish_time()
+            .secs();
         assert!(e <= c + 1e-6, "echelon {e} vs coflow {c}");
     }
 

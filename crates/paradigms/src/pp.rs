@@ -272,8 +272,7 @@ pub(crate) fn build_iteration(
 
             // Backward: gradients flowing s+1 → s, consumed by stage s's
             // backward slots in its program order.
-            let bwd_offsets =
-                consumption_offsets(&programs[s], cfg.fwd_time, cfg.bwd_time, true);
+            let bwd_offsets = consumption_offsets(&programs[s], cfg.fwd_time, cfg.bwd_time, true);
             let mut flows: Vec<FlowRef> = Vec::new();
             for slot in &programs[s] {
                 if let Slot::B(m) = slot {
@@ -374,7 +373,14 @@ mod tests {
         let p = gpipe_program(3);
         assert_eq!(
             p,
-            vec![Slot::F(1), Slot::F(2), Slot::F(3), Slot::B(3), Slot::B(2), Slot::B(1)]
+            vec![
+                Slot::F(1),
+                Slot::F(2),
+                Slot::F(3),
+                Slot::B(3),
+                Slot::B(2),
+                Slot::B(1)
+            ]
         );
     }
 

@@ -20,10 +20,10 @@ use echelon_sched::varys::VarysMadd;
 use echelon_simnet::flow::FlowDemand;
 use echelon_simnet::fluid::FluidNetwork;
 use echelon_simnet::ids::{FlowId, NodeId};
-use echelon_simnet::runner::RatePolicy;
+use echelon_simnet::runner::{RatePolicy, RecomputeMode};
 use echelon_simnet::time::{SimTime, EPS};
-use echelon_simnet::trace::{FlowTrace, TraceEventKind};
 use echelon_simnet::topology::Topology;
+use echelon_simnet::trace::{FlowTrace, TraceEventKind};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Which declared grouping to schedule a job under.
@@ -110,7 +110,10 @@ impl RunResult {
 
     /// The timeline restricted to one worker.
     pub fn timeline_of(&self, worker: NodeId) -> Vec<&TimelineEntry> {
-        self.timeline.iter().filter(|e| e.worker == worker).collect()
+        self.timeline
+            .iter()
+            .filter(|e| e.worker == worker)
+            .collect()
     }
 
     /// Finish time of the last computation unit (the paper's "comp finish
@@ -136,13 +139,39 @@ pub fn run_job(topo: &Topology, dag: &JobDag, policy: &mut dyn RatePolicy) -> Ru
     run_jobs(topo, &[dag], policy)
 }
 
+/// Like [`run_job`], but selecting the policy recompute mode.
+pub fn run_job_with(
+    topo: &Topology,
+    dag: &JobDag,
+    policy: &mut dyn RatePolicy,
+    mode: RecomputeMode,
+) -> RunResult {
+    run_jobs_with(topo, &[dag], policy, mode)
+}
+
+/// Runs several jobs sharing the network to completion, using the
+/// full-recompute path. Shorthand for [`run_jobs_with`] with
+/// [`RecomputeMode::Full`].
+pub fn run_jobs(topo: &Topology, dags: &[&JobDag], policy: &mut dyn RatePolicy) -> RunResult {
+    run_jobs_with(topo, dags, policy, RecomputeMode::Full)
+}
+
 /// Runs several jobs sharing the network to completion.
+///
+/// `mode` selects which [`RatePolicy`] entry point is driven at each
+/// event; `Full` and `Incremental` must produce bit-identical results
+/// (see `tests/differential.rs` at the workspace root).
 ///
 /// # Panics
 ///
 /// Panics if two jobs claim the same worker, or if the simulation
 /// deadlocks (a dependency cycle or a policy that starves all flows).
-pub fn run_jobs(topo: &Topology, dags: &[&JobDag], policy: &mut dyn RatePolicy) -> RunResult {
+pub fn run_jobs_with(
+    topo: &Topology,
+    dags: &[&JobDag],
+    policy: &mut dyn RatePolicy,
+    mode: RecomputeMode,
+) -> RunResult {
     // Validate disjoint worker sets.
     let mut claimed: BTreeMap<NodeId, JobId> = BTreeMap::new();
     for dag in dags {
@@ -301,11 +330,22 @@ pub fn run_jobs(topo: &Topology, dags: &[&JobDag], policy: &mut dyn RatePolicy) 
 
     while comp_done.len() < total_comps || comm_done.len() < total_comms {
         if net.active_count() > 0 {
-            let views = net.views();
-            let alloc = policy.allocate(now, &views, topo);
+            // Unlike the pure-flow runner, rates are recomputed at every
+            // event (including computation completions): tardiness-driven
+            // orderings shift as time passes even when the flow set is
+            // static, and this matches the seed behaviour exactly. The
+            // delta is drained either way so incremental policies see each
+            // arrival/departure exactly once.
+            let delta = net.take_delta();
+            let alloc = match mode {
+                RecomputeMode::Full => policy.allocate(now, net.views(), topo),
+                RecomputeMode::Incremental => {
+                    policy.allocate_incremental(now, net.views(), &delta, topo)
+                }
+            };
             net.set_rates(&alloc);
-            for v in &views {
-                result.trace.record_rate(now, v.id, net.rate_of(v.id));
+            for (v, rate) in net.flows_with_rates() {
+                result.trace.record_rate(now, v.id, rate);
             }
         }
 
@@ -388,10 +428,7 @@ pub fn run_jobs(topo: &Topology, dags: &[&JobDag], policy: &mut dyn RatePolicy) 
                 end: now,
             });
             *result.worker_busy.entry(unit.worker).or_insert(0.0) += unit.duration;
-            let e = result
-                .job_makespans
-                .entry(dag.job)
-                .or_insert(SimTime::ZERO);
+            let e = result.job_makespans.entry(dag.job).or_insert(SimTime::ZERO);
             *e = (*e).max(now);
             worker_current.insert(unit.worker, None);
             *program_ptr.get_mut(&unit.worker).unwrap() += 1;
@@ -499,7 +536,11 @@ mod tests {
         // Backward [0,1]; 4 ring stages of 1-byte chunks, each at full
         // port rate (disjoint src/dst pairs): 1s per stage → comm [1,5];
         // update [5,5.5].
-        assert!(out.makespan.approx_eq(SimTime::new(5.5)), "{:?}", out.makespan);
+        assert!(
+            out.makespan.approx_eq(SimTime::new(5.5)),
+            "{:?}",
+            out.makespan
+        );
         let (start, end) = out.comm_spans[&ar];
         assert!(start.approx_eq(SimTime::new(1.0)));
         assert!(end.approx_eq(SimTime::new(5.0)));

@@ -145,7 +145,11 @@ mod tests {
         // F1 [0,1]; AS1: 2 flows of 2 B on disjoint port pairs → [1,3];
         // F2 [3,4]; AS2 [4,6]; B2 [6,7]; GS2 [7,9]; B1 [9,10]; GS1
         // [10,12]; update at 12.
-        assert!(out.makespan.approx_eq(SimTime::new(12.0)), "{:?}", out.makespan);
+        assert!(
+            out.makespan.approx_eq(SimTime::new(12.0)),
+            "{:?}",
+            out.makespan
+        );
         // Each worker computes 4 of the 12 seconds.
         assert!((out.idle_fraction(NodeId(0)) - 8.0 / 12.0).abs() < 1e-9);
     }

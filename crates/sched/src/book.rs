@@ -40,11 +40,7 @@ impl EchelonBook {
         for h in echelons {
             for f in h.flows() {
                 let prev = by_flow.insert(f.id, h.id());
-                assert!(
-                    prev.is_none(),
-                    "flow {} claimed by two EchelonFlows",
-                    f.id
-                );
+                assert!(prev.is_none(), "flow {} claimed by two EchelonFlows", f.id);
             }
             let id = h.id();
             let prev = map.insert(id, h);

@@ -30,6 +30,7 @@ use echelon_core::echelon::EchelonFlow;
 use echelon_core::EchelonId;
 use echelon_simnet::alloc::{waterfill, RateAlloc};
 use echelon_simnet::flow::ActiveFlowView;
+use echelon_simnet::fluid::FlowDelta;
 use echelon_simnet::ids::FlowId;
 use echelon_simnet::runner::RatePolicy;
 use echelon_simnet::time::{SimTime, EPS};
@@ -116,6 +117,13 @@ pub struct EchelonMadd {
     inter: InterOrder,
     intra: IntraMode,
     backfill: bool,
+    // Incremental state: EDD-ordered `(deadline, id)` member list per
+    // active group. Ideal finish times are static once an echelon's
+    // reference is bound, so these orderings survive across events; only
+    // groups whose flows arrived or departed need touching. Maintained by
+    // `apply_delta`, consumed by `allocate_cached`; the naive `allocate`
+    // path neither reads nor writes it.
+    cached_members: BTreeMap<GroupKey, Vec<(SimTime, FlowId)>>,
 }
 
 impl EchelonMadd {
@@ -128,6 +136,7 @@ impl EchelonMadd {
             inter: InterOrder::EarliestDeadline,
             intra: IntraMode::FinishEarly,
             backfill: true,
+            cached_members: BTreeMap::new(),
         }
     }
 
@@ -268,8 +277,7 @@ impl EchelonMadd {
                         let mut load = BTreeMap::new();
                         for v in &groups[&k] {
                             for r in &v.route {
-                                *load.entry(r.0).or_insert(0.0) +=
-                                    v.remaining / topo.capacity(*r);
+                                *load.entry(r.0).or_insert(0.0) += v.remaining / topo.capacity(*r);
                             }
                         }
                         GroupLoad {
@@ -330,31 +338,31 @@ impl EchelonMadd {
             }
         }
     }
-}
 
-impl RatePolicy for EchelonMadd {
-    fn allocate(&mut self, now: SimTime, flows: &[ActiveFlowView], topo: &Topology) -> RateAlloc {
-        self.book.observe(now, flows);
-
-        let mut groups: BTreeMap<GroupKey, Vec<&ActiveFlowView>> = BTreeMap::new();
-        for v in flows {
-            groups.entry(self.group_of(v.id)).or_default().push(v);
-        }
-        let order = self.serve_order(now, &groups, topo);
-
+    /// Serves pre-ordered groups against residual capacity and backfills.
+    /// Shared tail of the naive and incremental allocation paths; member
+    /// lists must be EDD-ordered (deadline, then id).
+    fn serve(
+        &self,
+        now: SimTime,
+        order: &[GroupKey],
+        members_of: &BTreeMap<GroupKey, Vec<Member<'_>>>,
+        flows: &[ActiveFlowView],
+        topo: &Topology,
+    ) -> RateAlloc {
         let mut residual: Vec<f64> = (0..topo.num_resources())
             .map(|r| topo.capacity(echelon_simnet::ids::ResourceId(r as u32)))
             .collect();
         let mut rates = RateAlloc::new();
 
         for key in order {
-            let members = self.members(key, &groups[&key]);
+            let members = &members_of[key];
             // In Equalize mode, cap every flow at the rate that makes it
             // finish exactly at d_j + τ*; in FinishEarly mode, no caps.
             let rate_caps: Option<BTreeMap<FlowId, f64>> = match self.intra {
                 IntraMode::FinishEarly => None,
                 IntraMode::Equalize => {
-                    let tau = projected_tardiness(now, &members, topo).max(0.0);
+                    let tau = projected_tardiness(now, members, topo).max(0.0);
                     Some(
                         members
                             .iter()
@@ -375,8 +383,7 @@ impl RatePolicy for EchelonMadd {
                 while j < members.len() && members[j].deadline.approx_eq(d) {
                     j += 1;
                 }
-                let stage: Vec<&ActiveFlowView> =
-                    members[i..j].iter().map(|m| m.view).collect();
+                let stage: Vec<&ActiveFlowView> = members[i..j].iter().map(|m| m.view).collect();
                 Self::serve_stage(&stage, &mut residual, &mut rates, rate_caps.as_ref());
                 i = j;
             }
@@ -384,9 +391,251 @@ impl RatePolicy for EchelonMadd {
 
         if self.backfill {
             let floor = rates.clone();
-            rates = waterfill(topo, flows, &BTreeMap::new(), &BTreeMap::new(), Some(&floor));
+            rates = waterfill(
+                topo,
+                flows,
+                &BTreeMap::new(),
+                &BTreeMap::new(),
+                Some(&floor),
+            );
         }
         rates
+    }
+
+    fn deadline_of(&self, key: GroupKey, view: &ActiveFlowView) -> SimTime {
+        match key {
+            GroupKey::Echelon(_) => self
+                .book
+                .ideal_finish(view.id)
+                .expect("member of bound echelon"),
+            GroupKey::Solo(_) => view.release,
+        }
+    }
+
+    /// Updates the cached group membership/EDD orderings for the flows
+    /// that arrived or departed since the previous call.
+    ///
+    /// `flows` is the *current* id-sorted active set (as produced by the
+    /// fluid network). Every arrival and departure must be reported
+    /// exactly once across the sequence of calls; [`Self::allocate_cached`]
+    /// self-heals from missed reports by rebuilding, at full cost.
+    pub fn apply_delta(&mut self, now: SimTime, flows: &[ActiveFlowView], delta: &FlowDelta) {
+        // Arrivals in ascending id order: reference binding is first-touch,
+        // and the naive path observes the id-sorted flow slice.
+        let mut arrived = delta.arrived.clone();
+        arrived.sort_unstable();
+        for id in arrived {
+            let Ok(idx) = flows.binary_search_by(|v| v.id.cmp(&id)) else {
+                continue; // arrived and departed without ever being served
+            };
+            let view = &flows[idx];
+            self.book.observe(now, std::slice::from_ref(view));
+            let key = self.group_of(id);
+            let deadline = self.deadline_of(key, view);
+            let list = self.cached_members.entry(key).or_default();
+            let pos = list.partition_point(|&(d, f)| (d, f) < (deadline, id));
+            list.insert(pos, (deadline, id));
+        }
+        for &id in &delta.departed {
+            let key = self.group_of(id);
+            if let Some(list) = self.cached_members.get_mut(&key) {
+                if let Some(pos) = list.iter().position(|&(_, f)| f == id) {
+                    list.remove(pos);
+                }
+                if list.is_empty() {
+                    self.cached_members.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// True when the cache covers exactly the given active set.
+    fn cache_consistent(&self, flows: &[ActiveFlowView]) -> bool {
+        self.cached_members.values().map(Vec::len).sum::<usize>() == flows.len()
+            && self
+                .cached_members
+                .values()
+                .flatten()
+                .all(|&(_, id)| flows.binary_search_by(|v| v.id.cmp(&id)).is_ok())
+    }
+
+    /// Re-derives the cache from scratch (identical grouping and ordering
+    /// to the naive path).
+    fn rebuild_cache(&mut self, now: SimTime, flows: &[ActiveFlowView]) {
+        self.book.observe(now, flows);
+        self.cached_members.clear();
+        for v in flows {
+            let key = self.group_of(v.id);
+            let deadline = self.deadline_of(key, v);
+            self.cached_members
+                .entry(key)
+                .or_default()
+                .push((deadline, v.id));
+        }
+        for list in self.cached_members.values_mut() {
+            list.sort_unstable();
+        }
+    }
+
+    /// Inter-group ordering computed from cached member lists: each
+    /// group's ranking value is computed once, instead of inside the sort
+    /// comparator (the naive path's dominant cost). The comparator is a
+    /// strict total order with a deterministic key tie-break, so the
+    /// resulting order is identical to the naive one.
+    fn serve_order_cached(
+        &self,
+        now: SimTime,
+        members_of: &BTreeMap<GroupKey, Vec<Member<'_>>>,
+        topo: &Topology,
+    ) -> Vec<GroupKey> {
+        let mut keys: Vec<GroupKey> = members_of.keys().copied().collect();
+        match self.inter {
+            InterOrder::MostTardy => {
+                let val: BTreeMap<GroupKey, f64> = members_of
+                    .iter()
+                    .map(|(k, ms)| (*k, self.weight_of(*k) * projected_tardiness(now, ms, topo)))
+                    .collect();
+                keys.sort_by(|a, b| val[b].total_cmp(&val[a]).then(a.cmp(b)));
+            }
+            InterOrder::LeastWork => {
+                let val: BTreeMap<GroupKey, f64> = members_of
+                    .iter()
+                    .map(|(k, ms)| (*k, Self::isolation_gamma(ms, topo)))
+                    .collect();
+                keys.sort_by(|a, b| val[a].total_cmp(&val[b]).then(a.cmp(b)));
+            }
+            InterOrder::StageLeastWork => {
+                let val: BTreeMap<GroupKey, (f64, SimTime)> = members_of
+                    .iter()
+                    .map(|(k, ms)| {
+                        let head_deadline = ms[0].deadline;
+                        let mut per_resource: BTreeMap<u32, f64> = BTreeMap::new();
+                        for m in ms
+                            .iter()
+                            .take_while(|m| m.deadline.approx_eq(head_deadline))
+                        {
+                            for r in &m.view.route {
+                                *per_resource.entry(r.0).or_insert(0.0) +=
+                                    m.view.remaining / topo.capacity(*r);
+                            }
+                        }
+                        let gamma = per_resource.values().fold(0.0f64, |a, &b| a.max(b));
+                        (*k, (gamma, head_deadline))
+                    })
+                    .collect();
+                keys.sort_by(|a, b| {
+                    let (ga, da) = val[a];
+                    let (gb, db) = val[b];
+                    ga.total_cmp(&gb).then(da.cmp(&db)).then(a.cmp(b))
+                });
+            }
+            InterOrder::EarliestDeadline => {
+                keys.sort_by(|a, b| {
+                    members_of[a][0]
+                        .deadline
+                        .cmp(&members_of[b][0].deadline)
+                        .then(a.cmp(b))
+                });
+            }
+            InterOrder::Bssi => {
+                let mut key_for_id = BTreeMap::new();
+                let loads: Vec<GroupLoad> = keys
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &k)| {
+                        let id = EchelonId(i as u64);
+                        key_for_id.insert(id, k);
+                        // Accumulate in ascending id order to match the
+                        // naive path's float summation order bit-for-bit.
+                        let mut by_id: Vec<&Member<'_>> = members_of[&k].iter().collect();
+                        by_id.sort_by_key(|m| m.view.id);
+                        let mut load = BTreeMap::new();
+                        for m in by_id {
+                            for r in &m.view.route {
+                                *load.entry(r.0).or_insert(0.0) +=
+                                    m.view.remaining / topo.capacity(*r);
+                            }
+                        }
+                        GroupLoad {
+                            id,
+                            weight: self.weight_of(k),
+                            load,
+                        }
+                    })
+                    .collect();
+                keys = bssi_order(&loads)
+                    .into_iter()
+                    .map(|id| key_for_id[&id])
+                    .collect();
+            }
+        }
+        keys
+    }
+
+    /// Allocation from the cached group structure maintained by
+    /// [`Self::apply_delta`]. Requires `flows` sorted by ascending id (the
+    /// fluid network's view order). Observationally identical to the naive
+    /// [`RatePolicy::allocate`]; if the cache does not cover the active
+    /// set (a missed delta), it is rebuilt from scratch first.
+    pub fn allocate_cached(
+        &mut self,
+        now: SimTime,
+        flows: &[ActiveFlowView],
+        topo: &Topology,
+    ) -> RateAlloc {
+        debug_assert!(flows.windows(2).all(|w| w[0].id < w[1].id));
+        if !self.cache_consistent(flows) {
+            self.rebuild_cache(now, flows);
+        }
+        let members_of: BTreeMap<GroupKey, Vec<Member<'_>>> = self
+            .cached_members
+            .iter()
+            .map(|(k, list)| {
+                let ms = list
+                    .iter()
+                    .map(|&(deadline, id)| {
+                        let idx = flows
+                            .binary_search_by(|v| v.id.cmp(&id))
+                            .expect("cached flow is active");
+                        Member {
+                            view: &flows[idx],
+                            deadline,
+                        }
+                    })
+                    .collect();
+                (*k, ms)
+            })
+            .collect();
+        let order = self.serve_order_cached(now, &members_of, topo);
+        self.serve(now, &order, &members_of, flows, topo)
+    }
+}
+
+impl RatePolicy for EchelonMadd {
+    fn allocate(&mut self, now: SimTime, flows: &[ActiveFlowView], topo: &Topology) -> RateAlloc {
+        self.book.observe(now, flows);
+
+        let mut groups: BTreeMap<GroupKey, Vec<&ActiveFlowView>> = BTreeMap::new();
+        for v in flows {
+            groups.entry(self.group_of(v.id)).or_default().push(v);
+        }
+        let order = self.serve_order(now, &groups, topo);
+        let members_of: BTreeMap<GroupKey, Vec<Member<'_>>> = groups
+            .iter()
+            .map(|(k, vs)| (*k, self.members(*k, vs)))
+            .collect();
+        self.serve(now, &order, &members_of, flows, topo)
+    }
+
+    fn allocate_incremental(
+        &mut self,
+        now: SimTime,
+        flows: &[ActiveFlowView],
+        delta: &FlowDelta,
+        topo: &Topology,
+    ) -> RateAlloc {
+        self.apply_delta(now, flows, delta);
+        self.allocate_cached(now, flows, topo)
     }
 
     fn name(&self) -> &'static str {
@@ -499,8 +748,7 @@ mod tests {
     #[test]
     fn equalize_mode_constant_tardiness() {
         let topo = Topology::chain(2, 1.0);
-        let mut policy =
-            EchelonMadd::new(vec![fig2_echelon()]).with_intra(IntraMode::Equalize);
+        let mut policy = EchelonMadd::new(vec![fig2_echelon()]).with_intra(IntraMode::Equalize);
         let out = run_flows(&topo, fig2_demands(), &mut policy);
         let e2 = out.finish(FlowId(2)).unwrap();
         assert!(e2.at_or_before(SimTime::new(7.0 + 1e-6)), "e2 = {e2:?}");
@@ -601,6 +849,53 @@ mod tests {
         assert!(out.finish(FlowId(2)).unwrap().approx_eq(SimTime::new(7.0)));
     }
 
+    /// The incremental path must be bit-identical to the naive one across
+    /// every inter/intra combination (the broad differential sweep lives
+    /// in `tests/differential.rs` at the workspace root).
+    #[test]
+    fn incremental_path_matches_naive() {
+        use echelon_simnet::runner::{run_flows_with, RecomputeMode};
+        let topo = Topology::big_switch_uniform(3, 1.0);
+        let make = |inter, intra| {
+            let h0 = fig2_echelon();
+            let h1 = EchelonFlow::from_flows(
+                EchelonId(1),
+                JobId(1),
+                vec![fr(10, 1, 2, 1.0), fr(11, 1, 2, 2.0)],
+                ArrangementFn::Staggered { gap: 0.5 },
+            );
+            EchelonMadd::new(vec![h0, h1])
+                .with_inter(inter)
+                .with_intra(intra)
+        };
+        let mut demands = fig2_demands();
+        demands.push(demand(10, 1, 2, 1.0, 0.5));
+        demands.push(demand(11, 1, 2, 2.0, 1.5));
+        demands.push(demand(20, 2, 0, 0.7, 0.2)); // solo flow
+        for inter in [
+            InterOrder::MostTardy,
+            InterOrder::LeastWork,
+            InterOrder::StageLeastWork,
+            InterOrder::EarliestDeadline,
+            InterOrder::Bssi,
+        ] {
+            for intra in [IntraMode::FinishEarly, IntraMode::Equalize] {
+                let a = run_flows(&topo, demands.clone(), &mut make(inter, intra));
+                let b = run_flows_with(
+                    &topo,
+                    demands.clone(),
+                    &mut make(inter, intra),
+                    RecomputeMode::Incremental,
+                );
+                assert_eq!(
+                    a.trace().events(),
+                    b.trace().events(),
+                    "trace mismatch for {inter:?}/{intra:?}"
+                );
+            }
+        }
+    }
+
     #[test]
     fn earliest_deadline_inter_order() {
         let topo = Topology::chain(2, 1.0);
@@ -616,8 +911,7 @@ mod tests {
             vec![fr(1, 0, 1, 2.0)],
             ArrangementFn::Coflow,
         );
-        let mut policy =
-            EchelonMadd::new(vec![h0, h1]).with_inter(InterOrder::EarliestDeadline);
+        let mut policy = EchelonMadd::new(vec![h0, h1]).with_inter(InterOrder::EarliestDeadline);
         let out = run_flows(
             &topo,
             vec![demand(0, 0, 1, 2.0, 0.0), demand(1, 0, 1, 2.0, 0.5)],

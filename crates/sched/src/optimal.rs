@@ -50,11 +50,7 @@ impl Objective {
                 })
                 .fold(f64::NEG_INFINITY, f64::max),
             Objective::Makespan => out.makespan().secs(),
-            Objective::TotalCompletion => out
-                .completions()
-                .values()
-                .map(|c| c.finish.secs())
-                .sum(),
+            Objective::TotalCompletion => out.completions().values().map(|c| c.finish.secs()).sum(),
         }
     }
 }
@@ -135,11 +131,7 @@ pub fn optimal_schedule(
 
 /// Runs one fixed permutation and returns its outcomes (for inspecting
 /// the optimal schedule found by [`optimal_schedule`]).
-pub fn run_permutation(
-    topo: &Topology,
-    demands: &[FlowDemand],
-    order: &[FlowId],
-) -> FlowOutcomes {
+pub fn run_permutation(topo: &Topology, demands: &[FlowDemand], order: &[FlowId]) -> FlowOutcomes {
     let mut policy = FixedOrderPolicy {
         order: order.to_vec(),
     };
@@ -194,7 +186,11 @@ mod tests {
         let objective = Objective::MaxTardiness(deadlines(&[(0, 1.0), (1, 2.0), (2, 3.0)]));
         let res = optimal_schedule(&topo, &demands, &objective);
         assert_eq!(res.evaluated, 6);
-        assert!((res.best_value - 4.0).abs() < 1e-9, "best {}", res.best_value);
+        assert!(
+            (res.best_value - 4.0).abs() < 1e-9,
+            "best {}",
+            res.best_value
+        );
         assert_eq!(res.best_order, vec![FlowId(0), FlowId(1), FlowId(2)]);
     }
 

@@ -83,14 +83,12 @@ pub fn bssi_order(groups: &[GroupLoad]) -> Vec<EchelonId> {
             Some(i) => i,
             // All groups avoid the bottleneck (cannot happen when agg[b] >
             // 0, but guard anyway): place the largest-id group last.
-            None => {
-                remaining
-                    .iter()
-                    .enumerate()
-                    .max_by_key(|(_, g)| g.id)
-                    .map(|(i, _)| i)
-                    .unwrap()
-            }
+            None => remaining
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, g)| g.id)
+                .map(|(i, _)| i)
+                .unwrap(),
         };
         let placed = remaining.swap_remove(idx);
 
@@ -130,10 +128,7 @@ mod tests {
     fn smaller_group_goes_first_on_shared_bottleneck() {
         // Classic SJF shape: equal weights, the heavy group is placed
         // last.
-        let order = bssi_order(&[
-            group(0, 1.0, &[(0, 10.0)]),
-            group(1, 1.0, &[(0, 1.0)]),
-        ]);
+        let order = bssi_order(&[group(0, 1.0, &[(0, 10.0)]), group(1, 1.0, &[(0, 1.0)])]);
         assert_eq!(order, vec![EchelonId(1), EchelonId(0)]);
     }
 
@@ -141,19 +136,13 @@ mod tests {
     fn weight_overrides_size() {
         // The big group is 10x heavier in weight, so per-unit-weight it is
         // *smaller* and goes first.
-        let order = bssi_order(&[
-            group(0, 10.0, &[(0, 10.0)]),
-            group(1, 1.0, &[(0, 2.0)]),
-        ]);
+        let order = bssi_order(&[group(0, 10.0, &[(0, 10.0)]), group(1, 1.0, &[(0, 2.0)])]);
         assert_eq!(order, vec![EchelonId(0), EchelonId(1)]);
     }
 
     #[test]
     fn disjoint_resources_any_order_is_consistent() {
-        let a = [
-            group(0, 1.0, &[(0, 3.0)]),
-            group(1, 1.0, &[(1, 2.0)]),
-        ];
+        let a = [group(0, 1.0, &[(0, 3.0)]), group(1, 1.0, &[(1, 2.0)])];
         let order = bssi_order(&a);
         assert_eq!(order.len(), 2);
         // Deterministic across calls.
@@ -180,10 +169,7 @@ mod tests {
 
     #[test]
     fn zero_load_groups_handled() {
-        let order = bssi_order(&[
-            group(0, 1.0, &[]),
-            group(1, 1.0, &[(0, 1.0)]),
-        ]);
+        let order = bssi_order(&[group(0, 1.0, &[]), group(1, 1.0, &[(0, 1.0)])]);
         assert_eq!(order.len(), 2);
     }
 }

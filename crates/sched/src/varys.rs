@@ -20,6 +20,7 @@ use echelon_core::coflow::Coflow;
 use echelon_core::EchelonId;
 use echelon_simnet::alloc::{waterfill, RateAlloc};
 use echelon_simnet::flow::ActiveFlowView;
+use echelon_simnet::fluid::FlowDelta;
 use echelon_simnet::ids::FlowId;
 use echelon_simnet::runner::RatePolicy;
 use echelon_simnet::time::{SimTime, EPS};
@@ -53,6 +54,10 @@ pub struct VarysMadd {
     order: CoflowOrder,
     backfill: bool,
     arrivals: BTreeMap<GroupKey, SimTime>,
+    // Incremental state: id-ordered member list per active group, patched
+    // by `apply_delta` and consumed by `allocate_cached`. The naive
+    // `allocate` path neither reads nor writes it.
+    cached_members: BTreeMap<GroupKey, Vec<FlowId>>,
 }
 
 impl VarysMadd {
@@ -79,6 +84,7 @@ impl VarysMadd {
             order: CoflowOrder::Sebf,
             backfill: true,
             arrivals: BTreeMap::new(),
+            cached_members: BTreeMap::new(),
         }
     }
 
@@ -155,8 +161,7 @@ impl VarysMadd {
                         let mut load = BTreeMap::new();
                         for v in &groups[&k] {
                             for r in &v.route {
-                                *load.entry(r.0).or_insert(0.0) +=
-                                    v.remaining / topo.capacity(*r);
+                                *load.entry(r.0).or_insert(0.0) += v.remaining / topo.capacity(*r);
                             }
                         }
                         GroupLoad {
@@ -174,27 +179,48 @@ impl VarysMadd {
         }
         keys
     }
-}
 
-impl RatePolicy for VarysMadd {
-    fn allocate(&mut self, now: SimTime, flows: &[ActiveFlowView], topo: &Topology) -> RateAlloc {
-        // Group active flows; record first-seen arrival per group.
-        let mut groups: BTreeMap<GroupKey, Vec<&ActiveFlowView>> = BTreeMap::new();
-        for v in flows {
-            let key = self.group_of(v.id);
-            self.arrivals.entry(key).or_insert(now);
-            groups.entry(key).or_default().push(v);
+    /// Serve order from cached groups with per-group ranking values
+    /// computed once instead of inside the sort comparator. Arrival and
+    /// BSSI orderings already compute their keys once, so only SEBF needs
+    /// the cached variant; the result is identical to [`Self::serve_order`]
+    /// because the comparator is a strict total order with a key tie-break.
+    fn serve_order_cached(
+        &self,
+        now: SimTime,
+        groups: &BTreeMap<GroupKey, Vec<&ActiveFlowView>>,
+        topo: &Topology,
+    ) -> Vec<GroupKey> {
+        match self.order {
+            CoflowOrder::Sebf => {
+                let mut keys: Vec<GroupKey> = groups.keys().copied().collect();
+                let val: BTreeMap<GroupKey, f64> = groups
+                    .iter()
+                    .map(|(k, ms)| (*k, Self::gamma(ms, topo)))
+                    .collect();
+                keys.sort_by(|a, b| val[a].total_cmp(&val[b]).then(a.cmp(b)));
+                keys
+            }
+            CoflowOrder::Arrival | CoflowOrder::Bssi => self.serve_order(now, groups, topo),
         }
+    }
 
-        let order = self.serve_order(now, &groups, topo);
-
-        // Serve groups in order: MADD against residual capacity.
+    /// Serves pre-ordered groups: MADD against residual capacity, then
+    /// optional backfill. Shared tail of the naive and incremental paths;
+    /// member lists must be in ascending id order.
+    fn serve(
+        &self,
+        order: &[GroupKey],
+        groups: &BTreeMap<GroupKey, Vec<&ActiveFlowView>>,
+        flows: &[ActiveFlowView],
+        topo: &Topology,
+    ) -> RateAlloc {
         let mut residual: Vec<f64> = (0..topo.num_resources())
             .map(|r| topo.capacity(echelon_simnet::ids::ResourceId(r as u32)))
             .collect();
         let mut rates = RateAlloc::new();
         for key in order {
-            let members = &groups[&key];
+            let members = &groups[key];
             // Γ against residual capacity.
             let mut per_resource: BTreeMap<u32, f64> = BTreeMap::new();
             for v in members {
@@ -230,9 +256,124 @@ impl RatePolicy for VarysMadd {
             // Work conservation: flows may exceed their MADD rate using
             // leftover capacity, shared max-min.
             let floor = rates.clone();
-            rates = waterfill(topo, flows, &BTreeMap::new(), &BTreeMap::new(), Some(&floor));
+            rates = waterfill(
+                topo,
+                flows,
+                &BTreeMap::new(),
+                &BTreeMap::new(),
+                Some(&floor),
+            );
         }
         rates
+    }
+
+    /// Updates the cached group membership for the flows that arrived or
+    /// departed since the previous call. `flows` is the current id-sorted
+    /// active set; every arrival/departure must be reported exactly once
+    /// across the sequence of calls ([`Self::allocate_cached`] self-heals
+    /// from missed reports by rebuilding).
+    pub fn apply_delta(&mut self, now: SimTime, flows: &[ActiveFlowView], delta: &FlowDelta) {
+        let mut arrived = delta.arrived.clone();
+        arrived.sort_unstable();
+        for id in arrived {
+            if flows.binary_search_by(|v| v.id.cmp(&id)).is_err() {
+                continue; // arrived and departed without ever being served
+            }
+            let key = self.group_of(id);
+            self.arrivals.entry(key).or_insert(now);
+            let list = self.cached_members.entry(key).or_default();
+            let pos = list.partition_point(|&f| f < id);
+            list.insert(pos, id);
+        }
+        for &id in &delta.departed {
+            let key = self.group_of(id);
+            if let Some(list) = self.cached_members.get_mut(&key) {
+                if let Ok(pos) = list.binary_search(&id) {
+                    list.remove(pos);
+                }
+                if list.is_empty() {
+                    self.cached_members.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// True when the cache covers exactly the given active set.
+    fn cache_consistent(&self, flows: &[ActiveFlowView]) -> bool {
+        self.cached_members.values().map(Vec::len).sum::<usize>() == flows.len()
+            && self
+                .cached_members
+                .values()
+                .flatten()
+                .all(|id| flows.binary_search_by(|v| v.id.cmp(id)).is_ok())
+    }
+
+    fn rebuild_cache(&mut self, now: SimTime, flows: &[ActiveFlowView]) {
+        self.cached_members.clear();
+        for v in flows {
+            let key = self.group_of(v.id);
+            self.arrivals.entry(key).or_insert(now);
+            self.cached_members.entry(key).or_default().push(v.id);
+        }
+    }
+
+    /// Allocation from the cached group structure maintained by
+    /// [`Self::apply_delta`]. Requires `flows` sorted by ascending id.
+    /// Observationally identical to the naive [`RatePolicy::allocate`].
+    pub fn allocate_cached(
+        &mut self,
+        now: SimTime,
+        flows: &[ActiveFlowView],
+        topo: &Topology,
+    ) -> RateAlloc {
+        debug_assert!(flows.windows(2).all(|w| w[0].id < w[1].id));
+        if !self.cache_consistent(flows) {
+            self.rebuild_cache(now, flows);
+        }
+        let groups: BTreeMap<GroupKey, Vec<&ActiveFlowView>> = self
+            .cached_members
+            .iter()
+            .map(|(k, ids)| {
+                let members = ids
+                    .iter()
+                    .map(|id| {
+                        let idx = flows
+                            .binary_search_by(|v| v.id.cmp(id))
+                            .expect("cached flow is active");
+                        &flows[idx]
+                    })
+                    .collect();
+                (*k, members)
+            })
+            .collect();
+        let order = self.serve_order_cached(now, &groups, topo);
+        self.serve(&order, &groups, flows, topo)
+    }
+}
+
+impl RatePolicy for VarysMadd {
+    fn allocate(&mut self, now: SimTime, flows: &[ActiveFlowView], topo: &Topology) -> RateAlloc {
+        // Group active flows; record first-seen arrival per group.
+        let mut groups: BTreeMap<GroupKey, Vec<&ActiveFlowView>> = BTreeMap::new();
+        for v in flows {
+            let key = self.group_of(v.id);
+            self.arrivals.entry(key).or_insert(now);
+            groups.entry(key).or_default().push(v);
+        }
+
+        let order = self.serve_order(now, &groups, topo);
+        self.serve(&order, &groups, flows, topo)
+    }
+
+    fn allocate_incremental(
+        &mut self,
+        now: SimTime,
+        flows: &[ActiveFlowView],
+        delta: &FlowDelta,
+        topo: &Topology,
+    ) -> RateAlloc {
+        self.apply_delta(now, flows, delta);
+        self.allocate_cached(now, flows, topo)
     }
 
     fn name(&self) -> &'static str {
@@ -430,6 +571,44 @@ mod tests {
         // SEBF over singletons = SRPT-ish: short one first.
         assert!(out.finish(FlowId(0)).unwrap().approx_eq(SimTime::new(1.0)));
         assert!(out.finish(FlowId(1)).unwrap().approx_eq(SimTime::new(3.0)));
+    }
+
+    /// The incremental path must be bit-identical to the naive one for
+    /// every coflow ordering.
+    #[test]
+    fn incremental_path_matches_naive() {
+        use echelon_simnet::runner::{run_flows_with, RecomputeMode};
+        let topo = Topology::big_switch_uniform(4, 1.0);
+        let make = |order| {
+            let c0 = Coflow::new(
+                EchelonId(0),
+                JobId(0),
+                vec![fr(0, 0, 1, 2.0), fr(1, 0, 1, 2.0), fr(2, 2, 1, 1.0)],
+            );
+            let c1 = Coflow::new(EchelonId(1), JobId(1), vec![fr(10, 1, 3, 4.0)]);
+            VarysMadd::new(vec![c0, c1]).with_order(order)
+        };
+        let demands = vec![
+            demand(0, 0, 1, 2.0, 1.0),
+            demand(1, 0, 1, 2.0, 2.0),
+            demand(2, 2, 1, 1.0, 0.0),
+            demand(10, 1, 3, 4.0, 0.5),
+            demand(20, 3, 0, 0.7, 0.2), // solo flow
+        ];
+        for order in [CoflowOrder::Sebf, CoflowOrder::Bssi, CoflowOrder::Arrival] {
+            let a = run_flows(&topo, demands.clone(), &mut make(order));
+            let b = run_flows_with(
+                &topo,
+                demands.clone(),
+                &mut make(order),
+                RecomputeMode::Incremental,
+            );
+            assert_eq!(
+                a.trace().events(),
+                b.trace().events(),
+                "trace mismatch for {order:?}"
+            );
+        }
     }
 
     #[test]

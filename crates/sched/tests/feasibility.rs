@@ -1,10 +1,14 @@
 //! Property tests: every scheduler's allocation is feasible on random
 //! inputs, on both topology families, with arbitrary group structures.
+//!
+//! Inputs are generated from seeded `echelon-detrand` streams so every
+//! failure is reproducible from the printed seed.
 
 use echelon_core::arrangement::ArrangementFn;
 use echelon_core::coflow::Coflow;
 use echelon_core::echelon::{EchelonFlow, FlowRef};
 use echelon_core::{EchelonId, JobId};
+use echelon_detrand::DetRng;
 use echelon_sched::baselines::{FifoPolicy, SrptPolicy};
 use echelon_sched::echelon::{EchelonMadd, InterOrder, IntraMode};
 use echelon_sched::varys::{CoflowOrder, VarysMadd};
@@ -14,9 +18,9 @@ use echelon_simnet::ids::{FlowId, NodeId};
 use echelon_simnet::runner::{MaxMinPolicy, RatePolicy};
 use echelon_simnet::time::SimTime;
 use echelon_simnet::topology::Topology;
-use proptest::prelude::*;
 
 const HOSTS: u32 = 5;
+const CASES: u64 = 48;
 
 #[derive(Debug, Clone)]
 struct RawFlow {
@@ -27,19 +31,17 @@ struct RawFlow {
     release: f64,
 }
 
-fn raw_flows() -> impl Strategy<Value = Vec<RawFlow>> {
-    prop::collection::vec(
-        (0..HOSTS, 0..HOSTS - 1, 0.1f64..5.0, 0.01f64..1.0, 0.0f64..4.0).prop_map(
-            |(src, dst_raw, size, progress, release)| RawFlow {
-                src,
-                dst_raw,
-                size,
-                progress,
-                release,
-            },
-        ),
-        1..12,
-    )
+fn raw_flows(rng: &mut DetRng) -> Vec<RawFlow> {
+    let n = rng.usize_range_inclusive(1, 12);
+    (0..n)
+        .map(|_| RawFlow {
+            src: rng.usize_range_inclusive(0, HOSTS as usize - 1) as u32,
+            dst_raw: rng.usize_range_inclusive(0, HOSTS as usize - 2) as u32,
+            size: rng.f64_range(0.1, 5.0),
+            progress: rng.f64_range(0.01, 1.0),
+            release: rng.f64_range(0.0, 4.0),
+        })
+        .collect()
 }
 
 fn views(raw: &[RawFlow], topo: &Topology) -> Vec<ActiveFlowView> {
@@ -111,11 +113,11 @@ fn check_policy(policy: &mut dyn RatePolicy, flows: &[ActiveFlowView], topo: &To
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn all_schedulers_feasible_on_big_switch(raw in raw_flows()) {
+#[test]
+fn all_schedulers_feasible_on_big_switch() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let raw = raw_flows(&mut rng);
         let topo = Topology::big_switch_uniform(HOSTS as usize, 1.0);
         let flows = views(&raw, &topo);
         let (echelons, coflows) = group(&flows);
@@ -141,9 +143,13 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn all_schedulers_feasible_on_chain(raw in raw_flows()) {
+#[test]
+fn all_schedulers_feasible_on_chain() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let raw = raw_flows(&mut rng);
         let topo = Topology::chain(HOSTS as usize, 0.7);
         let flows = views(&raw, &topo);
         let (echelons, coflows) = group(&flows);
@@ -152,9 +158,13 @@ proptest! {
         let mut echelon = EchelonMadd::new(echelons);
         check_policy(&mut echelon, &flows, &topo);
     }
+}
 
-    #[test]
-    fn backfill_never_reduces_rates(raw in raw_flows()) {
+#[test]
+fn backfill_never_reduces_rates() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let raw = raw_flows(&mut rng);
         let topo = Topology::big_switch_uniform(HOSTS as usize, 1.0);
         let flows = views(&raw, &topo);
         let (echelons, _) = group(&flows);
@@ -165,7 +175,11 @@ proptest! {
         for v in &flows {
             let ra = a.get(&v.id).copied().unwrap_or(0.0);
             let rb = b.get(&v.id).copied().unwrap_or(0.0);
-            prop_assert!(ra + 1e-9 >= rb, "backfill reduced {} from {rb} to {ra}", v.id);
+            assert!(
+                ra + 1e-9 >= rb,
+                "seed {seed}: backfill reduced {} from {rb} to {ra}",
+                v.id
+            );
         }
     }
 }

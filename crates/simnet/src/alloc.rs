@@ -60,10 +60,7 @@ pub fn check_feasible(
     }
     for (idx, slack) in residuals(topo, flows, alloc).iter().enumerate() {
         if *slack < -1e-6 {
-            return Err(format!(
-                "resource r{idx} oversubscribed by {}",
-                -slack
-            ));
+            return Err(format!("resource r{idx} oversubscribed by {}", -slack));
         }
     }
     Ok(())
@@ -252,8 +249,10 @@ mod tests {
 
     fn two_flows_one_port() -> (Topology, Vec<ActiveFlowView>) {
         let topo = Topology::big_switch_uniform(3, 1.0);
-        let demands = [FlowDemand::new(FlowId(0), NodeId(0), NodeId(1), 2.0, SimTime::ZERO),
-            FlowDemand::new(FlowId(1), NodeId(0), NodeId(2), 2.0, SimTime::ZERO)];
+        let demands = [
+            FlowDemand::new(FlowId(0), NodeId(0), NodeId(1), 2.0, SimTime::ZERO),
+            FlowDemand::new(FlowId(1), NodeId(0), NodeId(2), 2.0, SimTime::ZERO),
+        ];
         let flows = demands.iter().map(|d| view(&topo, d)).collect();
         (topo, flows)
     }
@@ -271,9 +270,11 @@ mod tests {
     fn max_min_uses_spare_capacity() {
         // f0 and f1 share n0 egress; f2 is alone on n1 egress.
         let topo = Topology::big_switch_uniform(4, 1.0);
-        let demands = [FlowDemand::new(FlowId(0), NodeId(0), NodeId(2), 1.0, SimTime::ZERO),
+        let demands = [
+            FlowDemand::new(FlowId(0), NodeId(0), NodeId(2), 1.0, SimTime::ZERO),
             FlowDemand::new(FlowId(1), NodeId(0), NodeId(3), 1.0, SimTime::ZERO),
-            FlowDemand::new(FlowId(2), NodeId(1), NodeId(2), 1.0, SimTime::ZERO)];
+            FlowDemand::new(FlowId(2), NodeId(1), NodeId(2), 1.0, SimTime::ZERO),
+        ];
         let flows: Vec<_> = demands.iter().map(|d| view(&topo, d)).collect();
         let rates = max_min_rates(&topo, &flows);
         // f0 and f2 share n2's ingress: 0.5 each; f1 then gets n0's
@@ -373,9 +374,11 @@ mod tests {
     fn max_min_on_chain_bottleneck() {
         // Fig. 2 geometry: one link of capacity B = 1 between two workers.
         let topo = Topology::chain(2, 1.0);
-        let demands = [FlowDemand::new(FlowId(0), NodeId(0), NodeId(1), 2.0, SimTime::ZERO),
+        let demands = [
+            FlowDemand::new(FlowId(0), NodeId(0), NodeId(1), 2.0, SimTime::ZERO),
             FlowDemand::new(FlowId(1), NodeId(0), NodeId(1), 2.0, SimTime::ZERO),
-            FlowDemand::new(FlowId(2), NodeId(0), NodeId(1), 2.0, SimTime::ZERO)];
+            FlowDemand::new(FlowId(2), NodeId(0), NodeId(1), 2.0, SimTime::ZERO),
+        ];
         let flows: Vec<_> = demands.iter().map(|d| view(&topo, d)).collect();
         let rates = max_min_rates(&topo, &flows);
         for f in &flows {

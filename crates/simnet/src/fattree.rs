@@ -60,7 +60,10 @@ impl FatTree {
     /// Panics if `k` is odd or < 2.
     pub fn build(&self) -> Topology {
         let k = self.k;
-        assert!(k >= 2 && k.is_multiple_of(2), "fat-tree needs even k >= 2, got {k}");
+        assert!(
+            k >= 2 && k.is_multiple_of(2),
+            "fat-tree needs even k >= 2, got {k}"
+        );
         let half = k / 2;
         let hosts = self.hosts();
         let edges = k * half; // k pods × k/2 edge switches

@@ -30,7 +30,10 @@ impl FlowDemand {
     ///
     /// Panics if `size` is non-positive or non-finite, or `src == dst`.
     pub fn new(id: FlowId, src: NodeId, dst: NodeId, size: f64, release: SimTime) -> FlowDemand {
-        assert!(size > 0.0 && size.is_finite(), "flow size must be positive: {size}");
+        assert!(
+            size > 0.0 && size.is_finite(),
+            "flow size must be positive: {size}"
+        );
         assert!(src != dst, "flow endpoints coincide: {src}");
         FlowDemand {
             id,

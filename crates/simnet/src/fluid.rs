@@ -11,27 +11,53 @@
 //! Byte conservation is enforced: a flow finishes exactly when its
 //! remaining size crosses zero (within epsilon), and `advance` never
 //! overshoots a completion.
+//!
+//! ## Incremental scheduling support
+//!
+//! The table is vec-backed and id-sorted, so [`FluidNetwork::views`] is a
+//! borrow, not a per-event allocation. Arrivals and departures since the
+//! last [`FluidNetwork::take_delta`] are accumulated in a [`FlowDelta`],
+//! which incremental policies use to update cached group state instead of
+//! re-deriving it from the full flow set at every event.
 
 use crate::alloc::{check_feasible, RateAlloc};
 use crate::flow::{ActiveFlowView, FlowCompletion, FlowDemand};
 use crate::ids::FlowId;
 use crate::time::{SimTime, EPS};
 use crate::topology::Topology;
-use std::collections::BTreeMap;
 
-#[derive(Debug, Clone)]
-struct LiveFlow {
-    view: ActiveFlowView,
-    rate: f64,
+/// The set of flows that arrived and departed since the last
+/// [`FluidNetwork::take_delta`], in event order.
+///
+/// Ids are unique per run, so a flow never appears in `arrived` after
+/// `departed`; consumers should apply arrivals before departures.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlowDelta {
+    /// Flows released since the last drain.
+    pub arrived: Vec<FlowId>,
+    /// Flows completed since the last drain.
+    pub departed: Vec<FlowId>,
+}
+
+impl FlowDelta {
+    /// True when nothing arrived or departed.
+    pub fn is_empty(&self) -> bool {
+        self.arrived.is_empty() && self.departed.is_empty()
+    }
 }
 
 /// The set of in-flight flows and their currently assigned rates.
+///
+/// Flows are stored in ascending id order; `rates[i]` is the rate of
+/// `views[i]`.
 #[derive(Debug)]
 pub struct FluidNetwork {
     topology: Topology,
-    flows: BTreeMap<FlowId, LiveFlow>,
+    views: Vec<ActiveFlowView>,
+    rates: Vec<f64>,
     now: SimTime,
     completions: Vec<FlowCompletion>,
+    delta: FlowDelta,
 }
 
 impl FluidNetwork {
@@ -39,9 +65,11 @@ impl FluidNetwork {
     pub fn new(topology: Topology) -> FluidNetwork {
         FluidNetwork {
             topology,
-            flows: BTreeMap::new(),
+            views: Vec::new(),
+            rates: Vec::new(),
             now: SimTime::ZERO,
             completions: Vec::new(),
+            delta: FlowDelta::default(),
         }
     }
 
@@ -57,7 +85,11 @@ impl FluidNetwork {
 
     /// Number of active flows.
     pub fn active_count(&self) -> usize {
-        self.flows.len()
+        self.views.len()
+    }
+
+    fn index_of(&self, id: FlowId) -> Option<usize> {
+        self.views.binary_search_by(|v| v.id.cmp(&id)).ok()
     }
 
     /// Releases a flow into the network at the current time.
@@ -77,57 +109,84 @@ impl FluidNetwork {
             demand.release
         );
         let route = self.topology.route(demand.src, demand.dst);
-        let prev = self.flows.insert(
-            demand.id,
-            LiveFlow {
-                view: ActiveFlowView {
-                    id: demand.id,
-                    src: demand.src,
-                    dst: demand.dst,
-                    size: demand.size,
-                    remaining: demand.size,
-                    release: demand.release,
-                    route,
-                },
-                rate: 0.0,
+        let pos = match self.views.binary_search_by(|v| v.id.cmp(&demand.id)) {
+            Ok(_) => panic!("duplicate flow id {}", demand.id),
+            Err(pos) => pos,
+        };
+        self.views.insert(
+            pos,
+            ActiveFlowView {
+                id: demand.id,
+                src: demand.src,
+                dst: demand.dst,
+                size: demand.size,
+                remaining: demand.size,
+                release: demand.release,
+                route,
             },
         );
-        assert!(prev.is_none(), "duplicate flow id {}", demand.id);
+        self.rates.insert(pos, 0.0);
+        self.delta.arrived.push(demand.id);
     }
 
     /// Snapshot of all active flows in ascending id order, as handed to
-    /// rate policies.
-    pub fn views(&self) -> Vec<ActiveFlowView> {
-        self.flows.values().map(|lf| lf.view.clone()).collect()
+    /// rate policies. A borrow of the live table — no per-event allocation.
+    pub fn views(&self) -> &[ActiveFlowView] {
+        &self.views
     }
 
-    /// Applies a rate allocation. Missing flows get rate zero.
+    /// Active flows paired with their current rates, in ascending id order.
+    pub fn flows_with_rates(&self) -> impl Iterator<Item = (&ActiveFlowView, f64)> {
+        self.views.iter().zip(self.rates.iter().copied())
+    }
+
+    /// Drains the arrivals/departures accumulated since the last call.
+    pub fn take_delta(&mut self) -> FlowDelta {
+        std::mem::take(&mut self.delta)
+    }
+
+    /// True when arrivals or departures are pending in the delta (i.e. the
+    /// flow set changed since the last [`Self::take_delta`]).
+    pub fn has_pending_delta(&self) -> bool {
+        !self.delta.is_empty()
+    }
+
+    /// Applies a rate allocation. Active flows missing from the allocation
+    /// get rate zero.
     ///
     /// # Panics
     ///
-    /// Panics if the allocation is infeasible for the topology.
+    /// Panics if the allocation is infeasible for the topology, or if it
+    /// assigns a rate to a flow id that is not in the active set (a policy
+    /// bug that would otherwise silently vanish).
     pub fn set_rates(&mut self, alloc: &RateAlloc) {
-        let views = self.views();
-        if let Err(msg) = check_feasible(&self.topology, &views, alloc) {
+        for id in alloc.keys() {
+            assert!(
+                self.index_of(*id).is_some(),
+                "rate assigned to unknown flow {id} (not in the active set)"
+            );
+        }
+        if let Err(msg) = check_feasible(&self.topology, &self.views, alloc) {
             panic!("infeasible rate allocation: {msg}");
         }
-        for (id, lf) in self.flows.iter_mut() {
-            lf.rate = alloc.get(id).copied().unwrap_or(0.0).max(0.0);
+        for (v, rate) in self.views.iter().zip(self.rates.iter_mut()) {
+            *rate = alloc.get(&v.id).copied().unwrap_or(0.0).max(0.0);
         }
     }
 
     /// Current rate of a flow (zero if inactive).
     pub fn rate_of(&self, id: FlowId) -> f64 {
-        self.flows.get(&id).map(|lf| lf.rate).unwrap_or(0.0)
+        self.index_of(id).map(|i| self.rates[i]).unwrap_or(0.0)
     }
 
     /// Seconds until the earliest flow completion at current rates, or
     /// `None` if no flow is making progress.
     pub fn next_completion_in(&self) -> Option<f64> {
-        self.flows
-            .values()
-            .filter(|lf| lf.rate > EPS)
-            .map(|lf| lf.view.remaining / lf.rate)
+        self.views
+            .iter()
+            .zip(self.rates.iter())
+            .filter(|(_, &rate)| rate > EPS)
+            .map(|(v, &rate)| v.remaining / rate)
             .min_by(|a, b| a.total_cmp(b))
     }
 
@@ -154,20 +213,29 @@ impl FluidNetwork {
         self.now += dt;
         let now = self.now;
         let mut done = Vec::new();
-        self.flows.retain(|_, lf| {
-            lf.view.remaining -= lf.rate * dt;
-            if lf.view.remaining <= EPS.max(lf.view.size * 1e-12) {
+        let mut keep = 0;
+        for i in 0..self.views.len() {
+            let rate = self.rates[i];
+            let v = &mut self.views[i];
+            v.remaining -= rate * dt;
+            if v.remaining <= EPS.max(v.size * 1e-12) {
                 done.push(FlowCompletion {
-                    id: lf.view.id,
-                    release: lf.view.release,
+                    id: v.id,
+                    release: v.release,
                     finish: now,
-                    size: lf.view.size,
+                    size: v.size,
                 });
-                false
             } else {
-                true
+                if keep != i {
+                    self.views.swap(keep, i);
+                    self.rates.swap(keep, i);
+                }
+                keep += 1;
             }
-        });
+        }
+        self.views.truncate(keep);
+        self.rates.truncate(keep);
+        self.delta.departed.extend(done.iter().map(|c| c.id));
         self.completions.extend(done.iter().copied());
         done
     }
@@ -179,7 +247,7 @@ impl FluidNetwork {
 
     /// Aggregate bytes/second currently flowing.
     pub fn total_rate(&self) -> f64 {
-        self.flows.values().map(|lf| lf.rate).sum()
+        self.rates.iter().sum()
     }
 }
 
@@ -203,7 +271,7 @@ mod tests {
     fn single_flow_runs_to_completion() {
         let mut net = FluidNetwork::new(Topology::big_switch_uniform(2, 1.0));
         net.release(&demand(0, 0, 1, 2.0, 0.0));
-        let rates = max_min_rates(net.topology(), &net.views());
+        let rates = max_min_rates(net.topology(), net.views());
         net.set_rates(&rates);
         let dt = net.next_completion_in().unwrap();
         assert!((dt - 2.0).abs() < 1e-9);
@@ -218,7 +286,7 @@ mod tests {
         let mut net = FluidNetwork::new(Topology::big_switch_uniform(2, 1.0));
         net.release(&demand(0, 0, 1, 2.0, 0.0));
         net.release(&demand(1, 0, 1, 2.0, 0.0));
-        let rates = max_min_rates(net.topology(), &net.views());
+        let rates = max_min_rates(net.topology(), net.views());
         net.set_rates(&rates);
         let dt = net.next_completion_in().unwrap();
         assert!((dt - 4.0).abs() < 1e-9);
@@ -230,7 +298,7 @@ mod tests {
     fn partial_advance_conserves_bytes() {
         let mut net = FluidNetwork::new(Topology::big_switch_uniform(2, 1.0));
         net.release(&demand(0, 0, 1, 2.0, 0.0));
-        let rates = max_min_rates(net.topology(), &net.views());
+        let rates = max_min_rates(net.topology(), net.views());
         net.set_rates(&rates);
         let done = net.advance(0.5);
         assert!(done.is_empty());
@@ -261,6 +329,17 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "unknown flow")]
+    fn rate_for_inactive_flow_rejected() {
+        let mut net = FluidNetwork::new(Topology::big_switch_uniform(2, 1.0));
+        net.release(&demand(0, 0, 1, 2.0, 0.0));
+        let mut alloc = RateAlloc::new();
+        alloc.insert(FlowId(0), 0.5);
+        alloc.insert(FlowId(7), 0.1); // never released
+        net.set_rates(&alloc);
+    }
+
+    #[test]
     #[should_panic(expected = "duplicate flow id")]
     fn duplicate_release_rejected() {
         let mut net = FluidNetwork::new(Topology::big_switch_uniform(2, 1.0));
@@ -273,7 +352,7 @@ mod tests {
     fn overshooting_advance_rejected() {
         let mut net = FluidNetwork::new(Topology::big_switch_uniform(2, 1.0));
         net.release(&demand(0, 0, 1, 1.0, 0.0));
-        let rates = max_min_rates(net.topology(), &net.views());
+        let rates = max_min_rates(net.topology(), net.views());
         net.set_rates(&rates);
         net.advance(5.0);
     }
@@ -300,7 +379,7 @@ mod tests {
         let mut net = FluidNetwork::new(Topology::big_switch_uniform(3, 1.0));
         net.release(&demand(0, 0, 1, 1.0, 0.0));
         net.release(&demand(1, 2, 1, 1.0, 0.0));
-        let rates = max_min_rates(net.topology(), &net.views());
+        let rates = max_min_rates(net.topology(), net.views());
         net.set_rates(&rates);
         let dt = net.next_completion_in().unwrap();
         net.advance(dt);
@@ -312,8 +391,40 @@ mod tests {
         let mut net = FluidNetwork::new(Topology::big_switch_uniform(3, 1.0));
         net.release(&demand(0, 0, 2, 1.0, 0.0));
         net.release(&demand(1, 1, 2, 1.0, 0.0));
-        let rates = max_min_rates(net.topology(), &net.views());
+        let rates = max_min_rates(net.topology(), net.views());
         net.set_rates(&rates);
         assert!((net.total_rate() - 1.0).abs() < 1e-9); // n2 ingress bound
+    }
+
+    #[test]
+    fn views_stay_sorted_under_out_of_order_release() {
+        let mut net = FluidNetwork::new(Topology::big_switch_uniform(4, 1.0));
+        net.release(&demand(5, 0, 1, 1.0, 0.0));
+        net.release(&demand(1, 1, 2, 1.0, 0.0));
+        net.release(&demand(3, 2, 3, 1.0, 0.0));
+        let ids: Vec<FlowId> = net.views().iter().map(|v| v.id).collect();
+        assert_eq!(ids, vec![FlowId(1), FlowId(3), FlowId(5)]);
+    }
+
+    #[test]
+    fn delta_tracks_arrivals_and_departures() {
+        let mut net = FluidNetwork::new(Topology::big_switch_uniform(3, 1.0));
+        net.release(&demand(0, 0, 1, 1.0, 0.0));
+        net.release(&demand(1, 2, 1, 4.0, 0.0));
+        assert!(net.has_pending_delta());
+        let d = net.take_delta();
+        assert_eq!(d.arrived, vec![FlowId(0), FlowId(1)]);
+        assert!(d.departed.is_empty());
+        assert!(!net.has_pending_delta());
+
+        let rates = max_min_rates(net.topology(), net.views());
+        net.set_rates(&rates);
+        let dt = net.next_completion_in().unwrap();
+        net.advance(dt);
+        let d = net.take_delta();
+        assert!(d.arrived.is_empty());
+        assert_eq!(d.departed, vec![FlowId(0)]);
+        // Draining twice yields an empty delta.
+        assert!(net.take_delta().is_empty());
     }
 }

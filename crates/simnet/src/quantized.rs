@@ -193,7 +193,6 @@ pub fn run_flows_quantized_with(
         }
 
         if net.active_count() > 0 {
-            let views = net.views();
             let (backlog, parent_size) = match visibility {
                 ChunkVisibility::FlowState => (
                     queues
@@ -210,7 +209,7 @@ pub fn run_flows_quantized_with(
                 backlog,
                 parent_size,
             };
-            let alloc = adapter.allocate(now, &views, topology);
+            let alloc = adapter.allocate(now, net.views(), topology);
             net.set_rates(&alloc);
         }
 
@@ -266,8 +265,7 @@ mod tests {
     fn single_flow_matches_fluid_exactly() {
         let topo = Topology::chain(2, 1.0);
         let fluid = run_flows(&topo, vec![demand(0, 2.0, 0.0)], &mut MaxMinPolicy);
-        let quant =
-            run_flows_quantized(&topo, vec![demand(0, 2.0, 0.0)], &mut MaxMinPolicy, 0.5);
+        let quant = run_flows_quantized(&topo, vec![demand(0, 2.0, 0.0)], &mut MaxMinPolicy, 0.5);
         assert!(quant.finishes[&FlowId(0)].approx_eq(fluid.finish(FlowId(0)).unwrap()));
     }
 
@@ -283,8 +281,7 @@ mod tests {
         let fluid = run_flows(&topo, demands.clone(), &mut MaxMinPolicy);
         let mut prev_err = f64::INFINITY;
         for chunk in [1.0, 0.25, 0.05] {
-            let quant =
-                run_flows_quantized(&topo, demands.clone(), &mut MaxMinPolicy, chunk);
+            let quant = run_flows_quantized(&topo, demands.clone(), &mut MaxMinPolicy, chunk);
             let err: f64 = demands
                 .iter()
                 .map(|d| (quant.finishes[&d.id] - fluid.finish(d.id).unwrap()).abs())
@@ -302,8 +299,7 @@ mod tests {
     fn chunk_larger_than_flow_degenerates() {
         let topo = Topology::chain(2, 1.0);
         let fluid = run_flows(&topo, vec![demand(0, 2.0, 0.0)], &mut MaxMinPolicy);
-        let quant =
-            run_flows_quantized(&topo, vec![demand(0, 2.0, 0.0)], &mut MaxMinPolicy, 100.0);
+        let quant = run_flows_quantized(&topo, vec![demand(0, 2.0, 0.0)], &mut MaxMinPolicy, 100.0);
         assert!(quant.finishes[&FlowId(0)].approx_eq(fluid.finish(FlowId(0)).unwrap()));
     }
 
@@ -346,10 +342,7 @@ mod tests {
         assert!(aware.finishes[&FlowId(1)].approx_eq(fluid.finish(FlowId(1)).unwrap()));
         // Chunk-local state loses SRPT's preemption: the short flow
         // finishes later than under fluid SRPT.
-        assert!(
-            local.finishes[&FlowId(1)].secs()
-                > fluid.finish(FlowId(1)).unwrap().secs() + 0.05
-        );
+        assert!(local.finishes[&FlowId(1)].secs() > fluid.finish(FlowId(1)).unwrap().secs() + 0.05);
     }
 
     #[test]

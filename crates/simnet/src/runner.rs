@@ -3,6 +3,18 @@
 //! [`run_flows`] drives a static set of [`FlowDemand`]s to completion under
 //! a [`RatePolicy`], recomputing rates at every flow release and completion
 //! (the fluid model's only rate-change points for static demand sets).
+//! Iterations where the flow set did not change (e.g. an advance that lands
+//! just short of a release) skip the allocation entirely — the previous
+//! rates are still valid.
+//!
+//! [`run_flows_with`] additionally selects a [`RecomputeMode`]: `Full`
+//! calls [`RatePolicy::allocate`] (the naive reference path, re-deriving
+//! everything from the flow slice), `Incremental` calls
+//! [`RatePolicy::allocate_incremental`] with the [`FlowDelta`] accumulated
+//! since the previous allocation, letting stateful schedulers reuse cached
+//! group structure. Both modes must produce bit-identical traces; the
+//! differential tests in `tests/differential.rs` enforce this.
+//!
 //! Higher layers with *dynamic* demands (compute units emitting flows) run
 //! their own loops on top of [`crate::fluid::FluidNetwork`] directly; this
 //! runner is the workhorse for scheduler unit tests and the pure-network
@@ -10,7 +22,7 @@
 
 use crate::alloc::RateAlloc;
 use crate::flow::{ActiveFlowView, FlowCompletion, FlowDemand};
-use crate::fluid::FluidNetwork;
+use crate::fluid::{FlowDelta, FluidNetwork};
 use crate::ids::FlowId;
 use crate::time::{SimTime, EPS};
 use crate::topology::Topology;
@@ -28,10 +40,42 @@ pub trait RatePolicy {
     /// Computes rates for the currently active flows.
     fn allocate(&mut self, now: SimTime, flows: &[ActiveFlowView], topo: &Topology) -> RateAlloc;
 
+    /// Incremental entry point: like [`Self::allocate`], but additionally
+    /// told which flows arrived/departed since the previous call, so
+    /// stateful policies can patch cached group structure instead of
+    /// re-deriving it from `flows`.
+    ///
+    /// The default implementation ignores the delta and falls back to the
+    /// full recompute, so plain policies stay correct for free.
+    /// Implementations must be *observationally identical* to `allocate`:
+    /// given the same event sequence, both paths must return bit-identical
+    /// allocations. Callers must report every arrival and departure through
+    /// `delta` exactly once across the sequence of incremental calls.
+    fn allocate_incremental(
+        &mut self,
+        now: SimTime,
+        flows: &[ActiveFlowView],
+        delta: &FlowDelta,
+        topo: &Topology,
+    ) -> RateAlloc {
+        let _ = delta;
+        self.allocate(now, flows, topo)
+    }
+
     /// Human-readable policy name for reports.
     fn name(&self) -> &'static str {
         "policy"
     }
+}
+
+/// Which `RatePolicy` entry point the simulation loop drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecomputeMode {
+    /// Call [`RatePolicy::allocate`] — re-derive everything per event.
+    #[default]
+    Full,
+    /// Call [`RatePolicy::allocate_incremental`] with the flow delta.
+    Incremental,
 }
 
 /// Max-min fair sharing: the paper's baseline (Fig. 2a).
@@ -91,17 +135,29 @@ impl FlowOutcomes {
     }
 }
 
-/// Runs `demands` to completion under `policy` on `topology`.
-///
-/// # Panics
-///
-/// Panics if the policy ever returns an infeasible allocation, or if the
-/// simulation stops making progress while flows remain (a policy that
-/// starves all flows forever).
+/// Runs `demands` to completion under `policy` on `topology`, using the
+/// full-recompute path. Shorthand for [`run_flows_with`] with
+/// [`RecomputeMode::Full`].
 pub fn run_flows(
     topology: &Topology,
     demands: Vec<FlowDemand>,
     policy: &mut dyn RatePolicy,
+) -> FlowOutcomes {
+    run_flows_with(topology, demands, policy, RecomputeMode::Full)
+}
+
+/// Runs `demands` to completion under `policy` on `topology`.
+///
+/// # Panics
+///
+/// Panics if the policy ever returns an infeasible allocation or a rate
+/// for a flow outside the active set, or if the simulation stops making
+/// progress while flows remain (a policy that starves all flows forever).
+pub fn run_flows_with(
+    topology: &Topology,
+    demands: Vec<FlowDemand>,
+    policy: &mut dyn RatePolicy,
+    mode: RecomputeMode,
 ) -> FlowOutcomes {
     let mut pending = demands;
     // Ascending release order, ties by id for determinism.
@@ -114,6 +170,10 @@ pub fn run_flows(
     let mut completions: BTreeMap<FlowId, FlowCompletion> = BTreeMap::new();
     let mut now = SimTime::ZERO;
     let mut makespan = SimTime::ZERO;
+    // Rates only need recomputing when the active set changed: after any
+    // release or completion. In between, the previous allocation is still
+    // valid, so those iterations skip the policy call entirely.
+    let mut recompute = false;
 
     while completions.len() < total {
         // Release everything due now.
@@ -128,16 +188,26 @@ pub fn run_flows(
                 break;
             }
         }
-        let _ = released_any;
+        if released_any {
+            recompute = true;
+        }
 
-        if net.active_count() > 0 {
-            // Recompute rates for the current flow set.
-            let views = net.views();
-            let alloc = policy.allocate(now, &views, topology);
+        if recompute && net.active_count() > 0 {
+            // Recompute rates for the current flow set. The delta is
+            // drained in both modes so arrivals/departures are reported to
+            // the policy exactly once per allocation.
+            let delta = net.take_delta();
+            let alloc = match mode {
+                RecomputeMode::Full => policy.allocate(now, net.views(), topology),
+                RecomputeMode::Incremental => {
+                    policy.allocate_incremental(now, net.views(), &delta, topology)
+                }
+            };
             net.set_rates(&alloc);
-            for v in &views {
-                trace.record_rate(now, v.id, net.rate_of(v.id));
+            for (v, rate) in net.flows_with_rates() {
+                trace.record_rate(now, v.id, rate);
             }
+            recompute = false;
         }
 
         // Next event: earliest of (next release, next completion). Work
@@ -160,6 +230,9 @@ pub fn run_flows(
         debug_assert!(dt >= -EPS);
         let done = net.advance(dt);
         now = net.now();
+        if !done.is_empty() {
+            recompute = true;
+        }
         for c in done {
             trace.record(now, c.id, TraceEventKind::Finished);
             completions.insert(c.id, c);
@@ -243,11 +316,7 @@ mod tests {
     #[test]
     fn mean_fct_reported() {
         let topo = Topology::big_switch_uniform(2, 1.0);
-        let out = run_flows(
-            &topo,
-            vec![demand(0, 0, 1, 1.0, 0.0)],
-            &mut MaxMinPolicy,
-        );
+        let out = run_flows(&topo, vec![demand(0, 0, 1, 1.0, 0.0)], &mut MaxMinPolicy);
         assert!((out.mean_fct() - 1.0).abs() < 1e-9);
     }
 
@@ -272,5 +341,53 @@ mod tests {
         let a = run_flows(&topo, demands(), &mut MaxMinPolicy);
         let b = run_flows(&topo, demands(), &mut MaxMinPolicy);
         assert_eq!(a.trace().events(), b.trace().events());
+    }
+
+    #[test]
+    fn full_and_incremental_modes_agree_for_default_policy() {
+        // The default allocate_incremental falls back to allocate, so the
+        // two modes must be trivially bit-identical.
+        let topo = Topology::big_switch_uniform(4, 1.0);
+        let demands = || {
+            vec![
+                demand(0, 0, 1, 2.0, 0.0),
+                demand(1, 2, 1, 1.0, 0.5),
+                demand(2, 0, 3, 3.0, 1.0),
+                demand(3, 3, 1, 0.5, 1.0),
+            ]
+        };
+        let a = run_flows_with(&topo, demands(), &mut MaxMinPolicy, RecomputeMode::Full);
+        let b = run_flows_with(
+            &topo,
+            demands(),
+            &mut MaxMinPolicy,
+            RecomputeMode::Incremental,
+        );
+        assert_eq!(a.trace().events(), b.trace().events());
+    }
+
+    /// A policy that (incorrectly) hands a rate to a flow id outside the
+    /// active set; the network must reject it loudly instead of silently
+    /// dropping the rate.
+    struct GhostRatePolicy;
+
+    impl RatePolicy for GhostRatePolicy {
+        fn allocate(
+            &mut self,
+            _now: SimTime,
+            flows: &[ActiveFlowView],
+            topo: &Topology,
+        ) -> RateAlloc {
+            let mut alloc = crate::alloc::max_min_rates(topo, flows);
+            alloc.insert(FlowId(9999), 0.0);
+            alloc
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flow")]
+    fn policy_rating_inactive_flow_is_rejected() {
+        let topo = Topology::big_switch_uniform(2, 1.0);
+        run_flows(&topo, vec![demand(0, 0, 1, 1.0, 0.0)], &mut GhostRatePolicy);
     }
 }

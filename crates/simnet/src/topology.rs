@@ -217,7 +217,10 @@ impl Topology {
     /// Node numbering: hosts `0..left` on the left, `left..left+right` on
     /// the right, then the two internal switch nodes.
     pub fn dumbbell(left: usize, right: usize, edge_cap: f64, core_cap: f64) -> Topology {
-        assert!(left >= 1 && right >= 1, "dumbbell needs hosts on both sides");
+        assert!(
+            left >= 1 && right >= 1,
+            "dumbbell needs hosts on both sides"
+        );
         let ls = NodeId((left + right) as u32); // left switch
         let rs = NodeId((left + right + 1) as u32); // right switch
         let mut links = Vec::new();
@@ -352,10 +355,7 @@ mod tests {
     fn bottleneck_capacity_min_along_path() {
         let g = LinkGraph::new(
             3,
-            vec![
-                (NodeId(0), NodeId(1), 10.0),
-                (NodeId(1), NodeId(2), 1.0),
-            ],
+            vec![(NodeId(0), NodeId(1), 10.0), (NodeId(1), NodeId(2), 1.0)],
         );
         let t = Topology::LinkGraph(g);
         assert_eq!(t.bottleneck_capacity(NodeId(0), NodeId(2)), 1.0);

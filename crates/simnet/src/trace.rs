@@ -35,6 +35,10 @@ pub struct TraceEvent {
 #[derive(Debug, Default, Clone)]
 pub struct FlowTrace {
     events: Vec<TraceEvent>,
+    // Last rate recorded per flow, so the no-op dedup in `record_rate` is
+    // O(log flows) instead of a reverse scan over the whole event log
+    // (which made long runs accidentally quadratic).
+    last_rate: BTreeMap<FlowId, f64>,
 }
 
 impl FlowTrace {
@@ -55,21 +59,14 @@ impl FlowTrace {
     /// Records a rate change, skipping no-op updates (same rate as the
     /// flow's previous rate event) to keep traces readable.
     pub fn record_rate(&mut self, time: SimTime, flow: FlowId, rate: f64) {
-        let prev = self.events.iter().rev().find_map(|e| match e {
-            TraceEvent {
-                flow: f,
-                kind: TraceEventKind::RateSet(r),
-                ..
-            } if *f == flow => Some(*r),
-            _ => None,
-        });
-        if let Some(prev) = prev {
+        if let Some(prev) = self.last_rate.get(&flow) {
             if (prev - rate).abs() < EPS {
                 return;
             }
         } else if rate.abs() < EPS {
             return; // initial zero rate is implicit
         }
+        self.last_rate.insert(flow, rate);
         self.record(time, flow, TraceEventKind::RateSet(rate));
     }
 
@@ -80,7 +77,11 @@ impl FlowTrace {
 
     /// Events touching one flow, in order.
     pub fn for_flow(&self, flow: FlowId) -> Vec<TraceEvent> {
-        self.events.iter().copied().filter(|e| e.flow == flow).collect()
+        self.events
+            .iter()
+            .copied()
+            .filter(|e| e.flow == flow)
+            .collect()
     }
 
     /// Reconstructs the piecewise-constant rate function of a flow as

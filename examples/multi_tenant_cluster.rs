@@ -21,7 +21,10 @@ fn main() {
     for j in &scenario.jobs {
         println!(
             "  {:?} {:<12} arrives {:>6.2}  workers {:?}",
-            j.dag.job, format!("{:?}", j.kind), j.arrival, j.placement
+            j.dag.job,
+            format!("{:?}", j.kind),
+            j.arrival,
+            j.placement
         );
     }
 

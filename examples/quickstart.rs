@@ -30,11 +30,7 @@ fn main() {
     let mut alloc = IdAlloc::new();
     let dag = build_pp_gpipe(JobId(0), &PpConfig::fig2(), &mut alloc);
     let fair = run_job(&topo, &dag, &mut MaxMinPolicy);
-    println!(
-        "{:<22} {:>18}",
-        "fair sharing",
-        forward_finish(&fair)
-    );
+    println!("{:<22} {:>18}", "fair sharing", forward_finish(&fair));
 
     // (b) Coflow scheduling (Varys/MADD over the Coflow formulation).
     let mut alloc = IdAlloc::new();

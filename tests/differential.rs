@@ -1,0 +1,310 @@
+//! Differential property tests for the incremental scheduling path.
+//!
+//! The tentpole guarantee: for every scheduler, `RecomputeMode::Full`
+//! (recompute everything from the active-flow list at each event) and
+//! `RecomputeMode::Incremental` (patch cached group state from flow
+//! deltas) produce **bit-identical** traces — same events, same times,
+//! same floating-point rates. Workloads are generated from seeded
+//! `echelon-detrand` streams so any failure reproduces from the printed
+//! seed.
+
+use echelon_detrand::DetRng;
+use echelonflow::agent::api::requests_from_dag;
+use echelonflow::agent::coordinator::{Coordinator, CoordinatorConfig, Trigger};
+use echelonflow::core::arrangement::ArrangementFn;
+use echelonflow::core::coflow::Coflow;
+use echelonflow::core::echelon::{EchelonFlow, FlowRef};
+use echelonflow::core::{EchelonId, JobId};
+use echelonflow::paradigms::config::{DpConfig, FsdpConfig, PpConfig};
+use echelonflow::paradigms::dag::JobDag;
+use echelonflow::paradigms::dp::build_dp_allreduce;
+use echelonflow::paradigms::fsdp::build_fsdp;
+use echelonflow::paradigms::ids::IdAlloc;
+use echelonflow::paradigms::pp::build_pp_gpipe;
+use echelonflow::paradigms::runtime::{make_policy, run_jobs_with, Grouping};
+use echelonflow::sched::baselines::{FifoPolicy, SrptPolicy};
+use echelonflow::sched::echelon::{EchelonMadd, InterOrder, IntraMode};
+use echelonflow::sched::varys::{CoflowOrder, VarysMadd};
+use echelonflow::simnet::flow::FlowDemand;
+use echelonflow::simnet::ids::{FlowId, NodeId};
+use echelonflow::simnet::runner::{run_flows_with, MaxMinPolicy, RatePolicy, RecomputeMode};
+use echelonflow::simnet::time::SimTime;
+use echelonflow::simnet::topology::Topology;
+
+const HOSTS: usize = 6;
+
+/// A seeded multi-job workload: flows on a big switch, some grouped into
+/// EchelonFlows/Coflows of 2–4 members, some solo, with staggered
+/// releases so arrivals and departures interleave.
+struct Workload {
+    demands: Vec<FlowDemand>,
+    echelons: Vec<EchelonFlow>,
+    coflows: Vec<Coflow>,
+}
+
+fn workload(seed: u64) -> Workload {
+    let mut rng = DetRng::seed_from_u64(seed);
+    let n = rng.usize_range_inclusive(8, 16);
+    let mut demands = Vec::new();
+    for i in 0..n {
+        let src = rng.usize_range_inclusive(0, HOSTS - 1);
+        let mut dst = rng.usize_range_inclusive(0, HOSTS - 2);
+        if dst >= src {
+            dst += 1;
+        }
+        demands.push(FlowDemand {
+            id: FlowId(i as u64),
+            src: NodeId(src as u32),
+            dst: NodeId(dst as u32),
+            size: rng.f64_range(0.5, 4.0),
+            release: SimTime::new(rng.f64_range(0.0, 3.0)),
+        });
+    }
+
+    // Group a prefix of the flows; the tail stays solo.
+    let mut echelons = Vec::new();
+    let mut coflows = Vec::new();
+    let mut i = 0;
+    let mut gid: u64 = 0;
+    while i + 2 <= demands.len().saturating_sub(2) {
+        let len = rng.usize_range_inclusive(2, 4).min(demands.len() - 2 - i);
+        if len < 2 {
+            break;
+        }
+        let refs: Vec<FlowRef> = demands[i..i + len]
+            .iter()
+            .map(|d| FlowRef::new(d.id, d.src, d.dst, d.size))
+            .collect();
+        let arrangement = if rng.next_f64() < 0.5 {
+            ArrangementFn::Coflow
+        } else {
+            ArrangementFn::Staggered {
+                gap: rng.f64_range(0.2, 1.0),
+            }
+        };
+        echelons.push(EchelonFlow::from_flows(
+            EchelonId(gid),
+            JobId(gid as u32),
+            refs.clone(),
+            arrangement,
+        ));
+        coflows.push(Coflow::new(EchelonId(gid), JobId(gid as u32), refs));
+        gid += 1;
+        i += len;
+    }
+    Workload {
+        demands,
+        echelons,
+        coflows,
+    }
+}
+
+/// Runs one policy-constructor under both modes and asserts identical
+/// traces and completions.
+fn assert_flow_level_identical<F>(seed: u64, label: &str, mut mk: F)
+where
+    F: FnMut(&Workload) -> Box<dyn RatePolicy>,
+{
+    let w = workload(seed);
+    let topo = Topology::big_switch_uniform(HOSTS, 1.5);
+
+    let mut full_policy = mk(&w);
+    let full = run_flows_with(
+        &topo,
+        w.demands.clone(),
+        full_policy.as_mut(),
+        RecomputeMode::Full,
+    );
+    let mut inc_policy = mk(&w);
+    let inc = run_flows_with(
+        &topo,
+        w.demands.clone(),
+        inc_policy.as_mut(),
+        RecomputeMode::Incremental,
+    );
+
+    assert_eq!(
+        full.trace().events(),
+        inc.trace().events(),
+        "trace diverged for {label}, seed {seed}"
+    );
+    assert_eq!(
+        full.completions(),
+        inc.completions(),
+        "completions diverged for {label}, seed {seed}"
+    );
+}
+
+#[test]
+fn echelon_madd_incremental_matches_full_on_seeded_workloads() {
+    let inters = [
+        InterOrder::MostTardy,
+        InterOrder::LeastWork,
+        InterOrder::StageLeastWork,
+        InterOrder::EarliestDeadline,
+        InterOrder::Bssi,
+    ];
+    let intras = [IntraMode::FinishEarly, IntraMode::Equalize];
+    for seed in 0..6u64 {
+        for inter in inters {
+            for intra in intras {
+                assert_flow_level_identical(
+                    seed,
+                    &format!("EchelonMadd {inter:?}/{intra:?}"),
+                    |w| {
+                        Box::new(
+                            EchelonMadd::new(w.echelons.clone())
+                                .with_inter(inter)
+                                .with_intra(intra),
+                        )
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn varys_madd_incremental_matches_full_on_seeded_workloads() {
+    let orders = [CoflowOrder::Sebf, CoflowOrder::Bssi, CoflowOrder::Arrival];
+    for seed in 0..6u64 {
+        for order in orders {
+            assert_flow_level_identical(seed, &format!("VarysMadd {order:?}"), |w| {
+                Box::new(VarysMadd::new(w.coflows.clone()).with_order(order))
+            });
+        }
+    }
+}
+
+/// Policies without an incremental override fall back to the naive path;
+/// the two modes must still agree exactly.
+#[test]
+fn default_fallback_policies_agree_across_modes() {
+    for seed in 10..14u64 {
+        assert_flow_level_identical(seed, "MaxMinPolicy", |_| Box::new(MaxMinPolicy));
+        assert_flow_level_identical(seed, "FifoPolicy", |_| Box::new(FifoPolicy));
+        assert_flow_level_identical(seed, "SrptPolicy", |_| Box::new(SrptPolicy));
+    }
+}
+
+/// Multi-paradigm jobs (DP + PP + FSDP) on disjoint workers sharing one
+/// switch: the full DAG-driven event loop, both groupings.
+fn paradigm_mix(alloc: &mut IdAlloc) -> Vec<JobDag> {
+    let pp = build_pp_gpipe(
+        JobId(0),
+        &PpConfig {
+            placement: vec![NodeId(0), NodeId(1)],
+            micro_batches: 3,
+            fwd_time: 0.5,
+            bwd_time: 0.5,
+            activation_bytes: 1.5,
+            iterations: 1,
+        },
+        alloc,
+    );
+    let dp = build_dp_allreduce(
+        JobId(1),
+        &DpConfig {
+            placement: vec![NodeId(2), NodeId(3)],
+            ps: None,
+            bucket_bytes: vec![1.0, 2.0],
+            fwd_time: 0.5,
+            bwd_time_per_bucket: 0.25,
+            iterations: 1,
+        },
+        alloc,
+    );
+    let fsdp = build_fsdp(
+        JobId(2),
+        &FsdpConfig {
+            placement: vec![NodeId(4), NodeId(5)],
+            layers: 2,
+            shard_bytes: 1.0,
+            layer_shard_bytes: None,
+            fwd_time_per_layer: 0.3,
+            bwd_time_per_layer: 0.3,
+            iterations: 1,
+        },
+        alloc,
+    );
+    vec![pp, dp, fsdp]
+}
+
+#[test]
+fn paradigm_runtime_incremental_matches_full() {
+    let topo = Topology::big_switch_uniform(HOSTS, 1.0);
+    for grouping in [Grouping::Echelon, Grouping::Coflow] {
+        let mut alloc = IdAlloc::new();
+        let dags = paradigm_mix(&mut alloc);
+        let dag_refs: Vec<&JobDag> = dags.iter().collect();
+
+        let mut full_policy = make_policy(grouping, &dag_refs);
+        let full = run_jobs_with(&topo, &dag_refs, full_policy.as_mut(), RecomputeMode::Full);
+        let mut inc_policy = make_policy(grouping, &dag_refs);
+        let inc = run_jobs_with(
+            &topo,
+            &dag_refs,
+            inc_policy.as_mut(),
+            RecomputeMode::Incremental,
+        );
+
+        assert_eq!(
+            full.trace.events(),
+            inc.trace.events(),
+            "trace diverged for {grouping:?}"
+        );
+        assert_eq!(full.makespan, inc.makespan);
+        assert_eq!(full.job_makespans, inc.job_makespans);
+    }
+}
+
+/// The coordinator path (API → decisions → between-decision reuse) stays
+/// bit-identical across modes for every trigger, with and without control
+/// latency, on a multi-job workload with real cross-job contention.
+#[test]
+fn coordinator_incremental_matches_full_for_all_triggers() {
+    let topo = Topology::big_switch_uniform(HOSTS, 1.0);
+    let configs = [
+        CoordinatorConfig::default(), // PerEvent
+        CoordinatorConfig {
+            trigger: Trigger::PerGroupChange,
+            ..CoordinatorConfig::default()
+        },
+        CoordinatorConfig {
+            trigger: Trigger::Interval(2.0),
+            ..CoordinatorConfig::default()
+        },
+        CoordinatorConfig {
+            trigger: Trigger::PerGroupChange,
+            control_latency: 0.4,
+            ..CoordinatorConfig::default()
+        },
+        CoordinatorConfig {
+            trigger: Trigger::Interval(2.0),
+            control_latency: 0.4,
+            ..CoordinatorConfig::default()
+        },
+    ];
+    for cfg in configs {
+        let run = |mode: RecomputeMode| {
+            let mut alloc = IdAlloc::new();
+            let dags = paradigm_mix(&mut alloc);
+            let dag_refs: Vec<&JobDag> = dags.iter().collect();
+            let mut coordinator = Coordinator::new(cfg);
+            for dag in &dags {
+                coordinator.submit_all(requests_from_dag(dag));
+            }
+            let mut policy = coordinator.into_policy();
+            let out = run_jobs_with(&topo, &dag_refs, &mut policy, mode);
+            (out, policy.decisions_computed())
+        };
+        let (full, d_full) = run(RecomputeMode::Full);
+        let (inc, d_inc) = run(RecomputeMode::Incremental);
+        assert_eq!(
+            full.trace.events(),
+            inc.trace.events(),
+            "trace diverged for {cfg:?}"
+        );
+        assert_eq!(d_full, d_inc, "decision count diverged for {cfg:?}");
+    }
+}

@@ -29,7 +29,7 @@ fn all_paradigms_run_cross_pod() {
     let cross_pod: Vec<NodeId> = [0u32, 4, 8, 12].map(NodeId).to_vec();
 
     let mut alloc = IdAlloc::new();
-    let dags = vec![
+    let dags = [
         build_dp_allreduce(
             JobId(0),
             &DpConfig {
@@ -150,7 +150,10 @@ fn coordinator_path_on_fattree() {
         )
     };
     // Both pipelines cross pods: they contend on the oversubscribed core.
-    let dags = vec![mk(JobId(0), 0, 4, &mut alloc), mk(JobId(1), 1, 5, &mut alloc)];
+    let dags = vec![
+        mk(JobId(0), 0, 4, &mut alloc),
+        mk(JobId(1), 1, 5, &mut alloc),
+    ];
     let dag_refs: Vec<&_> = dags.iter().collect();
 
     let mut coordinator = Coordinator::new(CoordinatorConfig::default());

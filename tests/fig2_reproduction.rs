@@ -107,11 +107,8 @@ fn fig2c_flows_finish_staggered_3_5_7() {
 /// release order. The first three released flows are the forward ones
 /// (backward flows release later by construction).
 fn forward_flow_finishes(out: &RunResult) -> Vec<SimTime> {
-    let mut releases: Vec<(SimTime, echelonflow::simnet::ids::FlowId)> = out
-        .flow_releases
-        .iter()
-        .map(|(&id, &t)| (t, id))
-        .collect();
+    let mut releases: Vec<(SimTime, echelonflow::simnet::ids::FlowId)> =
+        out.flow_releases.iter().map(|(&id, &t)| (t, id)).collect();
     releases.sort();
     releases
         .into_iter()

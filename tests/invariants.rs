@@ -1,11 +1,13 @@
 //! Property-based invariants across the whole stack.
 //!
-//! Random flow workloads are generated and run under every scheduler;
-//! whatever the policy does, the physics must hold: bytes are conserved,
-//! capacities are never exceeded, nothing is starved forever, runs are
-//! deterministic, and the superset relation between EchelonFlow and
-//! Coflow survives arbitrary inputs.
+//! Random flow workloads are generated (seeded, via `echelon-detrand`, so
+//! failures are exactly reproducible from the printed seed) and run under
+//! every scheduler; whatever the policy does, the physics must hold:
+//! bytes are conserved, capacities are never exceeded, nothing is starved
+//! forever, runs are deterministic, and the superset relation between
+//! EchelonFlow and Coflow survives arbitrary inputs.
 
+use echelon_detrand::DetRng;
 use echelonflow::core::arrangement::ArrangementFn;
 use echelonflow::core::coflow::Coflow;
 use echelonflow::core::echelon::{EchelonFlow, FlowRef};
@@ -18,37 +20,28 @@ use echelonflow::simnet::ids::{FlowId, NodeId};
 use echelonflow::simnet::runner::{run_flows, FlowOutcomes, MaxMinPolicy, RatePolicy};
 use echelonflow::simnet::time::SimTime;
 use echelonflow::simnet::topology::Topology;
-use proptest::prelude::*;
 
 const HOSTS: u32 = 4;
+const CASES: u64 = 64;
 
-/// Random demand sets: up to 8 flows between random distinct hosts.
-fn demands_strategy() -> impl Strategy<Value = Vec<FlowDemand>> {
-    prop::collection::vec(
-        (
-            0..HOSTS,
-            0..HOSTS - 1,
-            0.1f64..4.0,
-            0.0f64..3.0,
-        ),
-        1..8,
-    )
-    .prop_map(|raw| {
-        raw.into_iter()
-            .enumerate()
-            .map(|(i, (src, dst_raw, size, release))| {
-                // Map dst into the hosts other than src.
-                let dst = if dst_raw >= src { dst_raw + 1 } else { dst_raw };
-                FlowDemand::new(
-                    FlowId(i as u64),
-                    NodeId(src),
-                    NodeId(dst),
-                    size,
-                    SimTime::new(release),
-                )
-            })
-            .collect()
-    })
+/// Random demand sets: 1..8 flows between random distinct hosts.
+fn random_demands(rng: &mut DetRng) -> Vec<FlowDemand> {
+    let n = rng.usize_range_inclusive(1, 8);
+    (0..n)
+        .map(|i| {
+            let src = rng.usize_range_inclusive(0, HOSTS as usize - 1) as u32;
+            let dst_raw = rng.usize_range_inclusive(0, HOSTS as usize - 2) as u32;
+            // Map dst into the hosts other than src.
+            let dst = if dst_raw >= src { dst_raw + 1 } else { dst_raw };
+            FlowDemand::new(
+                FlowId(i as u64),
+                NodeId(src),
+                NodeId(dst),
+                rng.f64_range(0.1, 4.0),
+                SimTime::new(rng.f64_range(0.0, 3.0)),
+            )
+        })
+        .collect()
 }
 
 /// Groups the first k flows into one EchelonFlow with a staggered
@@ -85,12 +78,12 @@ fn check_all_finished(demands: &[FlowDemand], out: &FlowOutcomes) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every policy finishes every flow and conserves bytes.
-    #[test]
-    fn all_policies_conserve_bytes(demands in demands_strategy()) {
+/// Every policy finishes every flow and conserves bytes.
+#[test]
+fn all_policies_conserve_bytes() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let demands = random_demands(&mut rng);
         let topo = Topology::big_switch_uniform(HOSTS as usize, 1.0);
         let policies: Vec<Box<dyn RatePolicy>> = vec![
             Box::new(MaxMinPolicy),
@@ -104,11 +97,15 @@ proptest! {
             check_all_finished(&demands, &out);
         }
     }
+}
 
-    /// Work conservation bound: no policy with backfill finishes later
-    /// than the per-resource load bound plus the last release.
-    #[test]
-    fn makespan_bounded_by_load(demands in demands_strategy()) {
+/// Work conservation bound: no policy with backfill finishes later than
+/// the per-resource load bound plus the last release.
+#[test]
+fn makespan_bounded_by_load() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let demands = random_demands(&mut rng);
         let topo = Topology::big_switch_uniform(HOSTS as usize, 1.0);
         let last_release = demands
             .iter()
@@ -120,25 +117,37 @@ proptest! {
         let bound = last_release + total + 1e-6;
         let mut policy = EchelonMadd::new(echelon_over(&demands));
         let out = run_flows(&topo, demands.clone(), &mut policy);
-        prop_assert!(out.makespan().secs() <= bound);
+        assert!(
+            out.makespan().secs() <= bound,
+            "seed {seed}: makespan {:?} above bound {bound}",
+            out.makespan()
+        );
     }
+}
 
-    /// Determinism: identical inputs produce identical traces.
-    #[test]
-    fn runs_are_deterministic(demands in demands_strategy()) {
+/// Determinism: identical inputs produce identical traces.
+#[test]
+fn runs_are_deterministic() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let demands = random_demands(&mut rng);
         let topo = Topology::big_switch_uniform(HOSTS as usize, 1.0);
         let mut p1 = EchelonMadd::new(echelon_over(&demands));
         let mut p2 = EchelonMadd::new(echelon_over(&demands));
         let a = run_flows(&topo, demands.clone(), &mut p1);
         let b = run_flows(&topo, demands.clone(), &mut p2);
-        prop_assert_eq!(a.trace().events(), b.trace().events());
+        assert_eq!(a.trace().events(), b.trace().events(), "seed {seed}");
     }
+}
 
-    /// Superset invariant (Property 2 under random inputs): any Coflow
-    /// instance scheduled as a degenerate EchelonFlow yields the same
-    /// CCT as Varys/MADD.
-    #[test]
-    fn coflow_embedding_preserves_cct(demands in demands_strategy()) {
+/// Superset invariant (Property 2 under random inputs): any Coflow
+/// instance scheduled as a degenerate EchelonFlow yields the same CCT as
+/// Varys/MADD.
+#[test]
+fn coflow_embedding_preserves_cct() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let demands = random_demands(&mut rng);
         let topo = Topology::big_switch_uniform(HOSTS as usize, 1.0);
         let flows: Vec<FlowRef> = demands
             .iter()
@@ -148,8 +157,7 @@ proptest! {
 
         let mut varys = VarysMadd::new(vec![coflow.clone()]).with_backfill(false);
         let via_varys = run_flows(&topo, demands.clone(), &mut varys);
-        let mut echelon =
-            EchelonMadd::new(vec![coflow.into_echelon()]).with_backfill(false);
+        let mut echelon = EchelonMadd::new(vec![coflow.into_echelon()]).with_backfill(false);
         let via_echelon = run_flows(&topo, demands.clone(), &mut echelon);
 
         let cct = |out: &FlowOutcomes| {
@@ -158,30 +166,41 @@ proptest! {
                 .map(|f| out.finish(f.id).unwrap())
                 .fold(SimTime::ZERO, SimTime::max)
         };
-        prop_assert!(
+        assert!(
             cct(&via_varys).approx_eq(cct(&via_echelon)),
-            "varys {:?} vs echelon {:?}",
+            "seed {seed}: varys {:?} vs echelon {:?}",
             cct(&via_varys),
             cct(&via_echelon)
         );
     }
+}
 
-    /// SRPT never has a worse mean FCT than FIFO on a single shared link
-    /// (the classic scheduling fact, as a cross-check of the substrate).
-    #[test]
-    fn srpt_mean_fct_beats_fifo(
-        sizes in prop::collection::vec(0.1f64..4.0, 2..6)
-    ) {
+/// SRPT never has a worse mean FCT than FIFO on a single shared link (the
+/// classic scheduling fact, as a cross-check of the substrate).
+#[test]
+fn srpt_mean_fct_beats_fifo() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let n = rng.usize_range_inclusive(2, 5);
         let topo = Topology::chain(2, 1.0);
-        let demands: Vec<FlowDemand> = sizes
-            .iter()
-            .enumerate()
-            .map(|(i, &s)| {
-                FlowDemand::new(FlowId(i as u64), NodeId(0), NodeId(1), s, SimTime::ZERO)
+        let demands: Vec<FlowDemand> = (0..n)
+            .map(|i| {
+                FlowDemand::new(
+                    FlowId(i as u64),
+                    NodeId(0),
+                    NodeId(1),
+                    rng.f64_range(0.1, 4.0),
+                    SimTime::ZERO,
+                )
             })
             .collect();
         let srpt = run_flows(&topo, demands.clone(), &mut SrptPolicy);
         let fifo = run_flows(&topo, demands, &mut FifoPolicy);
-        prop_assert!(srpt.mean_fct() <= fifo.mean_fct() + 1e-9);
+        assert!(
+            srpt.mean_fct() <= fifo.mean_fct() + 1e-9,
+            "seed {seed}: srpt {} vs fifo {}",
+            srpt.mean_fct(),
+            fifo.mean_fct()
+        );
     }
 }

@@ -161,8 +161,7 @@ fn property4_metric_swap_preserves_group_completions() {
     let mut varys = VarysMadd::new(coflows.clone()).with_backfill(false);
     let via_varys = run_flows(&topo, demands.clone(), &mut varys);
 
-    let echelons: Vec<EchelonFlow> =
-        coflows.into_iter().map(|c| c.into_echelon()).collect();
+    let echelons: Vec<EchelonFlow> = coflows.into_iter().map(|c| c.into_echelon()).collect();
     let mut echelon = EchelonMadd::new(echelons)
         .with_inter(InterOrder::LeastWork)
         .with_backfill(false);
@@ -193,8 +192,7 @@ fn property4_metric_swap_preserves_group_completions() {
 fn property3_search_space_grows_factorially() {
     let topo = Topology::chain(2, 1.0);
     for n in 2..=5u64 {
-        let demands: Vec<FlowDemand> =
-            (0..n).map(|i| demand(i, 0, 1, 1.0, 0.0)).collect();
+        let demands: Vec<FlowDemand> = (0..n).map(|i| demand(i, 0, 1, 1.0, 0.0)).collect();
         let res = optimal_schedule(&topo, &demands, &Objective::Makespan);
         let expected: usize = (1..=n as usize).product();
         assert_eq!(res.evaluated, expected);

@@ -50,8 +50,7 @@ fn agents_to_coordinator_to_queues() {
         agent.report_to(&mut coordinator);
     }
     assert_eq!(coordinator.registered_count(), 4); // 2 jobs × 2 directions
-    let mut enforced =
-        QueueEnforcedPolicy::new(coordinator.into_policy(), QueueConfig::default());
+    let mut enforced = QueueEnforcedPolicy::new(coordinator.into_policy(), QueueConfig::default());
     let system = run_jobs(&topo, &dag_refs, &mut enforced);
 
     // All jobs complete, queue assignments happened.
@@ -72,8 +71,7 @@ fn system_close_to_idealized_direct_scheduling() {
     for dag in &dags {
         EchelonAgent::from_dag(dag).report_to(&mut coordinator);
     }
-    let mut enforced =
-        QueueEnforcedPolicy::new(coordinator.into_policy(), QueueConfig::default());
+    let mut enforced = QueueEnforcedPolicy::new(coordinator.into_policy(), QueueConfig::default());
     let system = run_jobs(&topo, &dag_refs, &mut enforced);
 
     let mut direct = make_policy(Grouping::Echelon, &dag_refs);
@@ -127,7 +125,10 @@ fn interval_scheduling_trades_decisions_for_quality() {
     assert!(d_lazy < d_precise, "lazy {d_lazy} !< precise {d_precise}");
     // "Per EchelonFlow arrival/departure" sits between: far fewer
     // decisions than per-event, and the jobs still complete.
-    assert!(d_group < d_precise, "group {d_group} !< precise {d_precise}");
+    assert!(
+        d_group < d_precise,
+        "group {d_group} !< precise {d_precise}"
+    );
     assert!(out_lazy.makespan.secs() > 0.0);
     assert!(out_precise.makespan.secs() > 0.0);
     assert!(out_group.makespan.secs() > 0.0);
@@ -156,5 +157,8 @@ fn fewer_queues_degrade_monotonically_in_the_limit() {
     let eight = run_with(8);
     // One queue = fair sharing among all flows; eight queues approximate
     // the exact schedule. More queues must not hurt.
-    assert!(eight <= one + 1e-6, "8 queues {eight} worse than 1 queue {one}");
+    assert!(
+        eight <= one + 1e-6,
+        "8 queues {eight} worse than 1 queue {one}"
+    );
 }

@@ -22,7 +22,9 @@ use echelonflow::simnet::topology::Topology;
 
 fn comp_finish(dag: &echelonflow::paradigms::dag::JobDag, topo: &Topology, g: Grouping) -> f64 {
     let mut policy = make_policy(g, &[dag]);
-    run_job(topo, dag, policy.as_mut()).comp_finish_time().secs()
+    run_job(topo, dag, policy.as_mut())
+        .comp_finish_time()
+        .secs()
 }
 
 #[test]

@@ -51,11 +51,8 @@ fn demands() -> Vec<FlowDemand> {
 
 fn weighted_objective(h0: &EchelonFlow, h1: &EchelonFlow, w0: f64, w1: f64) -> f64 {
     let topo = Topology::chain(2, 1.0);
-    let mut policy = EchelonMadd::new(vec![
-        pipeline(0, 0, 0, w0),
-        pipeline(1, 1, 10, w1),
-    ])
-    .with_inter(InterOrder::MostTardy);
+    let mut policy = EchelonMadd::new(vec![pipeline(0, 0, 0, w0), pipeline(1, 1, 10, w1)])
+        .with_inter(InterOrder::MostTardy);
     let out = run_flows(&topo, demands(), &mut policy);
     let finishes: BTreeMap<FlowId, SimTime> = out
         .completions()
@@ -83,11 +80,9 @@ fn weights_steer_the_most_tardy_ordering() {
     // against what uniform scheduling would give those same weights.
     // Run uniform policy but evaluate with weights (8, 1):
     let topo = Topology::chain(2, 1.0);
-    let mut uniform_policy = EchelonMadd::new(vec![
-        pipeline(0, 0, 0, 1.0),
-        pipeline(1, 1, 10, 1.0),
-    ])
-    .with_inter(InterOrder::MostTardy);
+    let mut uniform_policy =
+        EchelonMadd::new(vec![pipeline(0, 0, 0, 1.0), pipeline(1, 1, 10, 1.0)])
+            .with_inter(InterOrder::MostTardy);
     let out = run_flows(&topo, demands(), &mut uniform_policy);
     let finishes: BTreeMap<FlowId, SimTime> = out
         .completions()
