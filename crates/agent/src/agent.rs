@@ -6,7 +6,7 @@
 //!
 //! 1. **Reporting**: translate the framework's workload (a
 //!    [`JobDag`]) into [`EchelonRequest`]s and file them with the
-//!    [`Coordinator`](crate::coordinator::Coordinator).
+//!    [`Coordinator`].
 //! 2. **Enforcement bookkeeping**: map each of the job's flows to the
 //!    priority queue the coordinator's allocation implies (see
 //!    [`crate::enforce`]), mirroring "the agent stores flow data into

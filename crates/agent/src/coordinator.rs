@@ -7,7 +7,8 @@
 //!
 //! - **Scheduling interval**: "Such algorithms would rerun per EchelonFlow
 //!   arrival/departure or per scheduling interval." With
-//!   [`CoordinatorConfig::recompute_interval`] set, the coordinator only
+//!   [`CoordinatorConfig::trigger`] set to [`Trigger::Interval`], the
+//!   coordinator only
 //!   re-derives its *decision* (a global flow priority order) every
 //!   interval; between decisions the agents keep enforcing the cached
 //!   order, so newly arrived flows are served at stale priorities until
@@ -264,6 +265,22 @@ impl CoordinatedPolicy {
         )
     }
 
+    /// Control-latency split: stamps first-seen times and partitions the
+    /// active flows into (known to the coordinator, still in flight to
+    /// it). Flows are known once they have aged past the round-trip.
+    fn split_known(
+        &mut self,
+        now: SimTime,
+        flows: &[ActiveFlowView],
+    ) -> (Vec<ActiveFlowView>, Vec<ActiveFlowView>) {
+        for v in flows {
+            self.first_seen.entry(v.id).or_insert(now);
+        }
+        flows.iter().cloned().partition(|v| {
+            now.secs() - self.first_seen[&v.id].secs() + 1e-12 >= self.config.control_latency
+        })
+    }
+
     /// Shared between-decisions path: enforce the cached order via
     /// priority filling; unknown flows queue after it in id order.
     fn between_decisions(
@@ -295,15 +312,7 @@ impl CoordinatedPolicy {
 
 impl RatePolicy for CoordinatedPolicy {
     fn allocate(&mut self, now: SimTime, flows: &[ActiveFlowView], topo: &Topology) -> RateAlloc {
-        // Control latency: split flows into "known to the coordinator"
-        // and "still in flight to it".
-        for v in flows {
-            self.first_seen.entry(v.id).or_insert(now);
-        }
-        let (known, fresh): (Vec<ActiveFlowView>, Vec<ActiveFlowView>) =
-            flows.iter().cloned().partition(|v| {
-                now.secs() - self.first_seen[&v.id].secs() + 1e-12 >= self.config.control_latency
-            });
+        let (known, fresh) = self.split_known(now, flows);
 
         let groups = self.active_groups(flows);
         if self.decision_due(now, &groups) {
@@ -354,13 +363,7 @@ impl RatePolicy for CoordinatedPolicy {
         // a flow delta does not capture, so the engine runs its full path
         // on the known subset; group counting and the between-decisions
         // cache still apply.
-        for v in flows {
-            self.first_seen.entry(v.id).or_insert(now);
-        }
-        let (known, fresh): (Vec<ActiveFlowView>, Vec<ActiveFlowView>) =
-            flows.iter().cloned().partition(|v| {
-                now.secs() - self.first_seen[&v.id].secs() + 1e-12 >= self.config.control_latency
-            });
+        let (known, fresh) = self.split_known(now, flows);
         if self.decision_due(now, &groups) {
             let rates = self.engine.allocate(now, &known, topo);
             return self.decide(now, flows, &known, fresh.is_empty(), groups, rates, topo);

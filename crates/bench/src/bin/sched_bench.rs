@@ -7,6 +7,15 @@
 //! perf number can never come from a divergent schedule), then reports
 //! events per second and the speedup.
 //!
+//! Two scenario families are measured:
+//!
+//! - **static**: pre-declared flow demands through the flow-level driver
+//!   ([`run_flows_with`]);
+//! - **dynamic**: seeded multi-tenant DAG workloads (every paradigm in
+//!   the mix, two training iterations) through the job runtime
+//!   ([`run_jobs_with`]), where releases are *computed* by the DAG
+//!   cascade rather than known up front.
+//!
 //! Output: human-readable table on stdout plus `BENCH_sched.json`
 //! (hand-rolled JSON; the container has no serde) in the current
 //! directory. Run from the workspace root:
@@ -14,12 +23,19 @@
 //! ```text
 //! cargo run --release -p echelon-bench --bin sched_bench
 //! ```
+//!
+//! `--smoke` runs one small scenario per family with the same
+//! trace-identity assertions and writes nothing — a cheap CI gate.
 
+use echelon_cluster::workload::{generate_workload, WorkloadConfig};
 use echelon_core::arrangement::ArrangementFn;
 use echelon_core::coflow::Coflow;
 use echelon_core::echelon::{EchelonFlow, FlowRef};
 use echelon_core::{EchelonId, JobId};
 use echelon_detrand::DetRng;
+use echelon_paradigms::dag::JobDag;
+use echelon_paradigms::ids::IdAlloc;
+use echelon_paradigms::runtime::{make_policy, run_jobs_with, Grouping, RunResult};
 use echelon_sched::echelon::EchelonMadd;
 use echelon_sched::varys::VarysMadd;
 use echelon_simnet::flow::FlowDemand;
@@ -32,6 +48,8 @@ use std::time::Instant;
 const HOSTS: usize = 128;
 const FLOWS_PER_JOB: usize = 8;
 const JOB_COUNTS: [usize; 4] = [16, 32, 64, 96];
+const DYNAMIC_JOB_COUNTS: [usize; 3] = [4, 8, 16];
+const DYNAMIC_ITERATIONS: usize = 2;
 const REPEATS: usize = 3;
 
 struct Scenario {
@@ -143,6 +161,68 @@ fn bench_scheduler(
     }
 }
 
+/// A dynamic scenario: a seeded multi-tenant DAG workload whose flow
+/// releases emerge from the computation/communication cascade.
+struct DynScenario {
+    jobs: usize,
+    hosts: usize,
+    flows: usize,
+    dags: Vec<JobDag>,
+}
+
+fn dyn_scenario(jobs: usize) -> DynScenario {
+    let hosts = 6 * jobs;
+    let mut cfg = WorkloadConfig::default_mix(0xD1A0 + jobs as u64, jobs, hosts);
+    cfg.iterations = DYNAMIC_ITERATIONS;
+    let mut alloc = IdAlloc::new();
+    let dags: Vec<JobDag> = generate_workload(&cfg, &mut alloc)
+        .into_iter()
+        .map(|j| j.dag)
+        .collect();
+    let flows = dags.iter().map(|d| d.all_flows().len()).sum();
+    DynScenario {
+        jobs,
+        hosts,
+        flows,
+        dags,
+    }
+}
+
+fn timed_dyn_run(ds: &DynScenario, grouping: Grouping, mode: RecomputeMode) -> (RunResult, f64) {
+    let topo = Topology::big_switch_uniform(ds.hosts, 1.0);
+    let dag_refs: Vec<&JobDag> = ds.dags.iter().collect();
+    let mut best: Option<(RunResult, f64)> = None;
+    for _ in 0..REPEATS {
+        let mut policy = make_policy(grouping, &dag_refs);
+        let start = Instant::now();
+        let out = run_jobs_with(&topo, &dag_refs, policy.as_mut(), mode);
+        let secs = start.elapsed().as_secs_f64();
+        if best.as_ref().is_none_or(|(_, b)| secs < *b) {
+            best = Some((out, secs));
+        }
+    }
+    best.unwrap()
+}
+
+fn bench_dyn_scheduler(ds: &DynScenario, name: &'static str, grouping: Grouping) -> SchedResult {
+    let (full, full_secs) = timed_dyn_run(ds, grouping, RecomputeMode::Full);
+    let (inc, inc_secs) = timed_dyn_run(ds, grouping, RecomputeMode::Incremental);
+    assert_eq!(
+        full.trace.events(),
+        inc.trace.events(),
+        "{name}: incremental trace diverged from full on {} dynamic jobs",
+        ds.jobs
+    );
+    let events = full.trace.events().len();
+    SchedResult {
+        name,
+        events,
+        full_eps: events as f64 / full_secs,
+        inc_eps: events as f64 / inc_secs,
+        speedup: full_secs / inc_secs,
+    }
+}
+
 /// Time-averaged number of concurrently active flows: Σ fct / makespan.
 fn mean_active_flows(out: &FlowOutcomes) -> f64 {
     let span = out.makespan().secs();
@@ -165,8 +245,80 @@ fn fmt_f64(x: f64) -> String {
     }
 }
 
+fn static_results(sc: &Scenario, topo: &Topology) -> [SchedResult; 2] {
+    [
+        bench_scheduler(sc, topo, "echelon-madd", &|sc: &Scenario| {
+            Box::new(EchelonMadd::new(sc.echelons.clone()))
+        }),
+        bench_scheduler(sc, topo, "varys-madd", &|sc: &Scenario| {
+            Box::new(VarysMadd::new(sc.coflows.clone()))
+        }),
+    ]
+}
+
+fn dyn_results(ds: &DynScenario) -> [SchedResult; 2] {
+    [
+        bench_dyn_scheduler(ds, "echelon-madd", Grouping::Echelon),
+        bench_dyn_scheduler(ds, "varys-madd", Grouping::Coflow),
+    ]
+}
+
+fn print_row(r: &SchedResult, jobs: usize, flows: usize) {
+    println!(
+        "{:<24} {:>5} {:>7} {:>8} {:>12.0} {:>12.0} {:>7.2}x",
+        r.name, jobs, flows, r.events, r.full_eps, r.inc_eps, r.speedup
+    );
+}
+
+fn scheduler_json(json: &mut String, results: &[SchedResult]) {
+    json.push_str("      \"schedulers\": [\n");
+    for (ri, r) in results.iter().enumerate() {
+        json.push_str("        {\n");
+        json.push_str(&format!("          \"name\": \"{}\",\n", r.name));
+        json.push_str(&format!("          \"trace_events\": {},\n", r.events));
+        json.push_str(&format!(
+            "          \"full_events_per_sec\": {},\n",
+            fmt_f64(r.full_eps)
+        ));
+        json.push_str(&format!(
+            "          \"incremental_events_per_sec\": {},\n",
+            fmt_f64(r.inc_eps)
+        ));
+        json.push_str(&format!("          \"speedup\": {},\n", fmt_f64(r.speedup)));
+        json.push_str("          \"trace_identical\": true\n");
+        json.push_str(if ri + 1 < results.len() {
+            "        },\n"
+        } else {
+            "        }\n"
+        });
+    }
+    json.push_str("      ]\n");
+}
+
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     let topo = Topology::big_switch_uniform(HOSTS, 2.0);
+
+    println!(
+        "{:<24} {:>5} {:>7} {:>8} {:>12} {:>12} {:>8}",
+        "scheduler", "jobs", "flows", "events", "full ev/s", "incr ev/s", "speedup"
+    );
+
+    if smoke {
+        // One small scenario per family: the trace-identity assertions
+        // inside the bench helpers are the gate; nothing is written.
+        let sc = scenario(JOB_COUNTS[0]);
+        for r in static_results(&sc, &topo) {
+            print_row(&r, sc.jobs, sc.demands.len());
+        }
+        let ds = dyn_scenario(DYNAMIC_JOB_COUNTS[0]);
+        for r in dyn_results(&ds) {
+            print_row(&r, ds.jobs, ds.flows);
+        }
+        println!("\nsmoke ok (traces bit-identical across modes)");
+        return;
+    }
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"sched\",\n");
@@ -176,11 +328,6 @@ fn main() {
     json.push_str(&format!("  \"flows_per_job\": {FLOWS_PER_JOB},\n"));
     json.push_str(&format!("  \"repeats\": {REPEATS},\n"));
     json.push_str("  \"scenarios\": [\n");
-
-    println!(
-        "{:<24} {:>5} {:>7} {:>8} {:>12} {:>12} {:>8}",
-        "scheduler", "jobs", "flows", "events", "full ev/s", "incr ev/s", "speedup"
-    );
 
     for (si, &jobs) in JOB_COUNTS.iter().enumerate() {
         let sc = scenario(jobs);
@@ -196,14 +343,7 @@ fn main() {
         );
         let active = mean_active_flows(&ref_out);
 
-        let results = [
-            bench_scheduler(&sc, &topo, "echelon-madd", &|sc: &Scenario| {
-                Box::new(EchelonMadd::new(sc.echelons.clone()))
-            }),
-            bench_scheduler(&sc, &topo, "varys-madd", &|sc: &Scenario| {
-                Box::new(VarysMadd::new(sc.coflows.clone()))
-            }),
-        ];
+        let results = static_results(&sc, &topo);
 
         json.push_str("    {\n");
         json.push_str(&format!("      \"jobs\": {jobs},\n"));
@@ -212,39 +352,38 @@ fn main() {
             "      \"mean_active_flows\": {},\n",
             fmt_f64(active)
         ));
-        json.push_str("      \"schedulers\": [\n");
-        for (ri, r) in results.iter().enumerate() {
-            println!(
-                "{:<24} {:>5} {:>7} {:>8} {:>12.0} {:>12.0} {:>7.2}x",
-                r.name,
-                jobs,
-                sc.demands.len(),
-                r.events,
-                r.full_eps,
-                r.inc_eps,
-                r.speedup
-            );
-            json.push_str("        {\n");
-            json.push_str(&format!("          \"name\": \"{}\",\n", r.name));
-            json.push_str(&format!("          \"trace_events\": {},\n", r.events));
-            json.push_str(&format!(
-                "          \"full_events_per_sec\": {},\n",
-                fmt_f64(r.full_eps)
-            ));
-            json.push_str(&format!(
-                "          \"incremental_events_per_sec\": {},\n",
-                fmt_f64(r.inc_eps)
-            ));
-            json.push_str(&format!("          \"speedup\": {},\n", fmt_f64(r.speedup)));
-            json.push_str("          \"trace_identical\": true\n");
-            json.push_str(if ri + 1 < results.len() {
-                "        },\n"
-            } else {
-                "        }\n"
-            });
+        for r in &results {
+            print_row(r, jobs, sc.demands.len());
         }
-        json.push_str("      ]\n");
+        scheduler_json(&mut json, &results);
         json.push_str(if si + 1 < JOB_COUNTS.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    json.push_str("  ],\n");
+
+    // Dynamic scenarios: the job runtime computes releases on the fly, so
+    // the event stream the schedulers see is driven by the DAG cascade.
+    json.push_str(&format!(
+        "  \"dynamic_iterations\": {DYNAMIC_ITERATIONS},\n"
+    ));
+    json.push_str("  \"dynamic_scenarios\": [\n");
+    println!();
+    for (si, &jobs) in DYNAMIC_JOB_COUNTS.iter().enumerate() {
+        let ds = dyn_scenario(jobs);
+        let results = dyn_results(&ds);
+
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"jobs\": {jobs},\n"));
+        json.push_str(&format!("      \"hosts\": {},\n", ds.hosts));
+        json.push_str(&format!("      \"flows\": {},\n", ds.flows));
+        for r in &results {
+            print_row(r, jobs, ds.flows);
+        }
+        scheduler_json(&mut json, &results);
+        json.push_str(if si + 1 < DYNAMIC_JOB_COUNTS.len() {
             "    },\n"
         } else {
             "    }\n"

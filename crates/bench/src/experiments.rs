@@ -905,6 +905,7 @@ pub fn jitter_experiment(seed: u64) -> Vec<(f64, f64, f64)> {
 pub fn quantization_experiment() -> Vec<(f64, f64, f64, f64)> {
     use echelon_sched::baselines::SrptPolicy;
     use echelon_simnet::quantized::{run_flows_quantized_with, ChunkVisibility};
+    use echelon_simnet::runner::RecomputeMode;
     let topo = Topology::chain(2, 1.0);
     let demands = vec![
         FlowDemand::new(FlowId(0), NodeId(0), NodeId(1), 2.0, SimTime::new(1.0)),
@@ -928,6 +929,7 @@ pub fn quantization_experiment() -> Vec<(f64, f64, f64, f64)> {
             &mut MaxMinPolicy,
             chunk,
             ChunkVisibility::FlowState,
+            RecomputeMode::Full,
         );
         let q_srpt = run_flows_quantized_with(
             &topo,
@@ -935,6 +937,7 @@ pub fn quantization_experiment() -> Vec<(f64, f64, f64, f64)> {
             &mut SrptPolicy,
             chunk,
             ChunkVisibility::FlowState,
+            RecomputeMode::Full,
         );
         let q_srpt_local = run_flows_quantized_with(
             &topo,
@@ -942,6 +945,7 @@ pub fn quantization_experiment() -> Vec<(f64, f64, f64, f64)> {
             &mut SrptPolicy,
             chunk,
             ChunkVisibility::ChunkLocal,
+            RecomputeMode::Full,
         );
         rows.push((
             chunk,
@@ -956,7 +960,7 @@ pub fn quantization_experiment() -> Vec<(f64, f64, f64, f64)> {
 // --------------------------------------------------------------- E15 --
 
 /// E15 — flat ring vs hierarchical all-reduce on an oversubscribed
-/// fat-tree (the BlueConnect-style decomposition the paper cites [11]).
+/// fat-tree (the BlueConnect-style decomposition the paper cites \[11\]).
 /// Returns `(variant, makespan, cross-core flows)` rows.
 pub fn hierarchy_experiment() -> Vec<(&'static str, f64, usize)> {
     use echelon_paradigms::dp::build_dp_hierarchical;

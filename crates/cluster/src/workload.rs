@@ -187,6 +187,26 @@ pub fn apply_compute_jitter(dag: &mut JobDag, frac: f64, rng: &mut DetRng) {
 ///
 /// Panics if the sampled jobs need more hosts than the cluster has.
 pub fn generate_workload(cfg: &WorkloadConfig, alloc: &mut IdAlloc) -> Vec<GeneratedJob> {
+    generate_workload_impl(cfg, alloc, true)
+}
+
+/// Like [`generate_workload`] but *without* the arrival-gate units: the
+/// DAGs start at t = 0 and [`GeneratedJob::arrival`] is meant to be fed
+/// to the runtime's admission path
+/// ([`echelon_paradigms::runtime::run_jobs_arriving`]) instead.
+///
+/// Flow, communication and EchelonFlow ids are identical to the gated
+/// variant for the same config (the gates only consume computation ids),
+/// so flow-level comparisons across the two representations line up.
+pub fn generate_workload_ungated(cfg: &WorkloadConfig, alloc: &mut IdAlloc) -> Vec<GeneratedJob> {
+    generate_workload_impl(cfg, alloc, false)
+}
+
+fn generate_workload_impl(
+    cfg: &WorkloadConfig,
+    alloc: &mut IdAlloc,
+    gate: bool,
+) -> Vec<GeneratedJob> {
     assert!(cfg.jobs >= 1, "need at least one job");
     let mut rng = DetRng::seed_from_u64(cfg.seed);
 
@@ -322,7 +342,11 @@ pub fn generate_workload(cfg: &WorkloadConfig, alloc: &mut IdAlloc) -> Vec<Gener
                 alloc,
             ),
         };
-        let dag = delay_start(dag, draft.arrival, alloc);
+        let dag = if gate {
+            delay_start(dag, draft.arrival, alloc)
+        } else {
+            dag
+        };
         jobs.push(GeneratedJob {
             dag,
             kind: draft.kind,

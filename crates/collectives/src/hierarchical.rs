@@ -2,7 +2,7 @@
 //!
 //! On rack-structured fabrics, frameworks replace one flat ring with a
 //! three-phase hierarchy (NCCL's tree/ring hybrids, Horovod's
-//! hierarchical allreduce, BlueConnect's decomposition [11]):
+//! hierarchical allreduce, BlueConnect's decomposition \[11\]):
 //!
 //! 1. **Intra-group reduce-scatter**: each group ring-reduces locally.
 //! 2. **Inter-group all-reduce**: group leaders ring-all-reduce the

@@ -8,7 +8,7 @@
 //! - [`chain_coflows`] builds an EchelonFlow from a sequence of Coflows
 //!   with explicit inter-Coflow gaps (the generalization of Eq. 7 to
 //!   non-uniform phase times);
-//! - [`concat`] joins two EchelonFlows end to end, shifting the second's
+//! - [`concat`](fn@concat) joins two EchelonFlows end to end, shifting the second's
 //!   arrangement behind the first's last ideal finish — the way a
 //!   multi-stage application's stages compose.
 

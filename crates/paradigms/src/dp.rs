@@ -4,7 +4,7 @@
 //! Every worker holds a full model replica. Per iteration it runs one
 //! forward block, then produces gradient buckets back-to-back during the
 //! backward pass (last layer's bucket first, as frameworks bucket
-//! gradients [33]); each bucket is synchronized as soon as every worker
+//! gradients \[33\]); each bucket is synchronized as soon as every worker
 //! has produced it — by a ring all-reduce (AllReduce variant) or a push to
 //! the PS (PS variant, followed by a weight pull that gates the next
 //! iteration).

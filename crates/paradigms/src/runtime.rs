@@ -8,6 +8,18 @@
 //! recomputed at every release/completion event, so schedulers behave
 //! identically whether driven by static demand sets or by a live job.
 //!
+//! The event loop is the shared [`echelon_simnet::driver`]; this module
+//! contributes `JobSource`, the DAG-runtime [`WorkloadSource`]. Readiness
+//! is tracked with *dependency counters and ready queues* rather than
+//! fixpoint rescans: reverse dependency edges are built once per run, every
+//! completion decrements exactly its dependents' counters, and units whose
+//! counters hit zero enter id-ordered ready queues — so an event costs
+//! O(dependents touched), not O(total DAG size).
+//!
+//! [`run_jobs_arriving`] additionally admits each job at its own arrival
+//! time (the cluster workload shape): a job's workers and communication
+//! units do not exist for the scheduler until the job is activated.
+//!
 //! The result records everything the paper's figures need: per-unit
 //! computation spans (Fig. 1a timelines, idle fractions), flow release and
 //! finish times (tardiness bookkeeping), and per-job makespans.
@@ -17,7 +29,8 @@ use crate::ids::{CommId, CompId};
 use echelon_core::JobId;
 use echelon_sched::echelon::EchelonMadd;
 use echelon_sched::varys::VarysMadd;
-use echelon_simnet::flow::FlowDemand;
+use echelon_simnet::driver::{drive, WorkloadSource};
+use echelon_simnet::flow::{FlowCompletion, FlowDemand};
 use echelon_simnet::fluid::FluidNetwork;
 use echelon_simnet::ids::{FlowId, NodeId};
 use echelon_simnet::runner::{RatePolicy, RecomputeMode};
@@ -134,6 +147,480 @@ struct CommState {
     done: bool,
 }
 
+/// Units unblocked by the completion of one unit: the dependent
+/// computation units and communication ops whose counters it decrements.
+#[derive(Debug, Default, Clone)]
+struct Dependents {
+    comps: Vec<CompId>,
+    comms: Vec<CommId>,
+}
+
+/// The DAG-runtime [`WorkloadSource`]: computation programs, dependency
+/// counters, staged communication ops, and per-job admission times.
+struct JobSource<'a> {
+    dags: &'a [&'a JobDag],
+    /// Per-dag admission time ([`SimTime::ZERO`] when not arrival-driven).
+    arrivals: Vec<SimTime>,
+    /// Dag indices in ascending (arrival, index) order; `arrival_cursor`
+    /// marks the next unactivated dag.
+    arrival_order: Vec<usize>,
+    arrival_cursor: usize,
+
+    // Merged lookups (dag index per unit; flows to their comm/job).
+    comp_of: BTreeMap<CompId, usize>,
+    comm_of: BTreeMap<CommId, usize>,
+    flow_to_comm: BTreeMap<FlowId, CommId>,
+    job_of_flow: BTreeMap<FlowId, JobId>,
+    worker_dag: BTreeMap<NodeId, usize>,
+
+    /// Unresolved dependency count per unit. Built once; completions
+    /// decrement via the reverse edges below — no rescans.
+    comp_pending: BTreeMap<CompId, usize>,
+    comm_pending: BTreeMap<CommId, usize>,
+    /// Reverse dependency edges, built once per run.
+    comp_dependents: BTreeMap<CompId, Dependents>,
+    comm_dependents: BTreeMap<CommId, Dependents>,
+
+    comm_state: BTreeMap<CommId, CommState>,
+    /// In-flight computation units and their end times.
+    running: BTreeMap<CompId, SimTime>,
+    worker_busy_now: BTreeMap<NodeId, bool>,
+    program_ptr: BTreeMap<NodeId, usize>,
+    comp_starts: BTreeMap<CompId, SimTime>,
+    /// Communication ops with a releasable stage (deps met or previous
+    /// stage drained), released in ascending id order.
+    ready_comms: BTreeSet<CommId>,
+    /// Workers whose program head may have become startable.
+    ready_workers: BTreeSet<NodeId>,
+    comps_done: usize,
+    comms_done: usize,
+    total_comps: usize,
+    total_comms: usize,
+    result: RunResult,
+}
+
+impl<'a> JobSource<'a> {
+    fn new(dags: &'a [&'a JobDag], arrivals: Vec<SimTime>) -> JobSource<'a> {
+        // Validate disjoint worker sets.
+        let mut claimed: BTreeMap<NodeId, JobId> = BTreeMap::new();
+        for dag in dags {
+            for w in dag.workers() {
+                if let Some(prev) = claimed.insert(w, dag.job) {
+                    panic!("worker {w} claimed by both {prev} and {}", dag.job);
+                }
+            }
+        }
+
+        let mut source = JobSource {
+            dags,
+            arrival_order: {
+                let mut order: Vec<usize> = (0..dags.len()).collect();
+                order.sort_by(|&a, &b| arrivals[a].cmp(&arrivals[b]).then(a.cmp(&b)));
+                order
+            },
+            arrivals,
+            arrival_cursor: 0,
+            comp_of: BTreeMap::new(),
+            comm_of: BTreeMap::new(),
+            flow_to_comm: BTreeMap::new(),
+            job_of_flow: BTreeMap::new(),
+            worker_dag: BTreeMap::new(),
+            comp_pending: BTreeMap::new(),
+            comm_pending: BTreeMap::new(),
+            comp_dependents: BTreeMap::new(),
+            comm_dependents: BTreeMap::new(),
+            comm_state: BTreeMap::new(),
+            running: BTreeMap::new(),
+            worker_busy_now: BTreeMap::new(),
+            program_ptr: BTreeMap::new(),
+            comp_starts: BTreeMap::new(),
+            ready_comms: BTreeSet::new(),
+            ready_workers: BTreeSet::new(),
+            comps_done: 0,
+            comms_done: 0,
+            total_comps: dags.iter().map(|d| d.comps.len()).sum(),
+            total_comms: dags.iter().map(|d| d.comms.len()).sum(),
+            result: RunResult {
+                comp_spans: BTreeMap::new(),
+                comm_spans: BTreeMap::new(),
+                flow_releases: BTreeMap::new(),
+                flow_finishes: BTreeMap::new(),
+                job_makespans: BTreeMap::new(),
+                makespan: SimTime::ZERO,
+                worker_busy: BTreeMap::new(),
+                timeline: Vec::new(),
+                trace: FlowTrace::new(),
+            },
+        };
+
+        // Lookups, dependency counters and reverse edges — once per run.
+        for (di, dag) in dags.iter().enumerate() {
+            for w in dag.workers() {
+                source.worker_dag.insert(w, di);
+                source.worker_busy_now.insert(w, false);
+                source.program_ptr.insert(w, 0);
+            }
+            for (&id, unit) in &dag.comps {
+                source.comp_of.insert(id, di);
+                source
+                    .comp_pending
+                    .insert(id, unit.deps_comp.len() + unit.deps_comm.len());
+                for &d in &unit.deps_comp {
+                    source.comp_dependents.entry(d).or_default().comps.push(id);
+                }
+                for &d in &unit.deps_comm {
+                    source.comm_dependents.entry(d).or_default().comps.push(id);
+                }
+            }
+            for (&id, comm) in &dag.comms {
+                source.comm_of.insert(id, di);
+                source
+                    .comm_pending
+                    .insert(id, comm.deps_comp.len() + comm.deps_comm.len());
+                for &d in &comm.deps_comp {
+                    source.comp_dependents.entry(d).or_default().comms.push(id);
+                }
+                for &d in &comm.deps_comm {
+                    source.comm_dependents.entry(d).or_default().comms.push(id);
+                }
+                source.comm_state.insert(
+                    id,
+                    CommState {
+                        released_stages: 0,
+                        outstanding: 0,
+                        started: None,
+                        done: false,
+                    },
+                );
+                for f in comm.flows() {
+                    source.flow_to_comm.insert(f.id, id);
+                    source.job_of_flow.insert(f.id, dag.job);
+                }
+            }
+        }
+        source
+    }
+
+    /// Admits dag `idx`: its workers and dependency-free communication
+    /// ops enter the ready queues.
+    fn activate(&mut self, idx: usize) {
+        let dag = self.dags[idx];
+        for w in dag.workers() {
+            self.ready_workers.insert(w);
+        }
+        for &cid in dag.comms.keys() {
+            if self.comm_pending[&cid] == 0 {
+                self.ready_comms.insert(cid);
+            }
+        }
+    }
+
+    /// A completed computation unit unblocks its dependents: counters
+    /// decrement, and units that reach zero enter the ready queues.
+    fn resolve_comp(&mut self, id: CompId) {
+        let Some(deps) = self.comp_dependents.get(&id) else {
+            return;
+        };
+        let deps = deps.clone();
+        for c in deps.comps {
+            let p = self.comp_pending.get_mut(&c).expect("known comp");
+            *p -= 1;
+            if *p == 0 {
+                // Startable once it is also at its program head; the
+                // worker queue re-checks that.
+                let di = self.comp_of[&c];
+                self.ready_workers.insert(self.dags[di].comps[&c].worker);
+            }
+        }
+        for m in deps.comms {
+            let p = self.comm_pending.get_mut(&m).expect("known comm");
+            *p -= 1;
+            if *p == 0 {
+                self.ready_comms.insert(m);
+            }
+        }
+    }
+
+    /// Same as [`Self::resolve_comp`] for a completed communication op.
+    fn resolve_comm(&mut self, id: CommId) {
+        let Some(deps) = self.comm_dependents.get(&id) else {
+            return;
+        };
+        let deps = deps.clone();
+        for c in deps.comps {
+            let p = self.comp_pending.get_mut(&c).expect("known comp");
+            *p -= 1;
+            if *p == 0 {
+                let di = self.comp_of[&c];
+                self.ready_workers.insert(self.dags[di].comps[&c].worker);
+            }
+        }
+        for m in deps.comms {
+            let p = self.comm_pending.get_mut(&m).expect("known comm");
+            *p -= 1;
+            if *p == 0 {
+                self.ready_comms.insert(m);
+            }
+        }
+    }
+
+    /// Completes a running computation unit at `now`.
+    fn finish_comp(&mut self, id: CompId, now: SimTime) {
+        self.running.remove(&id);
+        let dag = self.dags[self.comp_of[&id]];
+        let unit = &dag.comps[&id];
+        let (worker, duration) = (unit.worker, unit.duration);
+        let start = self.comp_starts[&id];
+        self.result.comp_spans.insert(id, (start, now));
+        self.result.timeline.push(TimelineEntry {
+            worker,
+            comp: id,
+            label: unit.label.clone(),
+            kind: unit.kind,
+            start,
+            end: now,
+        });
+        *self.result.worker_busy.entry(worker).or_insert(0.0) += duration;
+        let e = self
+            .result
+            .job_makespans
+            .entry(dag.job)
+            .or_insert(SimTime::ZERO);
+        *e = (*e).max(now);
+        self.comps_done += 1;
+        self.worker_busy_now.insert(worker, false);
+        *self.program_ptr.get_mut(&worker).expect("known worker") += 1;
+        self.ready_workers.insert(worker);
+        self.resolve_comp(id);
+    }
+
+    /// Marks a communication op complete (last flow of its last stage).
+    fn finish_comm(&mut self, cid: CommId, now: SimTime) {
+        let st = self.comm_state.get_mut(&cid).expect("known comm");
+        st.done = true;
+        let started = st.started.expect("started comm");
+        self.result.comm_spans.insert(cid, (started, now));
+        self.comms_done += 1;
+        self.resolve_comm(cid);
+    }
+
+    /// Releases the next stage of a ready communication op.
+    fn release_stage(&mut self, cid: CommId, now: SimTime, net: &mut FluidNetwork) {
+        let dag = self.dags[self.comm_of[&cid]];
+        let comm = &dag.comms[&cid];
+        let st = self.comm_state.get_mut(&cid).expect("known comm");
+        debug_assert!(
+            !st.done && st.outstanding == 0 && st.released_stages < comm.stages.len(),
+            "{cid} not in a releasable state"
+        );
+        if st.started.is_none() {
+            st.started = Some(now);
+        }
+        let stage = &comm.stages[st.released_stages];
+        st.released_stages += 1;
+        st.outstanding = stage.flows.len();
+        for f in &stage.flows {
+            net.release(&FlowDemand::new(f.id, f.src, f.dst, f.size, now));
+            self.result.flow_releases.insert(f.id, now);
+            self.result
+                .trace
+                .record(now, f.id, TraceEventKind::Released);
+        }
+    }
+
+    /// Starts the program head of `worker` if it is unblocked, completing
+    /// zero-duration units (barriers) inline and continuing down the
+    /// program.
+    fn advance_program(&mut self, worker: NodeId, now: SimTime) {
+        let Some(&di) = self.worker_dag.get(&worker) else {
+            return;
+        };
+        let dag = self.dags[di];
+        let Some(program) = dag.programs.get(&worker) else {
+            return;
+        };
+        loop {
+            if self.worker_busy_now[&worker] {
+                return;
+            }
+            let ptr = self.program_ptr[&worker];
+            let Some(&head) = program.get(ptr) else {
+                return;
+            };
+            if self.comp_pending[&head] > 0 {
+                return;
+            }
+            let unit = &dag.comps[&head];
+            self.comp_starts.insert(head, now);
+            if unit.duration <= EPS {
+                // Instantaneous unit (barrier): complete now. Bookkeeping
+                // mirrors the non-zero path except worker-busy seconds and
+                // job makespans, which a zero-length span cannot move.
+                self.result.comp_spans.insert(head, (now, now));
+                self.result.timeline.push(TimelineEntry {
+                    worker,
+                    comp: head,
+                    label: unit.label.clone(),
+                    kind: unit.kind,
+                    start: now,
+                    end: now,
+                });
+                self.comps_done += 1;
+                *self.program_ptr.get_mut(&worker).expect("known worker") += 1;
+                self.resolve_comp(head);
+                continue;
+            }
+            self.worker_busy_now.insert(worker, true);
+            self.running.insert(head, now + unit.duration);
+            return;
+        }
+    }
+}
+
+impl WorkloadSource for JobSource<'_> {
+    fn release_due(&mut self, now: SimTime, net: &mut FluidNetwork, _trace: &mut FlowTrace) {
+        // Admit jobs whose arrival time has come.
+        while self.arrival_cursor < self.arrival_order.len() {
+            let idx = self.arrival_order[self.arrival_cursor];
+            if !self.arrivals[idx].at_or_before(now) {
+                break;
+            }
+            self.arrival_cursor += 1;
+            self.activate(idx);
+        }
+        // Complete computation units whose end time has arrived, in
+        // ascending id order.
+        let due: Vec<CompId> = self
+            .running
+            .iter()
+            .filter(|(_, end)| end.at_or_before(now))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in due {
+            self.finish_comp(id, now);
+        }
+        // Cascade newly ready stages and program heads to a fixpoint.
+        // Comms drain first (releasing flows as early as possible within
+        // the instant); zero-duration computations completed inline by
+        // `advance_program` can ready further comms, so alternate until
+        // both queues are empty. Id order keeps this deterministic.
+        loop {
+            if let Some(&cid) = self.ready_comms.iter().next() {
+                self.ready_comms.remove(&cid);
+                self.release_stage(cid, now, net);
+                continue;
+            }
+            if let Some(&w) = self.ready_workers.iter().next() {
+                self.ready_workers.remove(&w);
+                self.advance_program(w, now);
+                continue;
+            }
+            break;
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.comps_done == self.total_comps && self.comms_done == self.total_comms
+    }
+
+    fn next_event_in(&self, now: SimTime) -> Option<f64> {
+        let dt_comp = self.running.values().min().map(|end| (*end - now).max(0.0));
+        let dt_arrival = self
+            .arrival_order
+            .get(self.arrival_cursor)
+            .map(|&idx| (self.arrivals[idx] - now).max(0.0));
+        match (dt_comp, dt_arrival) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn on_flow_completions(
+        &mut self,
+        now: SimTime,
+        done: &[FlowCompletion],
+        _net: &mut FluidNetwork,
+        _trace: &mut FlowTrace,
+    ) {
+        for c in done {
+            self.result.flow_finishes.insert(c.id, now);
+            self.result
+                .trace
+                .record(now, c.id, TraceEventKind::Finished);
+            if let Some(job) = self.job_of_flow.get(&c.id) {
+                let e = self
+                    .result
+                    .job_makespans
+                    .entry(*job)
+                    .or_insert(SimTime::ZERO);
+                *e = (*e).max(now);
+            }
+            let cid = self.flow_to_comm[&c.id];
+            let stages = self.dags[self.comm_of[&cid]].comms[&cid].stages.len();
+            let st = self.comm_state.get_mut(&cid).expect("known comm");
+            st.outstanding -= 1;
+            if st.outstanding == 0 {
+                if st.released_stages == stages {
+                    self.finish_comm(cid, now);
+                } else {
+                    // Next stage releases at this same instant, in the
+                    // cascade at the top of the next driver iteration.
+                    self.ready_comms.insert(cid);
+                }
+            }
+        }
+    }
+
+    /// Unlike the pure-flow runner, rates are recomputed at every event
+    /// (including computation completions): tardiness-driven orderings
+    /// shift as time passes even when the flow set is static.
+    fn recompute_every_event(&self) -> bool {
+        true
+    }
+
+    /// The source records releases/rates/finishes into its own
+    /// [`RunResult`] trace (the driver's copy would duplicate it).
+    fn wants_trace(&self) -> bool {
+        false
+    }
+
+    fn allocate(
+        &mut self,
+        policy: &mut dyn RatePolicy,
+        mode: RecomputeMode,
+        now: SimTime,
+        flows: &[echelon_simnet::flow::ActiveFlowView],
+        delta: &echelon_simnet::fluid::FlowDelta,
+        topo: &Topology,
+    ) -> echelon_simnet::alloc::RateAlloc {
+        let alloc = match mode {
+            RecomputeMode::Full => policy.allocate(now, flows, topo),
+            RecomputeMode::Incremental => policy.allocate_incremental(now, flows, delta, topo),
+        };
+        // Record the applied rates here (rather than via the driver's
+        // trace) so the trace lands in the same [`RunResult`] as the rest
+        // of the bookkeeping.
+        for v in flows {
+            let rate = alloc.get(&v.id).copied().unwrap_or(0.0).max(0.0);
+            self.result.trace.record_rate(now, v.id, rate);
+        }
+        alloc
+    }
+
+    fn deadlock_context(&self) -> String {
+        let pending: Vec<String> = self
+            .comm_state
+            .iter()
+            .filter(|(_, st)| !st.done)
+            .map(|(id, st)| format!("{id}@stage{}", st.released_stages))
+            .collect();
+        format!(
+            "{}/{} comps, {}/{} comms done; pending comms: {pending:?}",
+            self.comps_done, self.total_comps, self.comms_done, self.total_comms
+        )
+    }
+}
+
 /// Runs a single job to completion (convenience wrapper).
 pub fn run_job(topo: &Topology, dag: &JobDag, policy: &mut dyn RatePolicy) -> RunResult {
     run_jobs(topo, &[dag], policy)
@@ -172,273 +659,45 @@ pub fn run_jobs_with(
     policy: &mut dyn RatePolicy,
     mode: RecomputeMode,
 ) -> RunResult {
-    // Validate disjoint worker sets.
-    let mut claimed: BTreeMap<NodeId, JobId> = BTreeMap::new();
-    for dag in dags {
-        for w in dag.workers() {
-            if let Some(prev) = claimed.insert(w, dag.job) {
-                panic!("worker {w} claimed by both {prev} and {}", dag.job);
-            }
-        }
-    }
+    run_jobs_impl(topo, dags, vec![SimTime::ZERO; dags.len()], policy, mode)
+}
 
-    // Merged lookup tables.
-    let mut comp_of: BTreeMap<CompId, (&JobDag, CompId)> = BTreeMap::new();
-    let mut comm_of: BTreeMap<CommId, &JobDag> = BTreeMap::new();
-    let mut flow_to_comm: BTreeMap<FlowId, CommId> = BTreeMap::new();
-    let mut job_of_flow: BTreeMap<FlowId, JobId> = BTreeMap::new();
-    for dag in dags {
-        for &id in dag.comps.keys() {
-            comp_of.insert(id, (dag, id));
-        }
-        for (&id, comm) in &dag.comms {
-            comm_of.insert(id, dag);
-            for f in comm.flows() {
-                flow_to_comm.insert(f.id, id);
-                job_of_flow.insert(f.id, dag.job);
-            }
-        }
-    }
+/// Runs several jobs with per-job admission times: job `i` is invisible to
+/// the simulation until `arrivals[i]` — its workers sit idle and its
+/// communication ops cannot release, exactly like a job that has not been
+/// submitted yet. This is the cluster-arrival workload shape, without the
+/// synthetic gate computation units `delay_start` would splice in.
+///
+/// # Panics
+///
+/// Panics if `arrivals.len() != dags.len()`, or for the same reasons as
+/// [`run_jobs_with`].
+pub fn run_jobs_arriving(
+    topo: &Topology,
+    dags: &[&JobDag],
+    arrivals: &[SimTime],
+    policy: &mut dyn RatePolicy,
+    mode: RecomputeMode,
+) -> RunResult {
+    assert_eq!(
+        arrivals.len(),
+        dags.len(),
+        "one arrival time per job dag required"
+    );
+    run_jobs_impl(topo, dags, arrivals.to_vec(), policy, mode)
+}
 
-    // Execution state.
-    let mut comp_done: BTreeSet<CompId> = BTreeSet::new();
-    let mut comm_done: BTreeSet<CommId> = BTreeSet::new();
-    let mut running: BTreeMap<CompId, SimTime> = BTreeMap::new();
-    let mut worker_current: BTreeMap<NodeId, Option<CompId>> = BTreeMap::new();
-    let mut program_ptr: BTreeMap<NodeId, usize> = BTreeMap::new();
-    let mut comm_state: BTreeMap<CommId, CommState> = BTreeMap::new();
-    for dag in dags {
-        for w in dag.workers() {
-            worker_current.insert(w, None);
-            program_ptr.insert(w, 0);
-        }
-        for &id in dag.comms.keys() {
-            comm_state.insert(
-                id,
-                CommState {
-                    released_stages: 0,
-                    outstanding: 0,
-                    started: None,
-                    done: false,
-                },
-            );
-        }
-    }
-    let total_comps: usize = dags.iter().map(|d| d.comps.len()).sum();
-    let total_comms: usize = dags.iter().map(|d| d.comms.len()).sum();
-
-    let mut net = FluidNetwork::new(topo.clone());
-    let mut result = RunResult {
-        comp_spans: BTreeMap::new(),
-        comm_spans: BTreeMap::new(),
-        flow_releases: BTreeMap::new(),
-        flow_finishes: BTreeMap::new(),
-        job_makespans: BTreeMap::new(),
-        makespan: SimTime::ZERO,
-        worker_busy: BTreeMap::new(),
-        timeline: Vec::new(),
-        trace: FlowTrace::new(),
-    };
-    let mut comp_starts: BTreeMap<CompId, SimTime> = BTreeMap::new();
-    let mut now = SimTime::ZERO;
-
-    // Release/start everything that becomes ready at the current time.
-    macro_rules! cascade {
-        () => {{
-            loop {
-                let mut changed = false;
-                // Release eligible communication stages.
-                for dag in dags {
-                    for (&cid, comm) in &dag.comms {
-                        let st = comm_state.get_mut(&cid).unwrap();
-                        if st.done || st.outstanding > 0 || st.released_stages == comm.stages.len()
-                        {
-                            continue;
-                        }
-                        let deps_ok = if st.released_stages == 0 {
-                            comm.deps_comp.iter().all(|d| comp_done.contains(d))
-                                && comm.deps_comm.iter().all(|d| comm_done.contains(d))
-                        } else {
-                            true // previous stage fully completed
-                        };
-                        if deps_ok {
-                            let stage = &comm.stages[st.released_stages];
-                            if st.started.is_none() {
-                                st.started = Some(now);
-                            }
-                            for f in &stage.flows {
-                                net.release(&FlowDemand::new(f.id, f.src, f.dst, f.size, now));
-                                result.flow_releases.insert(f.id, now);
-                                result.trace.record(now, f.id, TraceEventKind::Released);
-                            }
-                            st.outstanding = stage.flows.len();
-                            st.released_stages += 1;
-                            changed = true;
-                        }
-                    }
-                }
-                // Start ready computation units (strict program order).
-                for dag in dags {
-                    for (&worker, program) in &dag.programs {
-                        loop {
-                            if worker_current[&worker].is_some() {
-                                break;
-                            }
-                            let ptr = program_ptr[&worker];
-                            if ptr >= program.len() {
-                                break;
-                            }
-                            let head = program[ptr];
-                            let unit = &dag.comps[&head];
-                            let ready = unit.deps_comp.iter().all(|d| comp_done.contains(d))
-                                && unit.deps_comm.iter().all(|d| comm_done.contains(d));
-                            if !ready {
-                                break;
-                            }
-                            comp_starts.insert(head, now);
-                            if unit.duration <= EPS {
-                                // Instantaneous unit (barrier): complete now.
-                                comp_done.insert(head);
-                                result.comp_spans.insert(head, (now, now));
-                                result.timeline.push(TimelineEntry {
-                                    worker,
-                                    comp: head,
-                                    label: unit.label.clone(),
-                                    kind: unit.kind,
-                                    start: now,
-                                    end: now,
-                                });
-                                *program_ptr.get_mut(&worker).unwrap() += 1;
-                                changed = true;
-                                continue;
-                            }
-                            worker_current.insert(worker, Some(head));
-                            running.insert(head, now + unit.duration);
-                            changed = true;
-                            break;
-                        }
-                    }
-                }
-                if !changed {
-                    break;
-                }
-            }
-        }};
-    }
-
-    cascade!();
-
-    while comp_done.len() < total_comps || comm_done.len() < total_comms {
-        if net.active_count() > 0 {
-            // Unlike the pure-flow runner, rates are recomputed at every
-            // event (including computation completions): tardiness-driven
-            // orderings shift as time passes even when the flow set is
-            // static, and this matches the seed behaviour exactly. The
-            // delta is drained either way so incremental policies see each
-            // arrival/departure exactly once.
-            let delta = net.take_delta();
-            let alloc = match mode {
-                RecomputeMode::Full => policy.allocate(now, net.views(), topo),
-                RecomputeMode::Incremental => {
-                    policy.allocate_incremental(now, net.views(), &delta, topo)
-                }
-            };
-            net.set_rates(&alloc);
-            for (v, rate) in net.flows_with_rates() {
-                result.trace.record_rate(now, v.id, rate);
-            }
-        }
-
-        // Work with *relative* deltas: subtracting absolute times loses
-        // precision when a completion is closer than one ulp of `now`
-        // (e.g. a tiny flow on a near-infinite profiling link), which
-        // would round dt to zero and spin forever.
-        let dt_comp = running.values().min().map(|end| (*end - now).max(0.0));
-        let dt_flow = net.next_completion_in();
-        let dt = match (dt_comp, dt_flow) {
-            (Some(a), Some(b)) => a.min(b),
-            (Some(a), None) => a,
-            (None, Some(b)) => b,
-            (None, None) => {
-                let pending: Vec<String> = comm_state
-                    .iter()
-                    .filter(|(id, st)| !st.done && !comm_done.contains(id))
-                    .map(|(id, st)| format!("{id}@stage{}", st.released_stages))
-                    .collect();
-                panic!(
-                    "deadlock at {now:?}: {}/{total_comps} comps, {}/{total_comms} comms done; \
-                     pending comms: {pending:?} (policy {})",
-                    comp_done.len(),
-                    comm_done.len(),
-                    policy.name()
-                );
-            }
-        };
-
-        // Advance the network (bounded by its own next completion).
-        let finished_flows = net.advance(dt);
-        now = net.now();
-        // Guard against zero-progress spins: if nothing advanced and no
-        // flow finished, the pending computation end must be within an
-        // epsilon of `now` and is handled below via `at_or_before`.
-        debug_assert!(
-            dt > 0.0 || !finished_flows.is_empty() || dt_comp.is_some_and(|d| d <= 0.0),
-            "event loop made no progress at {now:?}"
-        );
-
-        for c in finished_flows {
-            result.flow_finishes.insert(c.id, now);
-            result.trace.record(now, c.id, TraceEventKind::Finished);
-            if let Some(job) = job_of_flow.get(&c.id) {
-                let e = result.job_makespans.entry(*job).or_insert(SimTime::ZERO);
-                *e = (*e).max(now);
-            }
-            let cid = flow_to_comm[&c.id];
-            let st = comm_state.get_mut(&cid).unwrap();
-            st.outstanding -= 1;
-            let comm = &comm_of[&cid].comms[&cid];
-            if st.outstanding == 0 && st.released_stages == comm.stages.len() {
-                st.done = true;
-                comm_done.insert(cid);
-                result
-                    .comm_spans
-                    .insert(cid, (st.started.expect("started comm"), now));
-            }
-        }
-
-        // Complete computation units whose end time has arrived.
-        let finished_comps: Vec<CompId> = running
-            .iter()
-            .filter(|(_, end)| end.at_or_before(now))
-            .map(|(&id, _)| id)
-            .collect();
-        for id in finished_comps {
-            running.remove(&id);
-            let (dag, _) = comp_of[&id];
-            let unit = &dag.comps[&id];
-            comp_done.insert(id);
-            let start = comp_starts[&id];
-            result.comp_spans.insert(id, (start, now));
-            result.timeline.push(TimelineEntry {
-                worker: unit.worker,
-                comp: id,
-                label: unit.label.clone(),
-                kind: unit.kind,
-                start,
-                end: now,
-            });
-            *result.worker_busy.entry(unit.worker).or_insert(0.0) += unit.duration;
-            let e = result.job_makespans.entry(dag.job).or_insert(SimTime::ZERO);
-            *e = (*e).max(now);
-            worker_current.insert(unit.worker, None);
-            *program_ptr.get_mut(&unit.worker).unwrap() += 1;
-        }
-
-        cascade!();
-        result.makespan = result.makespan.max(now);
-    }
-
-    // Zero-duration-only workers still count toward busy bookkeeping.
+fn run_jobs_impl(
+    topo: &Topology,
+    dags: &[&JobDag],
+    arrivals: Vec<SimTime>,
+    policy: &mut dyn RatePolicy,
+    mode: RecomputeMode,
+) -> RunResult {
+    let mut source = JobSource::new(dags, arrivals);
+    let outcome = drive(topo, &mut source, policy, mode);
+    let mut result = source.result;
+    result.makespan = outcome.end;
     result
         .timeline
         .sort_by(|a, b| a.start.cmp(&b.start).then(a.comp.cmp(&b.comp)));
@@ -588,6 +847,52 @@ mod tests {
         let out = run_jobs(&topo, &[&dag0, &dag1], &mut MaxMinPolicy);
         assert!(out.job_makespans[&JobId(0)].approx_eq(SimTime::new(4.0)));
         assert!(out.job_makespans[&JobId(1)].approx_eq(SimTime::new(4.0)));
+    }
+
+    #[test]
+    fn arriving_job_starts_no_earlier_than_its_admission() {
+        let mut alloc = IdAlloc::new();
+        let dag = relay_dag(&mut alloc);
+        let topo = Topology::chain(2, 1.0);
+        let out = run_jobs_arriving(
+            &topo,
+            &[&dag],
+            &[SimTime::new(2.5)],
+            &mut MaxMinPolicy,
+            RecomputeMode::Full,
+        );
+        // The whole schedule shifts by the admission time: F1 [2.5,3.5];
+        // flow [3.5,5.5]; F1' [5.5,6.5].
+        assert!(
+            out.makespan.approx_eq(SimTime::new(6.5)),
+            "{:?}",
+            out.makespan
+        );
+        let flow_id = dag.all_flows()[0].id;
+        assert!(out.flow_releases[&flow_id].approx_eq(SimTime::new(3.5)));
+        for (start, _) in out.comp_spans.values() {
+            assert!(
+                SimTime::new(2.5).at_or_before(*start),
+                "comp started at {start:?} before admission"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_arrivals_match_plain_run() {
+        let mut alloc = IdAlloc::new();
+        let dag = relay_dag(&mut alloc);
+        let topo = Topology::chain(2, 1.0);
+        let plain = run_job(&topo, &dag, &mut MaxMinPolicy);
+        let arriving = run_jobs_arriving(
+            &topo,
+            &[&dag],
+            &[SimTime::ZERO],
+            &mut MaxMinPolicy,
+            RecomputeMode::Full,
+        );
+        assert_eq!(plain.trace.events(), arriving.trace.events());
+        assert_eq!(plain.makespan, arriving.makespan);
     }
 
     #[test]

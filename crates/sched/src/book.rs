@@ -16,6 +16,7 @@
 use echelon_core::echelon::EchelonFlow;
 use echelon_core::EchelonId;
 use echelon_simnet::flow::ActiveFlowView;
+use echelon_simnet::fluid::FlowDelta;
 use echelon_simnet::ids::FlowId;
 use echelon_simnet::time::SimTime;
 use echelon_simnet::topology::Topology;
@@ -54,18 +55,68 @@ impl EchelonBook {
 
     /// Binds reference times for every EchelonFlow whose first flow has
     /// just appeared. Call at the top of each allocation.
+    ///
+    /// This full scan over the active slice is the Full-mode reference;
+    /// the incremental path uses [`Self::observe_delta`], which binds from
+    /// the arrivals alone.
     pub fn observe(&mut self, now: SimTime, active: &[ActiveFlowView]) {
         for v in active {
-            if let Some(hid) = self.by_flow.get(&v.id) {
-                let h = self.echelons.get_mut(hid).expect("indexed echelon");
-                if h.reference().is_none() {
-                    // The head flow starts the EchelonFlow; if rates are
-                    // recomputed at every release, the first observation of
-                    // any member flow is the head's start. Use the flow's
-                    // own release time to be robust to batched releases.
-                    h.bind_reference(v.release.min(now));
+            self.observe_one(now, v);
+        }
+    }
+
+    fn observe_one(&mut self, now: SimTime, v: &ActiveFlowView) {
+        if let Some(hid) = self.by_flow.get(&v.id) {
+            let h = self.echelons.get_mut(hid).expect("indexed echelon");
+            if h.reference().is_none() {
+                // The head flow starts the EchelonFlow; if rates are
+                // recomputed at every release, the first observation of
+                // any member flow is the head's start. Use the flow's
+                // own release time to be robust to batched releases.
+                h.bind_reference(v.release.min(now));
+            }
+        }
+    }
+
+    /// Delta-driven variant of [`Self::observe`]: binds references only
+    /// for the flows that just arrived, so reference maintenance costs
+    /// O(arrivals · log flows) per allocation instead of O(active flows).
+    /// `active` is the id-sorted active slice; arrivals no longer in it
+    /// (released and finished within one drain) are skipped — such a flow
+    /// can never be the *first* observation of a live EchelonFlow the full
+    /// scan would have bound.
+    ///
+    /// Debug builds re-run the full scan on a copy and assert both paths
+    /// bound the same references, so an unreported arrival cannot
+    /// silently diverge from the Full mode.
+    pub fn observe_delta(&mut self, now: SimTime, active: &[ActiveFlowView], delta: &FlowDelta) {
+        if !delta.arrived.is_empty() {
+            // Ascending id order: binding is first-touch, and the full
+            // scan observes the id-sorted slice — same member must win
+            // when several flows of one EchelonFlow arrive together.
+            let mut arrived = delta.arrived.clone();
+            arrived.sort_unstable();
+            for id in arrived {
+                if let Ok(idx) = active.binary_search_by(|v| v.id.cmp(&id)) {
+                    self.observe_one(now, &active[idx]);
                 }
             }
+        }
+        #[cfg(debug_assertions)]
+        {
+            let mut full = self.clone();
+            full.observe(now, active);
+            let bound = |b: &EchelonBook| -> Vec<(EchelonId, Option<SimTime>)> {
+                b.echelons
+                    .iter()
+                    .map(|(id, h)| (*id, h.reference()))
+                    .collect()
+            };
+            assert_eq!(
+                bound(self),
+                bound(&full),
+                "delta-driven reference binding diverged from the full scan at {now:?}"
+            );
         }
     }
 
@@ -211,6 +262,56 @@ mod tests {
         // Later observations with more flows must not move the reference.
         let later = vec![view(0, 2.0, 1.0, 1.0, &topo), view(1, 2.0, 2.0, 2.0, &topo)];
         book.observe(SimTime::new(2.0), &later);
+        assert_eq!(
+            book.get(EchelonId(0)).unwrap().reference(),
+            Some(SimTime::new(1.0))
+        );
+    }
+
+    #[test]
+    fn observe_delta_binds_like_full_scan() {
+        let topo = Topology::chain(2, 1.0);
+        let mut by_delta = pipeline_book();
+        let mut by_scan = pipeline_book();
+        // Flows 1 and 0 arrive in the same drain, reported out of id
+        // order: first-touch binding must still pick the same member the
+        // id-ordered full scan would.
+        let active = vec![view(0, 2.0, 2.0, 1.5, &topo), view(1, 2.0, 2.0, 1.0, &topo)];
+        let delta = FlowDelta {
+            arrived: vec![FlowId(1), FlowId(0)],
+            departed: vec![],
+        };
+        by_delta.observe_delta(SimTime::new(1.5), &active, &delta);
+        by_scan.observe(SimTime::new(1.5), &active);
+        assert_eq!(
+            by_delta.get(EchelonId(0)).unwrap().reference(),
+            by_scan.get(EchelonId(0)).unwrap().reference(),
+        );
+    }
+
+    #[test]
+    fn observe_delta_skips_arrivals_already_gone() {
+        let topo = Topology::chain(2, 1.0);
+        let mut book = pipeline_book();
+        // Flow 0 arrived and departed within one drain: it is in the
+        // delta but not in the active slice, so nothing binds.
+        let active = vec![view(99, 2.0, 2.0, 1.0, &topo)]; // non-member
+        let delta = FlowDelta {
+            arrived: vec![FlowId(0)],
+            departed: vec![FlowId(0)],
+        };
+        book.observe_delta(SimTime::new(1.0), &active, &delta);
+        assert!(book.get(EchelonId(0)).unwrap().reference().is_none());
+    }
+
+    #[test]
+    fn observe_delta_empty_is_noop() {
+        let topo = Topology::chain(2, 1.0);
+        let mut book = pipeline_book();
+        let active = vec![view(0, 2.0, 2.0, 1.0, &topo)];
+        book.observe(SimTime::new(1.0), &active);
+        // A later empty delta must not move the bound reference.
+        book.observe_delta(SimTime::new(5.0), &active, &FlowDelta::default());
         assert_eq!(
             book.get(EchelonId(0)).unwrap().reference(),
             Some(SimTime::new(1.0))

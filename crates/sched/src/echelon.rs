@@ -420,6 +420,10 @@ impl EchelonMadd {
     /// exactly once across the sequence of calls; [`Self::allocate_cached`]
     /// self-heals from missed reports by rebuilding, at full cost.
     pub fn apply_delta(&mut self, now: SimTime, flows: &[ActiveFlowView], delta: &FlowDelta) {
+        // Reference binding driven by the delta alone: O(arrivals), not
+        // O(active flows); debug builds assert agreement with the full
+        // scan inside `observe_delta`.
+        self.book.observe_delta(now, flows, delta);
         // Arrivals in ascending id order: reference binding is first-touch,
         // and the naive path observes the id-sorted flow slice.
         let mut arrived = delta.arrived.clone();
@@ -429,7 +433,6 @@ impl EchelonMadd {
                 continue; // arrived and departed without ever being served
             };
             let view = &flows[idx];
-            self.book.observe(now, std::slice::from_ref(view));
             let key = self.group_of(id);
             let deadline = self.deadline_of(key, view);
             let list = self.cached_members.entry(key).or_default();

@@ -1,0 +1,358 @@
+//! The shared simulation driver: one event loop for every workload shape.
+//!
+//! Every simulation in this repository — static demand lists, chunk-
+//! quantized transport, dynamic DAG runtimes, cluster arrival streams —
+//! alternates the same four steps: release whatever is due, ask the
+//! policy to (re)allocate rates, advance to the next event, and hand
+//! completions back to the workload. [`drive`] owns that skeleton once:
+//! delta draining, the dirty-flag allocation skip, relative-delta time
+//! stepping, deadlock detection with actionable diagnostics, and trace
+//! recording. The parts that differ per workload live behind
+//! [`WorkloadSource`]:
+//!
+//! - the static demand runner ([`crate::runner::run_flows_with`]) releases
+//!   flows at fixed times and skips allocations while the flow set is
+//!   unchanged;
+//! - the chunk-quantized validator ([`crate::quantized`]) chains chunk
+//!   releases off completions and presents chunks to the policy under
+//!   their parents' identities;
+//! - the DAG runtime (`echelon-paradigms`) completes computation units,
+//!   cascades newly ready communication stages, and recomputes rates at
+//!   every event because tardiness orderings shift with time;
+//! - the cluster scenario layer adds per-job admission times on top of
+//!   the DAG runtime.
+//!
+//! All of them share the [`RatePolicy`]/[`RecomputeMode`] seam, so the
+//! Full-vs-Incremental bit-identity guarantee (see `tests/differential.rs`
+//! at the workspace root) holds uniformly across layers.
+
+use crate::alloc::RateAlloc;
+use crate::flow::{ActiveFlowView, FlowCompletion};
+use crate::fluid::{FlowDelta, FluidNetwork};
+use crate::runner::{RatePolicy, RecomputeMode};
+use crate::time::{SimTime, EPS};
+use crate::topology::Topology;
+use crate::trace::{FlowTrace, TraceEventKind};
+
+/// A workload plugged into [`drive`]: where flows come from, what happens
+/// when they finish, and when the workload is over.
+pub trait WorkloadSource {
+    /// Processes everything scheduled at the current instant: releases
+    /// due flows into `net` (recording `Released` events if it traces),
+    /// completes internal non-flow work (e.g. computation units), and
+    /// cascades any releases that become ready as a result. Called at the
+    /// top of every driver iteration, before the allocation.
+    fn release_due(&mut self, now: SimTime, net: &mut FluidNetwork, trace: &mut FlowTrace);
+
+    /// True once the workload has fully completed. Checked right after
+    /// [`Self::release_due`]; the driver exits without advancing further.
+    fn finished(&self) -> bool;
+
+    /// Seconds until the source's next internally scheduled event (a
+    /// pending release or an internal completion), if any. Relative to
+    /// `now` — the driver steps by relative deltas so a sub-ulp event gap
+    /// cannot round to a zero step and stall the loop.
+    fn next_event_in(&self, now: SimTime) -> Option<f64>;
+
+    /// Called after the network advanced, with the flows that finished
+    /// (ascending id order). `Finished` trace events, if wanted, have
+    /// already been recorded by the driver.
+    fn on_flow_completions(
+        &mut self,
+        now: SimTime,
+        done: &[FlowCompletion],
+        net: &mut FluidNetwork,
+        trace: &mut FlowTrace,
+    );
+
+    /// Whether rates must be recomputed at every event even when the flow
+    /// set did not change. Static demand sets skip the allocation while
+    /// the pending delta is empty (the previous rates are still valid);
+    /// dynamic workloads with time-dependent orderings (tardiness shifts
+    /// as time passes) or chunk semantics recompute unconditionally.
+    fn recompute_every_event(&self) -> bool {
+        false
+    }
+
+    /// Whether the driver records rate and finish events into the trace.
+    /// Sources whose flow ids are internal artifacts (e.g. chunk ids in
+    /// the quantized validator) opt out.
+    fn wants_trace(&self) -> bool {
+        true
+    }
+
+    /// Runs one allocation. The default dispatches on `mode` exactly like
+    /// the historical loops did; sources that present flows to the policy
+    /// under a different identity (chunk → parent) override this to
+    /// translate views, delta, and resulting rates.
+    fn allocate(
+        &mut self,
+        policy: &mut dyn RatePolicy,
+        mode: RecomputeMode,
+        now: SimTime,
+        flows: &[ActiveFlowView],
+        delta: &FlowDelta,
+        topo: &Topology,
+    ) -> RateAlloc {
+        match mode {
+            RecomputeMode::Full => policy.allocate(now, flows, topo),
+            RecomputeMode::Incremental => policy.allocate_incremental(now, flows, delta, topo),
+        }
+    }
+
+    /// Extra context appended to the deadlock panic: pending work the
+    /// network cannot see (unreleased communication stages, queued
+    /// chunks, …). Empty by default.
+    fn deadlock_context(&self) -> String {
+        String::new()
+    }
+}
+
+/// What [`drive`] hands back: the recorded trace and the clock at exit.
+#[derive(Debug, Clone)]
+pub struct DriveOutcome {
+    /// The recorded release/rate/finish trace (empty if the source opted
+    /// out of tracing).
+    pub trace: FlowTrace,
+    /// Simulated time when the source reported completion — the time of
+    /// the last processed event.
+    pub end: SimTime,
+}
+
+/// Formats the stuck active flows for the deadlock panic: ids and
+/// remaining bytes, truncated so a thousand-flow stall stays readable.
+fn stuck_flows(net: &FluidNetwork) -> String {
+    const SHOWN: usize = 8;
+    let mut parts: Vec<String> = net
+        .views()
+        .iter()
+        .take(SHOWN)
+        .map(|v| format!("{} ({:.4}B left)", v.id, v.remaining))
+        .collect();
+    if net.active_count() > SHOWN {
+        parts.push(format!("and {} more", net.active_count() - SHOWN));
+    }
+    parts.join(", ")
+}
+
+/// Drives `source` to completion under `policy` on `topo`.
+///
+/// The loop skeleton, shared by all four workload shapes:
+///
+/// 1. [`WorkloadSource::release_due`] — everything scheduled now;
+/// 2. stop if [`WorkloadSource::finished`];
+/// 3. recompute rates iff the flow set changed (pending [`FlowDelta`])
+///    or the source always recomputes, draining the delta so incremental
+///    policies see each arrival/departure exactly once;
+/// 4. advance to the earliest of the source's next event and the next
+///    flow completion (relative deltas — absolute-time subtraction can
+///    round a sub-ulp gap to zero and stall);
+/// 5. report completions back to the source.
+///
+/// # Panics
+///
+/// Panics if the policy returns an infeasible allocation or rates a flow
+/// outside the active set, if the next step would be negative (time must
+/// never rewind — checked in release builds too), or if the simulation
+/// deadlocks: flows are active but none makes progress and the source
+/// has nothing pending. The deadlock message lists the stuck flow ids
+/// with remaining bytes, the current time, the policy name, and the
+/// source's own pending-work context.
+pub fn drive(
+    topo: &Topology,
+    source: &mut dyn WorkloadSource,
+    policy: &mut dyn RatePolicy,
+    mode: RecomputeMode,
+) -> DriveOutcome {
+    let mut net = FluidNetwork::new(topo.clone());
+    let mut trace = FlowTrace::new();
+
+    loop {
+        let now = net.now();
+        source.release_due(now, &mut net, &mut trace);
+        if source.finished() {
+            break;
+        }
+
+        if net.active_count() > 0 && (source.recompute_every_event() || net.has_pending_delta()) {
+            let delta = net.take_delta();
+            let alloc = source.allocate(policy, mode, now, net.views(), &delta, topo);
+            net.set_rates(&alloc);
+            if source.wants_trace() {
+                for (v, rate) in net.flows_with_rates() {
+                    trace.record_rate(now, v.id, rate);
+                }
+            }
+        }
+
+        let dt_source = source.next_event_in(now);
+        let dt_flow = net.next_completion_in();
+        let dt = match (dt_source, dt_flow) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => {
+                let context = source.deadlock_context();
+                let sep = if context.is_empty() { "" } else { "; " };
+                panic!(
+                    "deadlock at t={:.6}: {} flows active with zero rate and nothing pending \
+                     (policy {}); stuck flows: [{}]{sep}{context}",
+                    now.secs(),
+                    net.active_count(),
+                    policy.name(),
+                    stuck_flows(&net),
+                );
+            }
+        };
+        // A negative step would silently rewind time: check in release
+        // builds too, with both candidate deltas in the message.
+        assert!(
+            dt >= -EPS,
+            "negative time step {dt} at t={:.6} (source event in {dt_source:?}, \
+             flow completion in {dt_flow:?})",
+            now.secs(),
+        );
+
+        let done = net.advance(dt);
+        let now = net.now();
+        // Zero-progress guard: an iteration must move time, finish a
+        // flow, or be an internal source event due within epsilon.
+        debug_assert!(
+            dt > 0.0 || !done.is_empty() || dt_source.is_some_and(|d| d <= 0.0),
+            "event loop made no progress at {now:?}"
+        );
+        if source.wants_trace() {
+            for c in &done {
+                trace.record(now, c.id, TraceEventKind::Finished);
+            }
+        }
+        source.on_flow_completions(now, &done, &mut net, &mut trace);
+    }
+
+    DriveOutcome {
+        end: net.now(),
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowDemand;
+    use crate::ids::{FlowId, NodeId};
+    use crate::runner::MaxMinPolicy;
+
+    /// A minimal source: one flow released at t = 1, nothing else.
+    struct OneShot {
+        released: bool,
+        done: bool,
+    }
+
+    impl WorkloadSource for OneShot {
+        fn release_due(&mut self, now: SimTime, net: &mut FluidNetwork, trace: &mut FlowTrace) {
+            if !self.released && SimTime::new(1.0).at_or_before(now) {
+                let d = FlowDemand::new(FlowId(0), NodeId(0), NodeId(1), 2.0, SimTime::new(1.0));
+                trace.record(now, d.id, TraceEventKind::Released);
+                net.release(&d);
+                self.released = true;
+            }
+        }
+
+        fn finished(&self) -> bool {
+            self.done
+        }
+
+        fn next_event_in(&self, now: SimTime) -> Option<f64> {
+            (!self.released).then(|| (SimTime::new(1.0) - now).max(0.0))
+        }
+
+        fn on_flow_completions(
+            &mut self,
+            _now: SimTime,
+            done: &[FlowCompletion],
+            _net: &mut FluidNetwork,
+            _trace: &mut FlowTrace,
+        ) {
+            if !done.is_empty() {
+                self.done = true;
+            }
+        }
+    }
+
+    #[test]
+    fn drives_a_minimal_source_to_completion() {
+        let topo = Topology::big_switch_uniform(2, 1.0);
+        let mut source = OneShot {
+            released: false,
+            done: false,
+        };
+        let out = drive(&topo, &mut source, &mut MaxMinPolicy, RecomputeMode::Full);
+        // Released at 1, 2 bytes at unit rate: ends at 3.
+        assert!(out.end.approx_eq(SimTime::new(3.0)));
+        assert_eq!(out.trace.events().len(), 3); // release, rate, finish
+    }
+
+    /// A source whose flow can never progress: the deadlock panic must
+    /// name the stuck flow and its remaining bytes.
+    struct Starved {
+        released: bool,
+    }
+
+    impl WorkloadSource for Starved {
+        fn release_due(&mut self, now: SimTime, net: &mut FluidNetwork, _trace: &mut FlowTrace) {
+            if !self.released {
+                net.release(&FlowDemand::new(FlowId(7), NodeId(0), NodeId(1), 3.0, now));
+                self.released = true;
+            }
+        }
+
+        fn finished(&self) -> bool {
+            false
+        }
+
+        fn next_event_in(&self, _now: SimTime) -> Option<f64> {
+            None
+        }
+
+        fn on_flow_completions(
+            &mut self,
+            _now: SimTime,
+            _done: &[FlowCompletion],
+            _net: &mut FluidNetwork,
+            _trace: &mut FlowTrace,
+        ) {
+        }
+
+        fn deadlock_context(&self) -> String {
+            "workload-specific context".to_string()
+        }
+    }
+
+    /// Allocates nothing, starving every flow.
+    struct ZeroPolicy;
+
+    impl RatePolicy for ZeroPolicy {
+        fn allocate(
+            &mut self,
+            _now: SimTime,
+            _flows: &[ActiveFlowView],
+            _topo: &Topology,
+        ) -> RateAlloc {
+            RateAlloc::new()
+        }
+    }
+
+    #[test]
+    fn deadlock_panic_names_stuck_flows() {
+        let topo = Topology::big_switch_uniform(2, 1.0);
+        let mut source = Starved { released: false };
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            drive(&topo, &mut source, &mut ZeroPolicy, RecomputeMode::Full)
+        }))
+        .expect_err("starved flow must deadlock");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("deadlock at t=0.000000"), "{msg}");
+        assert!(msg.contains("f7 (3.0000B left)"), "{msg}");
+        assert!(msg.contains("workload-specific context"), "{msg}");
+    }
+}

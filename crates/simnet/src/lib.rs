@@ -32,6 +32,10 @@
 //!   work-conserving backfill.
 //! - [`fluid`] — the active-flow table: applies a rate allocation, advances
 //!   time, and predicts the next flow completion.
+//! - [`driver`] — the shared simulation driver: one
+//!   release→allocate→advance→complete event loop, parameterized by a
+//!   [`driver::WorkloadSource`]. Every simulation in the workspace (static
+//!   demands, quantized chunks, DAG runtimes, cluster arrivals) runs on it.
 //! - [`quantized`] — chunk-quantized transmission, validating the fluid
 //!   model against discretized behaviour.
 //! - [`runner`] — a self-contained simulation loop that drives a set of
@@ -57,6 +61,7 @@
 //! ```
 
 pub mod alloc;
+pub mod driver;
 pub mod engine;
 pub mod fattree;
 pub mod flow;
@@ -71,13 +76,14 @@ pub mod trace;
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
     pub use crate::alloc::{max_min_rates, priority_fill, weighted_rates, RateAlloc};
+    pub use crate::driver::{drive, DriveOutcome, WorkloadSource};
     pub use crate::engine::{EventId, EventQueue};
     pub use crate::fattree::FatTree;
     pub use crate::flow::{ActiveFlowView, FlowDemand};
-    pub use crate::fluid::FluidNetwork;
+    pub use crate::fluid::{FlowDelta, FluidNetwork};
     pub use crate::ids::{FlowId, LinkId, NodeId, ResourceId};
     pub use crate::quantized::{run_flows_quantized, QuantizedOutcome};
-    pub use crate::runner::{run_flows, FlowOutcomes, MaxMinPolicy, RatePolicy};
+    pub use crate::runner::{run_flows, FlowOutcomes, MaxMinPolicy, RatePolicy, RecomputeMode};
     pub use crate::time::SimTime;
     pub use crate::topology::Topology;
     pub use crate::trace::{FlowTrace, TraceEvent, TraceEventKind};

@@ -7,77 +7,41 @@
 //! apply at chunk granularity — a coarse stand-in for
 //! packetized/windowed behaviour.
 //!
+//! The run is a [`WorkloadSource`] plugged into the shared
+//! [`crate::driver`]: the source chains chunk releases off completions and
+//! overrides [`WorkloadSource::allocate`] to present chunks to the policy
+//! under their *parents'* identities. Under [`ChunkVisibility::FlowState`]
+//! the incremental mode reports arrivals/departures at parent granularity
+//! (a parent "arrives" with its first chunk and "departs" with its last;
+//! chunk rollovers are invisible to the policy's cached group state), so
+//! stateful schedulers run their delta paths unchanged. Chunk-local
+//! visibility has no stable flow identity for a cache to key on — there
+//! the incremental mode degenerates to the full recompute.
+//!
 //! The bundled validation experiment shows fluid and quantized finish
 //! times converge as the chunk size shrinks, which is the standard
 //! justification for evaluating coflow-style schedulers on fluid
 //! simulators.
 
-use crate::flow::{ActiveFlowView, FlowDemand};
+use crate::alloc::RateAlloc;
+use crate::driver::{drive, WorkloadSource};
+use crate::flow::{ActiveFlowView, FlowCompletion, FlowDemand};
+use crate::fluid::{FlowDelta, FluidNetwork};
 use crate::ids::FlowId;
-use crate::runner::RatePolicy;
+use crate::runner::{RatePolicy, RecomputeMode};
 use crate::time::SimTime;
 use crate::topology::Topology;
+use crate::trace::FlowTrace;
 use std::collections::BTreeMap;
-
-/// A policy adapter that presents chunk flows to the inner policy as if
-/// they were their parents: ids are translated both ways, and the
-/// disguised view reports the parent's *total* backlog (active chunk plus
-/// still-queued bytes) and original size. Group- and size-aware
-/// schedulers therefore see flow state, while enforcement happens at
-/// chunk granularity — the realistic split between control and data
-/// plane.
-struct ChunkAdapter<'a> {
-    inner: &'a mut dyn RatePolicy,
-    chunk_to_parent: BTreeMap<FlowId, FlowId>,
-    /// Queued (not yet released) bytes per parent.
-    backlog: BTreeMap<FlowId, f64>,
-    /// Original size per parent.
-    parent_size: BTreeMap<FlowId, f64>,
-}
-
-impl RatePolicy for ChunkAdapter<'_> {
-    fn allocate(
-        &mut self,
-        now: SimTime,
-        flows: &[ActiveFlowView],
-        topo: &Topology,
-    ) -> crate::alloc::RateAlloc {
-        // Present each chunk under its parent's identity. At most one
-        // chunk per parent is active at a time (chunks chain release
-        // times), so ids never collide.
-        let mut disguised = Vec::with_capacity(flows.len());
-        let mut reverse: BTreeMap<FlowId, FlowId> = BTreeMap::new();
-        for v in flows {
-            let parent = self.chunk_to_parent.get(&v.id).copied().unwrap_or(v.id);
-            reverse.insert(parent, v.id);
-            let mut pv = v.clone();
-            pv.id = parent;
-            pv.remaining += self.backlog.get(&parent).copied().unwrap_or(0.0);
-            if let Some(&size) = self.parent_size.get(&parent) {
-                pv.size = size;
-            }
-            disguised.push(pv);
-        }
-        disguised.sort_by_key(|v| v.id);
-        let rates = self.inner.allocate(now, &disguised, topo);
-        rates
-            .into_iter()
-            .filter_map(|(parent, rate)| reverse.get(&parent).map(|&chunk| (chunk, rate)))
-            .collect()
-    }
-
-    fn name(&self) -> &'static str {
-        "chunk-adapter"
-    }
-}
 
 /// What the inner policy sees about a chunked flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChunkVisibility {
-    /// The policy sees the parent flow's total backlog and original size
-    /// (a scheduler with flow-level state, the normal case). With this
-    /// visibility the fluid model is *exact* for any chunk size: rates
-    /// recompute at every event, so chunking changes nothing observable.
+    /// The policy sees the parent flow's total backlog, original size and
+    /// release time (a scheduler with flow-level state, the normal case).
+    /// With this visibility the fluid model is *exact* for any chunk
+    /// size: rates recompute at every event, so chunking changes nothing
+    /// observable.
     FlowState,
     /// The policy sees only the in-flight chunk (a per-packet scheduler
     /// without flow state). Size-based disciplines like SRPT degrade
@@ -91,6 +55,176 @@ pub enum ChunkVisibility {
 pub struct QuantizedOutcome {
     /// Finish time per original flow.
     pub finishes: BTreeMap<FlowId, SimTime>,
+}
+
+/// The chunk-quantized [`WorkloadSource`]: chunks of one flow are strictly
+/// sequential (chunk `i+1` enters the network the instant chunk `i`
+/// completes), and the policy sees parents, not chunks.
+struct ChunkSource<'a> {
+    demands: &'a [FlowDemand],
+    by_id: BTreeMap<FlowId, &'a FlowDemand>,
+    /// Per parent: the queue of chunk sizes still to send (back = next).
+    queues: BTreeMap<FlowId, Vec<f64>>,
+    next_id: u64,
+    /// Chunk id → parent id, for every chunk ever released.
+    chunk_to_parent: BTreeMap<FlowId, FlowId>,
+    /// Currently in-flight chunk → parent (at most one chunk per parent).
+    active_parents: BTreeMap<FlowId, FlowId>,
+    /// Initial releases, ascending (release, id); `cursor` = next.
+    pending: Vec<&'a FlowDemand>,
+    cursor: usize,
+    finishes: BTreeMap<FlowId, SimTime>,
+    total_parents: usize,
+    visibility: ChunkVisibility,
+    /// Parent-granularity delta buffers for the incremental path. A
+    /// parent arrives when its first chunk is released and departs when
+    /// its last chunk completes; rollovers appear in neither list — the
+    /// parent stays active, and rates recompute every event regardless.
+    parent_arrived: Vec<FlowId>,
+    parent_departed: Vec<FlowId>,
+}
+
+impl ChunkSource<'_> {
+    /// Releases the next chunk of `parent` (if any) at `now`; returns
+    /// whether a chunk was released.
+    fn release_next(&mut self, parent: FlowId, now: SimTime, net: &mut FluidNetwork) -> bool {
+        let Some(size) = self.queues.get_mut(&parent).and_then(|q| q.pop()) else {
+            return false;
+        };
+        let d = self.by_id[&parent];
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        self.chunk_to_parent.insert(id, parent);
+        self.active_parents.insert(id, parent);
+        net.release(&FlowDemand::new(id, d.src, d.dst, size, now));
+        true
+    }
+}
+
+impl WorkloadSource for ChunkSource<'_> {
+    fn release_due(&mut self, now: SimTime, net: &mut FluidNetwork, _trace: &mut FlowTrace) {
+        while self.cursor < self.pending.len() {
+            if !self.pending[self.cursor].release.at_or_before(now) {
+                break;
+            }
+            let parent = self.pending[self.cursor].id;
+            self.cursor += 1;
+            if self.release_next(parent, now, net) {
+                self.parent_arrived.push(parent);
+            }
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.finishes.len() == self.total_parents
+    }
+
+    fn next_event_in(&self, now: SimTime) -> Option<f64> {
+        self.pending
+            .get(self.cursor)
+            .map(|d| (d.release - now).max(0.0))
+    }
+
+    fn on_flow_completions(
+        &mut self,
+        now: SimTime,
+        done: &[FlowCompletion],
+        net: &mut FluidNetwork,
+        _trace: &mut FlowTrace,
+    ) {
+        for c in done {
+            let parent = self.active_parents.remove(&c.id).expect("known chunk");
+            if !self.release_next(parent, now, net) {
+                self.finishes.insert(parent, now);
+                self.parent_departed.push(parent);
+            }
+        }
+    }
+
+    /// Chunk boundaries are rate-change points even when the flow set did
+    /// not change at parent granularity.
+    fn recompute_every_event(&self) -> bool {
+        true
+    }
+
+    /// Chunk ids are internal artifacts; callers only get parent finishes.
+    fn wants_trace(&self) -> bool {
+        false
+    }
+
+    fn allocate(
+        &mut self,
+        policy: &mut dyn RatePolicy,
+        mode: RecomputeMode,
+        now: SimTime,
+        flows: &[ActiveFlowView],
+        _delta: &FlowDelta,
+        topo: &Topology,
+    ) -> RateAlloc {
+        // Present each chunk under its parent's identity. At most one
+        // chunk per parent is active at a time (chunks chain release
+        // times), so ids never collide.
+        let (backlog, parent_size): (BTreeMap<FlowId, f64>, BTreeMap<FlowId, f64>) =
+            match self.visibility {
+                ChunkVisibility::FlowState => (
+                    self.queues
+                        .iter()
+                        .map(|(parent, q)| (*parent, q.iter().sum()))
+                        .collect(),
+                    self.demands.iter().map(|d| (d.id, d.size)).collect(),
+                ),
+                ChunkVisibility::ChunkLocal => (BTreeMap::new(), BTreeMap::new()),
+            };
+        let mut disguised = Vec::with_capacity(flows.len());
+        let mut reverse: BTreeMap<FlowId, FlowId> = BTreeMap::new();
+        for v in flows {
+            let parent = self.chunk_to_parent.get(&v.id).copied().unwrap_or(v.id);
+            reverse.insert(parent, v.id);
+            let mut pv = v.clone();
+            pv.id = parent;
+            pv.remaining += backlog.get(&parent).copied().unwrap_or(0.0);
+            if let Some(&size) = parent_size.get(&parent) {
+                pv.size = size;
+            }
+            if self.visibility == ChunkVisibility::FlowState {
+                // Flow-state visibility includes the parent's release
+                // time: deadline- and arrival-sensitive schedulers see a
+                // stable flow, not a chunk born at the last rollover.
+                pv.release = self.by_id[&parent].release;
+            }
+            disguised.push(pv);
+        }
+        disguised.sort_by_key(|v| v.id);
+
+        let rates = match (mode, self.visibility) {
+            (RecomputeMode::Incremental, ChunkVisibility::FlowState) => {
+                let pdelta = FlowDelta {
+                    arrived: std::mem::take(&mut self.parent_arrived),
+                    departed: std::mem::take(&mut self.parent_departed),
+                };
+                policy.allocate_incremental(now, &disguised, &pdelta, topo)
+            }
+            _ => {
+                self.parent_arrived.clear();
+                self.parent_departed.clear();
+                policy.allocate(now, &disguised, topo)
+            }
+        };
+        rates
+            .into_iter()
+            .filter_map(|(parent, rate)| reverse.get(&parent).map(|&chunk| (chunk, rate)))
+            .collect()
+    }
+
+    fn deadlock_context(&self) -> String {
+        let queued: usize = self.queues.values().map(Vec::len).sum();
+        format!(
+            "{} of {} parent flows finished, {} chunks still queued",
+            self.finishes.len(),
+            self.total_parents,
+            queued
+        )
+    }
 }
 
 /// Runs `demands` with each flow quantized into `chunk` byte pieces.
@@ -108,10 +242,20 @@ pub fn run_flows_quantized(
     policy: &mut dyn RatePolicy,
     chunk: f64,
 ) -> QuantizedOutcome {
-    run_flows_quantized_with(topology, demands, policy, chunk, ChunkVisibility::FlowState)
+    run_flows_quantized_with(
+        topology,
+        demands,
+        policy,
+        chunk,
+        ChunkVisibility::FlowState,
+        RecomputeMode::Full,
+    )
 }
 
-/// [`run_flows_quantized`] with explicit policy visibility.
+/// [`run_flows_quantized`] with explicit policy visibility and
+/// [`RecomputeMode`]. Under [`ChunkVisibility::ChunkLocal`] the
+/// incremental mode falls back to the full recompute (chunk ids are too
+/// short-lived for cached group state to track).
 ///
 /// # Panics
 ///
@@ -122,14 +266,12 @@ pub fn run_flows_quantized_with(
     policy: &mut dyn RatePolicy,
     chunk: f64,
     visibility: ChunkVisibility,
+    mode: RecomputeMode,
 ) -> QuantizedOutcome {
-    use crate::fluid::FluidNetwork;
     assert!(chunk > 0.0 && chunk.is_finite(), "bad chunk size {chunk}");
 
-    // Per flow: the queue of chunk sizes still to send (front = next).
+    // Per flow: the queue of chunk sizes still to send.
     let mut queues: BTreeMap<FlowId, Vec<f64>> = BTreeMap::new();
-    let mut next_id: u64 = demands.iter().map(|d| d.id.0).max().unwrap_or(0) + 1;
-    let mut chunk_to_parent: BTreeMap<FlowId, FlowId> = BTreeMap::new();
     for d in &demands {
         let mut sizes = Vec::new();
         let mut remaining = d.size;
@@ -141,108 +283,30 @@ pub fn run_flows_quantized_with(
         sizes.reverse(); // pop() yields the next chunk
         queues.insert(d.id, sizes);
     }
+    let next_id = demands.iter().map(|d| d.id.0).max().unwrap_or(0) + 1;
     let by_id: BTreeMap<FlowId, &FlowDemand> = demands.iter().map(|d| (d.id, d)).collect();
-
-    // Pending initial releases, sorted by (release, id).
     let mut pending: Vec<&FlowDemand> = demands.iter().collect();
     pending.sort_by(|a, b| a.release.cmp(&b.release).then(a.id.cmp(&b.id)));
-    let mut pending = pending.into_iter().peekable();
 
-    let mut net = FluidNetwork::new(topology.clone());
-    let mut finishes: BTreeMap<FlowId, SimTime> = BTreeMap::new();
-    let mut active_parents: BTreeMap<FlowId, FlowId> = BTreeMap::new(); // chunk -> parent
-    let mut now = SimTime::ZERO;
-
-    // Releases the next chunk of `parent` (if any) at `now`.
-    let mut release_next = |parent: FlowId,
-                            now: SimTime,
-                            net: &mut FluidNetwork,
-                            queues: &mut BTreeMap<FlowId, Vec<f64>>,
-                            active_parents: &mut BTreeMap<FlowId, FlowId>,
-                            chunk_to_parent: &mut BTreeMap<FlowId, FlowId>|
-     -> bool {
-        let Some(size) = queues.get_mut(&parent).and_then(|q| q.pop()) else {
-            return false;
-        };
-        let d = by_id[&parent];
-        let id = FlowId(next_id);
-        next_id += 1;
-        chunk_to_parent.insert(id, parent);
-        active_parents.insert(id, parent);
-        net.release(&FlowDemand::new(id, d.src, d.dst, size, now));
-        true
+    let mut source = ChunkSource {
+        demands: &demands,
+        by_id,
+        queues,
+        next_id,
+        chunk_to_parent: BTreeMap::new(),
+        active_parents: BTreeMap::new(),
+        pending,
+        cursor: 0,
+        finishes: BTreeMap::new(),
+        total_parents: demands.len(),
+        visibility,
+        parent_arrived: Vec::new(),
+        parent_departed: Vec::new(),
     };
-
-    let total_parents = demands.len();
-    while finishes.len() < total_parents {
-        // Start flows whose first chunk is due.
-        while let Some(d) = pending.peek() {
-            if d.release.at_or_before(now) {
-                let d = pending.next().unwrap();
-                release_next(
-                    d.id,
-                    now,
-                    &mut net,
-                    &mut queues,
-                    &mut active_parents,
-                    &mut chunk_to_parent,
-                );
-            } else {
-                break;
-            }
-        }
-
-        if net.active_count() > 0 {
-            let (backlog, parent_size) = match visibility {
-                ChunkVisibility::FlowState => (
-                    queues
-                        .iter()
-                        .map(|(parent, q)| (*parent, q.iter().sum()))
-                        .collect(),
-                    demands.iter().map(|d| (d.id, d.size)).collect(),
-                ),
-                ChunkVisibility::ChunkLocal => (BTreeMap::new(), BTreeMap::new()),
-            };
-            let mut adapter = ChunkAdapter {
-                inner: policy,
-                chunk_to_parent: chunk_to_parent.clone(),
-                backlog,
-                parent_size,
-            };
-            let alloc = adapter.allocate(now, net.views(), topology);
-            net.set_rates(&alloc);
-        }
-
-        let dt_release = pending.peek().map(|d| (d.release - now).max(0.0));
-        let dt_done = net.next_completion_in();
-        let dt = match (dt_release, dt_done) {
-            (Some(r), Some(c)) => r.min(c),
-            (Some(r), None) => r,
-            (None, Some(c)) => c,
-            (None, None) => panic!(
-                "quantized run stalled: {} chunks active with zero rate",
-                net.active_count()
-            ),
-        };
-        let done = net.advance(dt);
-        now = net.now();
-        for c in done {
-            let parent = active_parents.remove(&c.id).expect("known chunk");
-            let released = release_next(
-                parent,
-                now,
-                &mut net,
-                &mut queues,
-                &mut active_parents,
-                &mut chunk_to_parent,
-            );
-            if !released {
-                finishes.insert(parent, now);
-            }
-        }
+    drive(topology, &mut source, policy, mode);
+    QuantizedOutcome {
+        finishes: source.finishes,
     }
-
-    QuantizedOutcome { finishes }
 }
 
 #[cfg(test)]
@@ -330,6 +394,7 @@ mod tests {
             &mut Srpt,
             0.25,
             ChunkVisibility::FlowState,
+            RecomputeMode::Full,
         );
         let local = run_flows_quantized_with(
             &topo,
@@ -337,12 +402,44 @@ mod tests {
             &mut Srpt,
             0.25,
             ChunkVisibility::ChunkLocal,
+            RecomputeMode::Full,
         );
         // Flow-state visibility reproduces fluid exactly.
         assert!(aware.finishes[&FlowId(1)].approx_eq(fluid.finish(FlowId(1)).unwrap()));
         // Chunk-local state loses SRPT's preemption: the short flow
         // finishes later than under fluid SRPT.
         assert!(local.finishes[&FlowId(1)].secs() > fluid.finish(FlowId(1)).unwrap().secs() + 0.05);
+    }
+
+    #[test]
+    fn incremental_mode_matches_full_for_both_visibilities() {
+        let topo = Topology::chain(2, 1.0);
+        let demands = || {
+            vec![
+                demand(0, 2.0, 1.0),
+                demand(1, 2.0, 2.0),
+                demand(2, 1.0, 3.0),
+            ]
+        };
+        for visibility in [ChunkVisibility::FlowState, ChunkVisibility::ChunkLocal] {
+            let full = run_flows_quantized_with(
+                &topo,
+                demands(),
+                &mut MaxMinPolicy,
+                0.25,
+                visibility,
+                RecomputeMode::Full,
+            );
+            let inc = run_flows_quantized_with(
+                &topo,
+                demands(),
+                &mut MaxMinPolicy,
+                0.25,
+                visibility,
+                RecomputeMode::Incremental,
+            );
+            assert_eq!(full.finishes, inc.finishes, "diverged for {visibility:?}");
+        }
     }
 
     #[test]

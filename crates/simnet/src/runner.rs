@@ -1,4 +1,4 @@
-//! Self-contained flow simulation loop.
+//! Self-contained flow simulation loop for static demand sets.
 //!
 //! [`run_flows`] drives a static set of [`FlowDemand`]s to completion under
 //! a [`RatePolicy`], recomputing rates at every flow release and completion
@@ -15,16 +15,19 @@
 //! group structure. Both modes must produce bit-identical traces; the
 //! differential tests in `tests/differential.rs` enforce this.
 //!
-//! Higher layers with *dynamic* demands (compute units emitting flows) run
-//! their own loops on top of [`crate::fluid::FluidNetwork`] directly; this
-//! runner is the workhorse for scheduler unit tests and the pure-network
-//! experiments.
+//! The event-loop skeleton itself lives in [`crate::driver`]; this module
+//! contributes only the static-demand [`WorkloadSource`] (release flows at
+//! fixed times, collect completions) and remains the workhorse for
+//! scheduler unit tests and the pure-network experiments. Layers with
+//! *dynamic* demands (compute units emitting flows, chunked transport,
+//! cluster arrivals) plug their own sources into the same driver.
 
 use crate::alloc::RateAlloc;
+use crate::driver::{drive, WorkloadSource};
 use crate::flow::{ActiveFlowView, FlowCompletion, FlowDemand};
 use crate::fluid::{FlowDelta, FluidNetwork};
 use crate::ids::FlowId;
-use crate::time::{SimTime, EPS};
+use crate::time::SimTime;
 use crate::topology::Topology;
 use crate::trace::{FlowTrace, TraceEventKind};
 use std::collections::BTreeMap;
@@ -146,6 +149,54 @@ pub fn run_flows(
     run_flows_with(topology, demands, policy, RecomputeMode::Full)
 }
 
+/// The static-demand [`WorkloadSource`]: flows release at fixed times and
+/// nothing else ever happens. The driver's dirty-flag skip applies — the
+/// flow set only changes at releases and completions, so allocations are
+/// skipped while the pending delta is empty.
+struct DemandSource {
+    /// Ascending (release, id); `cursor` marks the next unreleased demand.
+    pending: Vec<FlowDemand>,
+    cursor: usize,
+    completions: BTreeMap<FlowId, FlowCompletion>,
+    total: usize,
+}
+
+impl WorkloadSource for DemandSource {
+    fn release_due(&mut self, now: SimTime, net: &mut FluidNetwork, trace: &mut FlowTrace) {
+        while self.cursor < self.pending.len() {
+            let d = &self.pending[self.cursor];
+            if !d.release.at_or_before(now) {
+                break;
+            }
+            trace.record(now, d.id, TraceEventKind::Released);
+            net.release(d);
+            self.cursor += 1;
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.completions.len() == self.total
+    }
+
+    fn next_event_in(&self, now: SimTime) -> Option<f64> {
+        self.pending
+            .get(self.cursor)
+            .map(|d| (d.release - now).max(0.0))
+    }
+
+    fn on_flow_completions(
+        &mut self,
+        _now: SimTime,
+        done: &[FlowCompletion],
+        _net: &mut FluidNetwork,
+        _trace: &mut FlowTrace,
+    ) {
+        for c in done {
+            self.completions.insert(c.id, *c);
+        }
+    }
+}
+
 /// Runs `demands` to completion under `policy` on `topology`.
 ///
 /// # Panics
@@ -163,87 +214,18 @@ pub fn run_flows_with(
     // Ascending release order, ties by id for determinism.
     pending.sort_by(|a, b| a.release.cmp(&b.release).then(a.id.cmp(&b.id)));
     let total = pending.len();
-    let mut pending = pending.into_iter().peekable();
-
-    let mut net = FluidNetwork::new(topology.clone());
-    let mut trace = FlowTrace::new();
-    let mut completions: BTreeMap<FlowId, FlowCompletion> = BTreeMap::new();
-    let mut now = SimTime::ZERO;
-    let mut makespan = SimTime::ZERO;
-    // Rates only need recomputing when the active set changed: after any
-    // release or completion. In between, the previous allocation is still
-    // valid, so those iterations skip the policy call entirely.
-    let mut recompute = false;
-
-    while completions.len() < total {
-        // Release everything due now.
-        let mut released_any = false;
-        while let Some(d) = pending.peek() {
-            if d.release.at_or_before(now) {
-                let d = pending.next().unwrap();
-                trace.record(now, d.id, TraceEventKind::Released);
-                net.release(&d);
-                released_any = true;
-            } else {
-                break;
-            }
-        }
-        if released_any {
-            recompute = true;
-        }
-
-        if recompute && net.active_count() > 0 {
-            // Recompute rates for the current flow set. The delta is
-            // drained in both modes so arrivals/departures are reported to
-            // the policy exactly once per allocation.
-            let delta = net.take_delta();
-            let alloc = match mode {
-                RecomputeMode::Full => policy.allocate(now, net.views(), topology),
-                RecomputeMode::Incremental => {
-                    policy.allocate_incremental(now, net.views(), &delta, topology)
-                }
-            };
-            net.set_rates(&alloc);
-            for (v, rate) in net.flows_with_rates() {
-                trace.record_rate(now, v.id, rate);
-            }
-            recompute = false;
-        }
-
-        // Next event: earliest of (next release, next completion). Work
-        // with relative deltas — subtracting absolute times can round a
-        // sub-ulp completion delta down to zero and stall the loop.
-        let dt_release = pending.peek().map(|d| (d.release - now).max(0.0));
-        let dt_done = net.next_completion_in();
-        let dt = match (dt_release, dt_done) {
-            (Some(r), Some(c)) => r.min(c),
-            (Some(r), None) => r,
-            (None, Some(c)) => c,
-            (None, None) => {
-                panic!(
-                    "deadlock: {} flows active with zero rate and nothing pending (policy {})",
-                    net.active_count(),
-                    policy.name()
-                );
-            }
-        };
-        debug_assert!(dt >= -EPS);
-        let done = net.advance(dt);
-        now = net.now();
-        if !done.is_empty() {
-            recompute = true;
-        }
-        for c in done {
-            trace.record(now, c.id, TraceEventKind::Finished);
-            completions.insert(c.id, c);
-            makespan = makespan.max(now);
-        }
-    }
+    let mut source = DemandSource {
+        pending,
+        cursor: 0,
+        completions: BTreeMap::new(),
+        total,
+    };
+    let outcome = drive(topology, &mut source, policy, mode);
 
     FlowOutcomes {
-        completions,
-        trace,
-        makespan,
+        completions: source.completions,
+        trace: outcome.trace,
+        makespan: outcome.end,
     }
 }
 

@@ -11,6 +11,8 @@
 use echelon_detrand::DetRng;
 use echelonflow::agent::api::requests_from_dag;
 use echelonflow::agent::coordinator::{Coordinator, CoordinatorConfig, Trigger};
+use echelonflow::cluster::scenario::{Scenario, SchedulerKind};
+use echelonflow::cluster::workload::WorkloadConfig;
 use echelonflow::core::arrangement::ArrangementFn;
 use echelonflow::core::coflow::Coflow;
 use echelonflow::core::echelon::{EchelonFlow, FlowRef};
@@ -19,14 +21,16 @@ use echelonflow::paradigms::config::{DpConfig, FsdpConfig, PpConfig};
 use echelonflow::paradigms::dag::JobDag;
 use echelonflow::paradigms::dp::build_dp_allreduce;
 use echelonflow::paradigms::fsdp::build_fsdp;
+use echelonflow::paradigms::hybrid::{build_hybrid, HybridConfig};
 use echelonflow::paradigms::ids::IdAlloc;
 use echelonflow::paradigms::pp::build_pp_gpipe;
-use echelonflow::paradigms::runtime::{make_policy, run_jobs_with, Grouping};
+use echelonflow::paradigms::runtime::{make_policy, run_jobs_arriving, run_jobs_with, Grouping};
 use echelonflow::sched::baselines::{FifoPolicy, SrptPolicy};
 use echelonflow::sched::echelon::{EchelonMadd, InterOrder, IntraMode};
 use echelonflow::sched::varys::{CoflowOrder, VarysMadd};
 use echelonflow::simnet::flow::FlowDemand;
 use echelonflow::simnet::ids::{FlowId, NodeId};
+use echelonflow::simnet::quantized::{run_flows_quantized_with, ChunkVisibility};
 use echelonflow::simnet::runner::{run_flows_with, MaxMinPolicy, RatePolicy, RecomputeMode};
 use echelonflow::simnet::time::SimTime;
 use echelonflow::simnet::topology::Topology;
@@ -255,6 +259,164 @@ fn paradigm_runtime_incremental_matches_full() {
         );
         assert_eq!(full.makespan, inc.makespan);
         assert_eq!(full.job_makespans, inc.job_makespans);
+    }
+}
+
+/// Chunk-quantized transport under both chunk-visibility modes: the
+/// incremental path (parent-level deltas with disguised chunk views)
+/// must reproduce the Full-mode finish times exactly.
+#[test]
+fn quantized_incremental_matches_full_on_seeded_workloads() {
+    type MkPolicy = fn(&Workload) -> Box<dyn RatePolicy>;
+    let kinds: [(&str, MkPolicy); 3] = [
+        ("MaxMin", |_| Box::new(MaxMinPolicy)),
+        ("EchelonMadd", |w| {
+            Box::new(EchelonMadd::new(w.echelons.clone()))
+        }),
+        ("VarysMadd", |w| Box::new(VarysMadd::new(w.coflows.clone()))),
+    ];
+    let topo = Topology::big_switch_uniform(HOSTS, 1.5);
+    for seed in 0..4u64 {
+        let w = workload(seed);
+        for visibility in [ChunkVisibility::FlowState, ChunkVisibility::ChunkLocal] {
+            for chunk in [0.5, 0.25] {
+                for (label, mk) in kinds {
+                    let mut full_policy = mk(&w);
+                    let full = run_flows_quantized_with(
+                        &topo,
+                        w.demands.clone(),
+                        full_policy.as_mut(),
+                        chunk,
+                        visibility,
+                        RecomputeMode::Full,
+                    );
+                    let mut inc_policy = mk(&w);
+                    let inc = run_flows_quantized_with(
+                        &topo,
+                        w.demands.clone(),
+                        inc_policy.as_mut(),
+                        chunk,
+                        visibility,
+                        RecomputeMode::Incremental,
+                    );
+                    assert_eq!(
+                        full.finishes, inc.finishes,
+                        "finishes diverged for {label}, {visibility:?}, \
+                         chunk {chunk}, seed {seed}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A hybrid (DP × PP) job over multiple training iterations — the
+/// densest DAG shape the builders produce — stays bit-identical across
+/// recompute modes under both groupings.
+#[test]
+fn hybrid_multi_iteration_runtime_matches_across_modes() {
+    let topo = Topology::big_switch_uniform(HOSTS, 1.0);
+    for grouping in [Grouping::Echelon, Grouping::Coflow] {
+        let mut alloc = IdAlloc::new();
+        let hybrid = build_hybrid(
+            JobId(0),
+            &HybridConfig {
+                replicas: vec![vec![NodeId(0), NodeId(1)], vec![NodeId(2), NodeId(3)]],
+                micro_batches: 3,
+                fwd_time: 0.4,
+                bwd_time: 0.4,
+                activation_bytes: 1.2,
+                stage_grad_bytes: 1.0,
+                iterations: 2,
+            },
+            &mut alloc,
+        );
+        let fsdp = build_fsdp(
+            JobId(1),
+            &FsdpConfig {
+                placement: vec![NodeId(4), NodeId(5)],
+                layers: 2,
+                shard_bytes: 1.0,
+                layer_shard_bytes: None,
+                fwd_time_per_layer: 0.3,
+                bwd_time_per_layer: 0.3,
+                iterations: 2,
+            },
+            &mut alloc,
+        );
+        let dags = [hybrid, fsdp];
+        let dag_refs: Vec<&JobDag> = dags.iter().collect();
+
+        let mut full_policy = make_policy(grouping, &dag_refs);
+        let full = run_jobs_with(&topo, &dag_refs, full_policy.as_mut(), RecomputeMode::Full);
+        let mut inc_policy = make_policy(grouping, &dag_refs);
+        let inc = run_jobs_with(
+            &topo,
+            &dag_refs,
+            inc_policy.as_mut(),
+            RecomputeMode::Incremental,
+        );
+
+        assert_eq!(
+            full.trace.events(),
+            inc.trace.events(),
+            "trace diverged for {grouping:?}"
+        );
+        assert_eq!(full.flow_finishes, inc.flow_finishes);
+        assert_eq!(full.job_makespans, inc.job_makespans);
+    }
+}
+
+/// The runtime's admission path (jobs entering mid-simulation) stays
+/// bit-identical across recompute modes.
+#[test]
+fn admission_runtime_matches_across_modes() {
+    let topo = Topology::big_switch_uniform(HOSTS, 1.0);
+    let arrivals = [SimTime::ZERO, SimTime::new(1.25), SimTime::new(2.75)];
+    for grouping in [Grouping::Echelon, Grouping::Coflow] {
+        let run = |mode: RecomputeMode| {
+            let mut alloc = IdAlloc::new();
+            let dags = paradigm_mix(&mut alloc);
+            let dag_refs: Vec<&JobDag> = dags.iter().collect();
+            let mut policy = make_policy(grouping, &dag_refs);
+            run_jobs_arriving(&topo, &dag_refs, &arrivals, policy.as_mut(), mode)
+        };
+        let full = run(RecomputeMode::Full);
+        let inc = run(RecomputeMode::Incremental);
+        assert_eq!(
+            full.trace.events(),
+            inc.trace.events(),
+            "admission trace diverged for {grouping:?}"
+        );
+        assert_eq!(full.job_makespans, inc.job_makespans);
+    }
+}
+
+/// The full cluster layer — seeded multi-tenant workload through the
+/// scenario runner — is bit-identical across modes, for both the
+/// arrival-gate and runtime-admission representations.
+#[test]
+fn cluster_scenario_matches_across_modes() {
+    let cfg = WorkloadConfig::default_mix(43, 4, 24);
+    let gated = Scenario::generate(&cfg);
+    let ungated = Scenario::generate_ungated(&cfg);
+    for kind in [SchedulerKind::Echelon, SchedulerKind::Coflow] {
+        let (full, _) = gated.run_with_mode(kind, RecomputeMode::Full);
+        let (inc, _) = gated.run_with_mode(kind, RecomputeMode::Incremental);
+        assert_eq!(
+            full.trace.events(),
+            inc.trace.events(),
+            "{} gated trace diverged",
+            kind.name()
+        );
+        let (full, _) = ungated.run_admission(kind, RecomputeMode::Full);
+        let (inc, _) = ungated.run_admission(kind, RecomputeMode::Incremental);
+        assert_eq!(
+            full.trace.events(),
+            inc.trace.events(),
+            "{} admission trace diverged",
+            kind.name()
+        );
     }
 }
 
