@@ -381,6 +381,35 @@ impl RatePolicy for CoordinatedPolicy {
         rates
     }
 
+    /// Between decisions the coordinator serves a *frozen* priority order
+    /// (plus a static fill for fresh flows), so its rates only move when
+    /// the flow set changes or the next decision fires. With a control
+    /// latency, flows graduate from fresh to known as their observations
+    /// land — a time-driven rate change no horizon can cover.
+    fn horizon(
+        &self,
+        _now: SimTime,
+        _flows: &[ActiveFlowView],
+        _rates: &[f64],
+    ) -> echelon_simnet::runner::AllocHorizon {
+        use echelon_simnet::runner::AllocHorizon;
+        if self.config.control_latency > 0.0 {
+            return AllocHorizon::NextEvent;
+        }
+        match self.config.trigger {
+            Trigger::PerEvent => AllocHorizon::NextEvent,
+            Trigger::PerGroupChange => AllocHorizon::UntilFlowChange,
+            Trigger::Interval(dt) => match self.last_decision {
+                // The margin keeps the certification conservative against
+                // float non-associativity between this bound and
+                // `decision_due`'s own `now - t0 + 1e-12 >= dt` predicate;
+                // recomputing early just re-evaluates that predicate.
+                Some(t0) => AllocHorizon::Until(SimTime::new(t0.secs() + dt - 1e-6)),
+                None => AllocHorizon::NextEvent,
+            },
+        }
+    }
+
     fn name(&self) -> &'static str {
         "coordinated-echelon"
     }

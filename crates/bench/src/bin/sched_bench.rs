@@ -35,7 +35,10 @@ use echelon_core::{EchelonId, JobId};
 use echelon_detrand::DetRng;
 use echelon_paradigms::dag::JobDag;
 use echelon_paradigms::ids::IdAlloc;
-use echelon_paradigms::runtime::{make_policy, run_jobs_with, Grouping, RunResult};
+use echelon_paradigms::runtime::{
+    make_policy, run_jobs_every_event, run_jobs_with, Grouping, RunResult,
+};
+use echelon_sched::baselines::SrptPolicy;
 use echelon_sched::echelon::EchelonMadd;
 use echelon_sched::varys::VarysMadd;
 use echelon_simnet::flow::FlowDemand;
@@ -223,6 +226,49 @@ fn bench_dyn_scheduler(ds: &DynScenario, name: &'static str, grouping: Grouping)
     }
 }
 
+/// Smoke gate for the recompute-horizon path: a certifying policy (SRPT)
+/// run through the job runtime's default `PolicyHorizon` cadence must
+/// produce a trace bit-identical to the every-event reference while
+/// actually skipping recomputes, and the skip accounting must balance
+/// (horizon allocations + skips == every-event allocations).
+fn smoke_horizon_gate(ds: &DynScenario) {
+    let topo = Topology::big_switch_uniform(ds.hosts, 1.0);
+    let dag_refs: Vec<&JobDag> = ds.dags.iter().collect();
+    let mut horizon_policy = SrptPolicy;
+    let horizon = run_jobs_with(
+        &topo,
+        &dag_refs,
+        &mut horizon_policy,
+        RecomputeMode::Incremental,
+    );
+    let mut every_policy = SrptPolicy;
+    let every = run_jobs_every_event(
+        &topo,
+        &dag_refs,
+        &mut every_policy,
+        RecomputeMode::Incremental,
+    );
+    assert_eq!(
+        horizon.trace.events(),
+        every.trace.events(),
+        "srpt: horizon-skipping trace diverged from every-event on {} dynamic jobs",
+        ds.jobs
+    );
+    assert!(
+        horizon.stats.horizon_skips > 0,
+        "srpt: horizon gate is vacuous — no events were skipped"
+    );
+    assert_eq!(
+        horizon.stats.allocations + horizon.stats.horizon_skips,
+        every.stats.allocations,
+        "srpt: horizon skip accounting does not balance"
+    );
+    println!(
+        "horizon gate: srpt skipped {} of {} recomputes, trace identical",
+        horizon.stats.horizon_skips, every.stats.allocations
+    );
+}
+
 /// Time-averaged number of concurrently active flows: Σ fct / makespan.
 fn mean_active_flows(out: &FlowOutcomes) -> f64 {
     let span = out.makespan().secs();
@@ -315,6 +361,7 @@ fn main() {
         for r in dyn_results(&ds) {
             print_row(&r, ds.jobs, ds.flows);
         }
+        smoke_horizon_gate(&ds);
         println!("\nsmoke ok (traces bit-identical across modes)");
         return;
     }

@@ -216,6 +216,7 @@ mod tests {
             worker_busy: Default::default(),
             timeline: vec![],
             trace: Default::default(),
+            stats: Default::default(),
         };
         for h in &jobs[0].dag.echelons {
             assert!(echelon_tardiness_from_run(h, &empty).is_none());

@@ -29,7 +29,8 @@ use crate::ids::{CommId, CompId};
 use echelon_core::JobId;
 use echelon_sched::echelon::EchelonMadd;
 use echelon_sched::varys::VarysMadd;
-use echelon_simnet::driver::{drive, WorkloadSource};
+use echelon_simnet::alloc::AllocScratch;
+use echelon_simnet::driver::{drive, DriveStats, RecomputeCadence, WorkloadSource};
 use echelon_simnet::flow::{FlowCompletion, FlowDemand};
 use echelon_simnet::fluid::FluidNetwork;
 use echelon_simnet::ids::{FlowId, NodeId};
@@ -107,6 +108,9 @@ pub struct RunResult {
     /// Per-flow release/rate/finish trace (regenerates the rate series of
     /// the paper's Fig. 2 sub-figures).
     pub trace: FlowTrace,
+    /// Driver counters: rate recomputations performed and events skipped
+    /// under the policy-reported recompute horizon.
+    pub stats: DriveStats,
 }
 
 impl RunResult {
@@ -196,6 +200,9 @@ struct JobSource<'a> {
     comms_done: usize,
     total_comps: usize,
     total_comms: usize,
+    /// Force [`RecomputeCadence::EveryEvent`], ignoring policy horizons.
+    /// The every-event reference run for the horizon differential tests.
+    force_every_event: bool,
     result: RunResult,
 }
 
@@ -240,6 +247,7 @@ impl<'a> JobSource<'a> {
             comms_done: 0,
             total_comps: dags.iter().map(|d| d.comps.len()).sum(),
             total_comms: dags.iter().map(|d| d.comms.len()).sum(),
+            force_every_event: false,
             result: RunResult {
                 comp_spans: BTreeMap::new(),
                 comm_spans: BTreeMap::new(),
@@ -250,6 +258,7 @@ impl<'a> JobSource<'a> {
                 worker_busy: BTreeMap::new(),
                 timeline: Vec::new(),
                 trace: FlowTrace::new(),
+                stats: DriveStats::default(),
             },
         };
 
@@ -571,11 +580,24 @@ impl WorkloadSource for JobSource<'_> {
         }
     }
 
-    /// Unlike the pure-flow runner, rates are recomputed at every event
-    /// (including computation completions): tardiness-driven orderings
-    /// shift as time passes even when the flow set is static.
-    fn recompute_every_event(&self) -> bool {
-        true
+    /// Unlike the pure-flow runner, rates may need recomputing at events
+    /// that leave the flow set unchanged (computation completions pass
+    /// time, and tardiness-driven orderings shift as time passes). The
+    /// policy knows best: under [`RecomputeCadence::PolicyHorizon`] the
+    /// driver asks [`RatePolicy::horizon`] after each recomputation and
+    /// skips allocation until the horizon passes or the flow set changes.
+    /// Policies that cannot certify a horizon (the MADD engines, whose
+    /// remaining-proportional rates are not a floating-point fixed point)
+    /// keep the default [`AllocHorizon::NextEvent`][horizon] and behave
+    /// exactly as before.
+    ///
+    /// [horizon]: echelon_simnet::runner::AllocHorizon::NextEvent
+    fn cadence(&self) -> RecomputeCadence {
+        if self.force_every_event {
+            RecomputeCadence::EveryEvent
+        } else {
+            RecomputeCadence::PolicyHorizon
+        }
     }
 
     /// The source records releases/rates/finishes into its own
@@ -592,19 +614,23 @@ impl WorkloadSource for JobSource<'_> {
         flows: &[echelon_simnet::flow::ActiveFlowView],
         delta: &echelon_simnet::fluid::FlowDelta,
         topo: &Topology,
-    ) -> echelon_simnet::alloc::RateAlloc {
-        let alloc = match mode {
-            RecomputeMode::Full => policy.allocate(now, flows, topo),
-            RecomputeMode::Incremental => policy.allocate_incremental(now, flows, delta, topo),
-        };
+        ws: &mut AllocScratch,
+        out: &mut Vec<f64>,
+    ) {
+        match mode {
+            RecomputeMode::Full => policy.allocate_dense(now, flows, topo, ws, out),
+            RecomputeMode::Incremental => {
+                policy.allocate_dense_incremental(now, flows, delta, topo, ws, out);
+            }
+        }
         // Record the applied rates here (rather than via the driver's
         // trace) so the trace lands in the same [`RunResult`] as the rest
-        // of the bookkeeping.
-        for v in flows {
-            let rate = alloc.get(&v.id).copied().unwrap_or(0.0).max(0.0);
-            self.result.trace.record_rate(now, v.id, rate);
+        // of the bookkeeping. Horizon-skipped events record nothing; the
+        // every-event reference records bit-identical rates there, which
+        // `record_rate`'s dedup drops — so the traces stay identical.
+        for (v, &rate) in flows.iter().zip(out.iter()) {
+            self.result.trace.record_rate(now, v.id, rate.max(0.0));
         }
-        alloc
     }
 
     fn deadlock_context(&self) -> String {
@@ -687,6 +713,22 @@ pub fn run_jobs_arriving(
     run_jobs_impl(topo, dags, arrivals.to_vec(), policy, mode)
 }
 
+/// Like [`run_jobs_with`], but forcing a rate recomputation at every
+/// event, ignoring any [`horizon`](RatePolicy::horizon) the policy
+/// reports. This is the reference run for the horizon differential
+/// tests: its trace must be bit-identical to the horizon-skipping run of
+/// [`run_jobs_with`].
+pub fn run_jobs_every_event(
+    topo: &Topology,
+    dags: &[&JobDag],
+    policy: &mut dyn RatePolicy,
+    mode: RecomputeMode,
+) -> RunResult {
+    let mut source = JobSource::new(dags, vec![SimTime::ZERO; dags.len()]);
+    source.force_every_event = true;
+    finish_run(drive(topo, &mut source, policy, mode), source)
+}
+
 fn run_jobs_impl(
     topo: &Topology,
     dags: &[&JobDag],
@@ -695,9 +737,13 @@ fn run_jobs_impl(
     mode: RecomputeMode,
 ) -> RunResult {
     let mut source = JobSource::new(dags, arrivals);
-    let outcome = drive(topo, &mut source, policy, mode);
+    finish_run(drive(topo, &mut source, policy, mode), source)
+}
+
+fn finish_run(outcome: echelon_simnet::driver::DriveOutcome, source: JobSource<'_>) -> RunResult {
     let mut result = source.result;
     result.makespan = outcome.end;
+    result.stats = outcome.stats;
     result
         .timeline
         .sort_by(|a, b| a.start.cmp(&b.start).then(a.comp.cmp(&b.comp)));

@@ -5,10 +5,10 @@
 //! SRPT — the preemptive shortest-remaining-processing-time discipline
 //! that per-flow schedulers like pFabric approximate.
 
-use echelon_simnet::alloc::{priority_fill, RateAlloc};
+use echelon_simnet::alloc::{priority_fill, priority_fill_dense, AllocScratch, RateAlloc};
 use echelon_simnet::flow::ActiveFlowView;
 use echelon_simnet::ids::FlowId;
-use echelon_simnet::runner::RatePolicy;
+use echelon_simnet::runner::{AllocHorizon, RatePolicy};
 use echelon_simnet::time::SimTime;
 use echelon_simnet::topology::Topology;
 use std::collections::BTreeMap;
@@ -29,6 +29,29 @@ impl RatePolicy for FifoPolicy {
         priority_fill(topo, flows, &ids, &BTreeMap::new())
     }
 
+    fn allocate_dense(
+        &mut self,
+        _now: SimTime,
+        flows: &[ActiveFlowView],
+        topo: &Topology,
+        ws: &mut AllocScratch,
+        out: &mut Vec<f64>,
+    ) {
+        let mut order: Vec<&ActiveFlowView> = flows.iter().collect();
+        order.sort_by(|a, b| a.release.cmp(&b.release).then(a.id.cmp(&b.id)));
+        let ids: Vec<FlowId> = order.into_iter().map(|f| f.id).collect();
+        out.clear();
+        out.resize(flows.len(), 0.0);
+        priority_fill_dense(topo, flows, &ids, None, out, ws);
+    }
+
+    /// The FIFO order depends only on release times and ids, and the
+    /// greedy fill only on routes and capacities — neither moves with
+    /// time, so the allocation holds until the flow set changes.
+    fn horizon(&self, _now: SimTime, _flows: &[ActiveFlowView], _rates: &[f64]) -> AllocHorizon {
+        AllocHorizon::UntilFlowChange
+    }
+
     fn name(&self) -> &'static str {
         "fifo"
     }
@@ -47,6 +70,58 @@ impl RatePolicy for SrptPolicy {
         order.sort_by(|a, b| a.remaining.total_cmp(&b.remaining).then(a.id.cmp(&b.id)));
         let ids: Vec<FlowId> = order.into_iter().map(|f| f.id).collect();
         priority_fill(topo, flows, &ids, &BTreeMap::new())
+    }
+
+    fn allocate_dense(
+        &mut self,
+        _now: SimTime,
+        flows: &[ActiveFlowView],
+        topo: &Topology,
+        ws: &mut AllocScratch,
+        out: &mut Vec<f64>,
+    ) {
+        let mut order: Vec<&ActiveFlowView> = flows.iter().collect();
+        order.sort_by(|a, b| a.remaining.total_cmp(&b.remaining).then(a.id.cmp(&b.id)));
+        let ids: Vec<FlowId> = order.into_iter().map(|f| f.id).collect();
+        out.clear();
+        out.resize(flows.len(), 0.0);
+        priority_fill_dense(topo, flows, &ids, None, out, ws);
+    }
+
+    /// The greedy fill depends only on the priority order, so the
+    /// allocation stays valid until two flows swap places in the
+    /// remaining-bytes sort. Under the current rates each gap shrinks
+    /// linearly, so the first crossing is computable in closed form; the
+    /// margin keeps the certification conservative against accumulated
+    /// float rounding in the actual remaining-bytes evolution (an early
+    /// recompute is always safe — it just re-derives the same order).
+    fn horizon(&self, now: SimTime, flows: &[ActiveFlowView], rates: &[f64]) -> AllocHorizon {
+        const MARGIN: f64 = 1e-6;
+        let mut idx: Vec<usize> = (0..flows.len()).collect();
+        idx.sort_by(|&a, &b| {
+            flows[a]
+                .remaining
+                .total_cmp(&flows[b].remaining)
+                .then(flows[a].id.cmp(&flows[b].id))
+        });
+        let mut first: Option<f64> = None;
+        for pair in idx.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            let (ra, rb) = (rates[a], rates[b]);
+            if rb <= ra {
+                continue; // the gap never shrinks: no crossing
+            }
+            let gap = flows[b].remaining - flows[a].remaining;
+            let dt = gap / (rb - ra);
+            if dt <= MARGIN {
+                return AllocHorizon::NextEvent; // crossing is imminent
+            }
+            first = Some(first.map_or(dt, |cur: f64| cur.min(dt)));
+        }
+        match first {
+            None => AllocHorizon::UntilFlowChange,
+            Some(dt) => AllocHorizon::Until(SimTime::new(now.secs() + dt - MARGIN)),
+        }
     }
 
     fn name(&self) -> &'static str {

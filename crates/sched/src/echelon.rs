@@ -28,7 +28,7 @@ use crate::book::EchelonBook;
 use crate::sincronia::{bssi_order, GroupLoad};
 use echelon_core::echelon::EchelonFlow;
 use echelon_core::EchelonId;
-use echelon_simnet::alloc::{waterfill, RateAlloc};
+use echelon_simnet::alloc::{dense_to_alloc, waterfill_dense, AllocScratch, RateAlloc};
 use echelon_simnet::flow::ActiveFlowView;
 use echelon_simnet::fluid::FlowDelta;
 use echelon_simnet::ids::FlowId;
@@ -298,16 +298,19 @@ impl EchelonMadd {
 
     /// MADD over one deadline-stage against residual capacity: all flows
     /// of the stage finish together at the stage's residual bottleneck.
+    /// Rates land in the dense `rates` slice (indexed like `flows`); the
+    /// slice starts zeroed, so a starved stage writes nothing.
     fn serve_stage(
-        stage: &[&ActiveFlowView],
+        stage: &[Member<'_>],
+        flows: &[ActiveFlowView],
         residual: &mut [f64],
-        rates: &mut RateAlloc,
+        rates: &mut [f64],
         rate_caps: Option<&BTreeMap<FlowId, f64>>,
     ) {
         let mut per_resource: BTreeMap<u32, f64> = BTreeMap::new();
-        for v in stage {
-            for r in &v.route {
-                *per_resource.entry(r.0).or_insert(0.0) += v.remaining;
+        for m in stage {
+            for r in &m.view.route {
+                *per_resource.entry(r.0).or_insert(0.0) += m.view.remaining;
             }
         }
         let mut gamma: f64 = 0.0;
@@ -320,28 +323,31 @@ impl EchelonMadd {
             gamma = gamma.max(bytes / res);
         }
         if !gamma.is_finite() || gamma <= EPS {
-            for v in stage {
-                rates.entry(v.id).or_insert(0.0);
-            }
             return;
         }
-        for v in stage {
+        for m in stage {
+            let v = m.view;
             let mut rate = v.remaining / gamma;
             if let Some(caps) = rate_caps {
                 if let Some(&cap) = caps.get(&v.id) {
                     rate = rate.min(cap);
                 }
             }
-            rates.insert(v.id, rate);
+            let idx = flows
+                .binary_search_by(|f| f.id.cmp(&v.id))
+                .expect("served flow is active");
+            rates[idx] = rate;
             for r in &v.route {
                 residual[r.0 as usize] = (residual[r.0 as usize] - rate).max(0.0);
             }
         }
     }
 
-    /// Serves pre-ordered groups against residual capacity and backfills.
-    /// Shared tail of the naive and incremental allocation paths; member
-    /// lists must be EDD-ordered (deadline, then id).
+    /// Serves pre-ordered groups against residual capacity and backfills,
+    /// writing the dense allocation (indexed like the id-sorted `flows`)
+    /// into `rates`. Shared tail of the naive and incremental allocation
+    /// paths; member lists must be EDD-ordered (deadline, then id).
+    #[allow(clippy::too_many_arguments)]
     fn serve(
         &self,
         now: SimTime,
@@ -349,11 +355,15 @@ impl EchelonMadd {
         members_of: &BTreeMap<GroupKey, Vec<Member<'_>>>,
         flows: &[ActiveFlowView],
         topo: &Topology,
-    ) -> RateAlloc {
+        ws: &mut AllocScratch,
+        rates: &mut Vec<f64>,
+    ) {
+        debug_assert!(flows.windows(2).all(|w| w[0].id < w[1].id));
         let mut residual: Vec<f64> = (0..topo.num_resources())
             .map(|r| topo.capacity(echelon_simnet::ids::ResourceId(r as u32)))
             .collect();
-        let mut rates = RateAlloc::new();
+        rates.clear();
+        rates.resize(flows.len(), 0.0);
 
         for key in order {
             let members = &members_of[key];
@@ -383,23 +393,22 @@ impl EchelonMadd {
                 while j < members.len() && members[j].deadline.approx_eq(d) {
                     j += 1;
                 }
-                let stage: Vec<&ActiveFlowView> = members[i..j].iter().map(|m| m.view).collect();
-                Self::serve_stage(&stage, &mut residual, &mut rates, rate_caps.as_ref());
+                Self::serve_stage(
+                    &members[i..j],
+                    flows,
+                    &mut residual,
+                    rates,
+                    rate_caps.as_ref(),
+                );
                 i = j;
             }
         }
 
         if self.backfill {
-            let floor = rates.clone();
-            rates = waterfill(
-                topo,
-                flows,
-                &BTreeMap::new(),
-                &BTreeMap::new(),
-                Some(&floor),
-            );
+            // The MADD rates become the waterfill floor in place: leftover
+            // capacity is shared max-min on top of them.
+            waterfill_dense(topo, flows, None, None, rates, ws);
         }
-        rates
     }
 
     fn deadline_of(&self, key: GroupKey, view: &ActiveFlowView) -> SimTime {
@@ -586,6 +595,22 @@ impl EchelonMadd {
         flows: &[ActiveFlowView],
         topo: &Topology,
     ) -> RateAlloc {
+        let mut ws = AllocScratch::new();
+        let mut out = Vec::new();
+        self.allocate_cached_dense(now, flows, topo, &mut ws, &mut out);
+        dense_to_alloc(flows, &out)
+    }
+
+    /// [`Self::allocate_cached`] writing the dense allocation (indexed
+    /// like the id-sorted `flows`) into `out` instead of building a map.
+    pub fn allocate_cached_dense(
+        &mut self,
+        now: SimTime,
+        flows: &[ActiveFlowView],
+        topo: &Topology,
+        ws: &mut AllocScratch,
+        out: &mut Vec<f64>,
+    ) {
         debug_assert!(flows.windows(2).all(|w| w[0].id < w[1].id));
         if !self.cache_consistent(flows) {
             self.rebuild_cache(now, flows);
@@ -610,12 +635,26 @@ impl EchelonMadd {
             })
             .collect();
         let order = self.serve_order_cached(now, &members_of, topo);
-        self.serve(now, &order, &members_of, flows, topo)
+        self.serve(now, &order, &members_of, flows, topo, ws, out);
     }
 }
 
 impl RatePolicy for EchelonMadd {
     fn allocate(&mut self, now: SimTime, flows: &[ActiveFlowView], topo: &Topology) -> RateAlloc {
+        let mut ws = AllocScratch::new();
+        let mut out = Vec::new();
+        self.allocate_dense(now, flows, topo, &mut ws, &mut out);
+        dense_to_alloc(flows, &out)
+    }
+
+    fn allocate_dense(
+        &mut self,
+        now: SimTime,
+        flows: &[ActiveFlowView],
+        topo: &Topology,
+        ws: &mut AllocScratch,
+        out: &mut Vec<f64>,
+    ) {
         self.book.observe(now, flows);
 
         let mut groups: BTreeMap<GroupKey, Vec<&ActiveFlowView>> = BTreeMap::new();
@@ -627,7 +666,7 @@ impl RatePolicy for EchelonMadd {
             .iter()
             .map(|(k, vs)| (*k, self.members(*k, vs)))
             .collect();
-        self.serve(now, &order, &members_of, flows, topo)
+        self.serve(now, &order, &members_of, flows, topo, ws, out);
     }
 
     fn allocate_incremental(
@@ -639,6 +678,19 @@ impl RatePolicy for EchelonMadd {
     ) -> RateAlloc {
         self.apply_delta(now, flows, delta);
         self.allocate_cached(now, flows, topo)
+    }
+
+    fn allocate_dense_incremental(
+        &mut self,
+        now: SimTime,
+        flows: &[ActiveFlowView],
+        delta: &FlowDelta,
+        topo: &Topology,
+        ws: &mut AllocScratch,
+        out: &mut Vec<f64>,
+    ) {
+        self.apply_delta(now, flows, delta);
+        self.allocate_cached_dense(now, flows, topo, ws, out);
     }
 
     fn name(&self) -> &'static str {

@@ -18,7 +18,7 @@
 use crate::sincronia::{bssi_order, GroupLoad};
 use echelon_core::coflow::Coflow;
 use echelon_core::EchelonId;
-use echelon_simnet::alloc::{waterfill, RateAlloc};
+use echelon_simnet::alloc::{dense_to_alloc, waterfill_dense, AllocScratch, RateAlloc};
 use echelon_simnet::flow::ActiveFlowView;
 use echelon_simnet::fluid::FlowDelta;
 use echelon_simnet::ids::FlowId;
@@ -206,19 +206,29 @@ impl VarysMadd {
     }
 
     /// Serves pre-ordered groups: MADD against residual capacity, then
-    /// optional backfill. Shared tail of the naive and incremental paths;
-    /// member lists must be in ascending id order.
+    /// optional backfill. The dense allocation (indexed like the
+    /// id-sorted `flows`) lands in `rates`. Shared tail of the naive and
+    /// incremental paths; member lists must be in ascending id order.
     fn serve(
         &self,
         order: &[GroupKey],
         groups: &BTreeMap<GroupKey, Vec<&ActiveFlowView>>,
         flows: &[ActiveFlowView],
         topo: &Topology,
-    ) -> RateAlloc {
+        ws: &mut AllocScratch,
+        rates: &mut Vec<f64>,
+    ) {
+        debug_assert!(flows.windows(2).all(|w| w[0].id < w[1].id));
         let mut residual: Vec<f64> = (0..topo.num_resources())
             .map(|r| topo.capacity(echelon_simnet::ids::ResourceId(r as u32)))
             .collect();
-        let mut rates = RateAlloc::new();
+        rates.clear();
+        rates.resize(flows.len(), 0.0);
+        let idx_of = |id: FlowId| {
+            flows
+                .binary_search_by(|v| v.id.cmp(&id))
+                .expect("served flow is active")
+        };
         for key in order {
             let members = &groups[key];
             // Γ against residual capacity.
@@ -238,14 +248,11 @@ impl VarysMadd {
                 gamma = gamma.max(bytes / res);
             }
             if !gamma.is_finite() || gamma <= EPS {
-                for v in members {
-                    rates.insert(v.id, 0.0);
-                }
-                continue;
+                continue; // dense rates are already zero
             }
             for v in members {
                 let rate = v.remaining / gamma;
-                rates.insert(v.id, rate);
+                rates[idx_of(v.id)] = rate;
                 for r in &v.route {
                     residual[r.0 as usize] = (residual[r.0 as usize] - rate).max(0.0);
                 }
@@ -254,17 +261,10 @@ impl VarysMadd {
 
         if self.backfill {
             // Work conservation: flows may exceed their MADD rate using
-            // leftover capacity, shared max-min.
-            let floor = rates.clone();
-            rates = waterfill(
-                topo,
-                flows,
-                &BTreeMap::new(),
-                &BTreeMap::new(),
-                Some(&floor),
-            );
+            // leftover capacity, shared max-min — the MADD rates become
+            // the waterfill floor in place.
+            waterfill_dense(topo, flows, None, None, rates, ws);
         }
-        rates
     }
 
     /// Updates the cached group membership for the flows that arrived or
@@ -326,6 +326,22 @@ impl VarysMadd {
         flows: &[ActiveFlowView],
         topo: &Topology,
     ) -> RateAlloc {
+        let mut ws = AllocScratch::new();
+        let mut out = Vec::new();
+        self.allocate_cached_dense(now, flows, topo, &mut ws, &mut out);
+        dense_to_alloc(flows, &out)
+    }
+
+    /// [`Self::allocate_cached`] writing the dense allocation (indexed
+    /// like the id-sorted `flows`) into `out` instead of building a map.
+    pub fn allocate_cached_dense(
+        &mut self,
+        now: SimTime,
+        flows: &[ActiveFlowView],
+        topo: &Topology,
+        ws: &mut AllocScratch,
+        out: &mut Vec<f64>,
+    ) {
         debug_assert!(flows.windows(2).all(|w| w[0].id < w[1].id));
         if !self.cache_consistent(flows) {
             self.rebuild_cache(now, flows);
@@ -347,12 +363,26 @@ impl VarysMadd {
             })
             .collect();
         let order = self.serve_order_cached(now, &groups, topo);
-        self.serve(&order, &groups, flows, topo)
+        self.serve(&order, &groups, flows, topo, ws, out);
     }
 }
 
 impl RatePolicy for VarysMadd {
     fn allocate(&mut self, now: SimTime, flows: &[ActiveFlowView], topo: &Topology) -> RateAlloc {
+        let mut ws = AllocScratch::new();
+        let mut out = Vec::new();
+        self.allocate_dense(now, flows, topo, &mut ws, &mut out);
+        dense_to_alloc(flows, &out)
+    }
+
+    fn allocate_dense(
+        &mut self,
+        now: SimTime,
+        flows: &[ActiveFlowView],
+        topo: &Topology,
+        ws: &mut AllocScratch,
+        out: &mut Vec<f64>,
+    ) {
         // Group active flows; record first-seen arrival per group.
         let mut groups: BTreeMap<GroupKey, Vec<&ActiveFlowView>> = BTreeMap::new();
         for v in flows {
@@ -362,7 +392,7 @@ impl RatePolicy for VarysMadd {
         }
 
         let order = self.serve_order(now, &groups, topo);
-        self.serve(&order, &groups, flows, topo)
+        self.serve(&order, &groups, flows, topo, ws, out);
     }
 
     fn allocate_incremental(
@@ -374,6 +404,19 @@ impl RatePolicy for VarysMadd {
     ) -> RateAlloc {
         self.apply_delta(now, flows, delta);
         self.allocate_cached(now, flows, topo)
+    }
+
+    fn allocate_dense_incremental(
+        &mut self,
+        now: SimTime,
+        flows: &[ActiveFlowView],
+        delta: &FlowDelta,
+        topo: &Topology,
+        ws: &mut AllocScratch,
+        out: &mut Vec<f64>,
+    ) {
+        self.apply_delta(now, flows, delta);
+        self.allocate_cached_dense(now, flows, topo, ws, out);
     }
 
     fn name(&self) -> &'static str {

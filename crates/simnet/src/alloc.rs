@@ -15,6 +15,19 @@
 //!   the agent enforces schedules through priority queues (paper §5), and
 //!   how EDD/SEBF-style orderings become rates.
 //!
+//! ## Dense core
+//!
+//! The hot path works on *dense* state: rates are a `Vec<f64>` keyed by
+//! position in the id-sorted flow slice the [`crate::fluid::FluidNetwork`]
+//! maintains, and the filling loops reuse the buffers in an
+//! [`AllocScratch`] owned by the caller (the simulation driver keeps one
+//! for the whole run), so a steady-state recomputation performs no heap
+//! allocation. [`waterfill_dense`] and [`priority_fill_dense`] are the
+//! real implementations; the map-based functions ([`waterfill`],
+//! [`priority_fill`], …) are thin adapters kept for API compatibility and
+//! produce bit-identical results (the dense code performs the same
+//! floating-point operations in the same order).
+//!
 //! All functions iterate flows in a caller-specified or id order, never in
 //! hash order, keeping allocations bit-for-bit deterministic.
 
@@ -25,8 +38,50 @@ use crate::topology::Topology;
 use std::collections::BTreeMap;
 
 /// A rate (bytes/second) per active flow. Flows absent from the map are
-/// treated as rate zero.
+/// treated as rate zero. This is the map-based *edge* currency; the hot
+/// path uses dense `Vec<f64>` rates indexed like the id-sorted flow slice.
 pub type RateAlloc = BTreeMap<FlowId, f64>;
+
+/// Reusable workspace for the dense allocation primitives.
+///
+/// Owned by the caller and passed into [`waterfill_dense`] /
+/// [`priority_fill_dense`] so the per-resource and per-flow working
+/// buffers are reused across events instead of reallocated. A default
+/// (empty) scratch grows to the needed sizes on first use.
+#[derive(Debug, Default, Clone)]
+pub struct AllocScratch {
+    /// Residual capacity per resource during filling.
+    residual: Vec<f64>,
+    /// Weight mass per resource among unfrozen flows (waterfill rounds).
+    mass: Vec<f64>,
+    /// Indices of flows still participating in the filling.
+    unfrozen: Vec<usize>,
+    /// Per-flow served marker (priority-fill duplicate suppression).
+    seen: Vec<bool>,
+}
+
+impl AllocScratch {
+    /// An empty workspace; buffers grow on first use and are then reused.
+    pub fn new() -> AllocScratch {
+        AllocScratch::default()
+    }
+}
+
+/// Fills `residual` with per-resource capacity minus the dense allocation.
+fn residuals_dense_into(
+    topo: &Topology,
+    flows: &[ActiveFlowView],
+    rates: &[f64],
+    residual: &mut Vec<f64>,
+) {
+    residual.clear();
+    residual.extend((0..topo.num_resources()).map(|r| topo.capacity(ResourceId(r as u32))));
+    for (f, &rate) in flows.iter().zip(rates) {
+        for r in &f.route {
+            residual[r.0 as usize] -= rate;
+        }
+    }
+}
 
 /// Residual capacity per resource after subtracting an allocation.
 fn residuals(topo: &Topology, flows: &[ActiveFlowView], alloc: &RateAlloc) -> Vec<f64> {
@@ -40,6 +95,35 @@ fn residuals(topo: &Topology, flows: &[ActiveFlowView], alloc: &RateAlloc) -> Ve
         }
     }
     residual
+}
+
+/// Converts a dense allocation back to the map-based edge currency.
+pub fn dense_to_alloc(flows: &[ActiveFlowView], rates: &[f64]) -> RateAlloc {
+    debug_assert_eq!(flows.len(), rates.len());
+    flows.iter().zip(rates).map(|(f, &r)| (f.id, r)).collect()
+}
+
+/// Converts a map allocation to dense form over the id-sorted `flows`,
+/// writing into `out` (cleared first).
+///
+/// # Panics
+///
+/// Panics if the allocation mentions a flow that is not in `flows` — the
+/// same policy bug [`crate::fluid::FluidNetwork::set_rates`] rejects,
+/// surfaced here so it cannot silently vanish in the dense conversion.
+pub fn alloc_to_dense(flows: &[ActiveFlowView], alloc: &RateAlloc, out: &mut Vec<f64>) {
+    for id in alloc.keys() {
+        assert!(
+            flows.binary_search_by(|v| v.id.cmp(id)).is_ok(),
+            "rate assigned to unknown flow {id} (not in the active set)"
+        );
+    }
+    out.clear();
+    out.extend(
+        flows
+            .iter()
+            .map(|f| alloc.get(&f.id).copied().unwrap_or(0.0)),
+    );
 }
 
 /// Verifies an allocation is feasible: no negative rates, and on every
@@ -66,46 +150,73 @@ pub fn check_feasible(
     Ok(())
 }
 
-/// Weighted max-min fairness with optional per-flow rate caps, by
-/// progressive filling.
-///
-/// Starting from an optional base allocation `floor` (useful for MADD's
-/// "pin targets, then backfill" pattern), all uncapped flows increase their
-/// rate proportionally to their weight until a resource saturates or a flow
-/// hits its cap; saturated/capped flows freeze and filling continues.
-///
-/// `weights` defaults to 1.0 for absent flows; `caps` to unbounded.
-pub fn waterfill(
+/// Dense [`check_feasible`]: validates `rates[i]` for `flows[i]`, reusing
+/// `residual` as the per-resource working buffer (no allocation).
+pub fn check_feasible_dense(
     topo: &Topology,
     flows: &[ActiveFlowView],
-    weights: &BTreeMap<FlowId, f64>,
-    caps: &BTreeMap<FlowId, f64>,
-    floor: Option<&RateAlloc>,
-) -> RateAlloc {
-    let mut rates: RateAlloc = flows
-        .iter()
-        .map(|f| {
-            let base = floor.and_then(|fl| fl.get(&f.id)).copied().unwrap_or(0.0);
-            (f.id, base)
-        })
-        .collect();
-    let mut residual = residuals(topo, flows, &rates);
-    // Flows still participating in the filling.
-    let mut unfrozen: Vec<usize> = (0..flows.len()).collect();
-    // Freeze anything already at cap from the floor.
-    unfrozen.retain(|&i| {
-        let f = &flows[i];
-        let cap = caps.get(&f.id).copied().unwrap_or(f64::INFINITY);
-        rates[&f.id] + EPS < cap
-    });
+    rates: &[f64],
+    residual: &mut Vec<f64>,
+) -> Result<(), String> {
+    debug_assert_eq!(flows.len(), rates.len());
+    for (f, &rate) in flows.iter().zip(rates) {
+        if rate < -EPS {
+            return Err(format!("flow {} has negative rate {rate}", f.id));
+        }
+        if !rate.is_finite() {
+            return Err(format!("flow {} has non-finite rate {rate}", f.id));
+        }
+    }
+    residuals_dense_into(topo, flows, rates, residual);
+    for (idx, slack) in residual.iter().enumerate() {
+        if *slack < -1e-6 {
+            return Err(format!("resource r{idx} oversubscribed by {}", -slack));
+        }
+    }
+    Ok(())
+}
+
+/// Dense weighted max-min fairness with optional per-flow rate caps, by
+/// progressive filling — the allocation-free core behind [`waterfill`].
+///
+/// `rates` doubles as the floor on entry (zero it for no floor) and holds
+/// the allocation on exit; `weights[i]` / `caps[i]` apply to `flows[i]`
+/// (`None` means all-1.0 / all-unbounded). All working state lives in
+/// `ws`, so steady-state calls allocate nothing.
+pub fn waterfill_dense(
+    topo: &Topology,
+    flows: &[ActiveFlowView],
+    weights: Option<&[f64]>,
+    caps: Option<&[f64]>,
+    rates: &mut [f64],
+    ws: &mut AllocScratch,
+) {
+    debug_assert_eq!(rates.len(), flows.len());
+    debug_assert!(weights.is_none_or(|w| w.len() == flows.len()));
+    debug_assert!(caps.is_none_or(|c| c.len() == flows.len()));
+    let w_of = |i: usize| weights.map_or(1.0, |w| w[i]).max(0.0);
+    let cap_of = |i: usize| caps.map_or(f64::INFINITY, |c| c[i]);
+
+    let AllocScratch {
+        residual,
+        mass,
+        unfrozen,
+        ..
+    } = ws;
+    residuals_dense_into(topo, flows, rates, residual);
+    // Flows still participating in the filling; freeze anything already at
+    // cap from the floor.
+    unfrozen.clear();
+    unfrozen.extend(0..flows.len());
+    unfrozen.retain(|&i| rates[i] + EPS < cap_of(i));
 
     while !unfrozen.is_empty() {
         // Weight mass per resource among unfrozen flows.
-        let mut mass = vec![0.0f64; topo.num_resources()];
-        for &i in &unfrozen {
-            let f = &flows[i];
-            let w = weights.get(&f.id).copied().unwrap_or(1.0).max(0.0);
-            for r in &f.route {
+        mass.clear();
+        mass.resize(topo.num_resources(), 0.0);
+        for &i in unfrozen.iter() {
+            let w = w_of(i);
+            for r in &flows[i].route {
                 mass[r.0 as usize] += w;
             }
         }
@@ -117,13 +228,12 @@ pub fn waterfill(
             }
         }
         // ...or some flow hits its cap.
-        for &i in &unfrozen {
-            let f = &flows[i];
-            let w = weights.get(&f.id).copied().unwrap_or(1.0).max(0.0);
+        for &i in unfrozen.iter() {
+            let w = w_of(i);
             if w > EPS {
-                let cap = caps.get(&f.id).copied().unwrap_or(f64::INFINITY);
+                let cap = cap_of(i);
                 if cap.is_finite() {
-                    inc = inc.min((cap - rates[&f.id]).max(0.0) / w);
+                    inc = inc.min((cap - rates[i]).max(0.0) / w);
                 }
             }
         }
@@ -132,28 +242,24 @@ pub fn waterfill(
             break;
         }
         // Apply the increment.
-        for &i in &unfrozen {
-            let f = &flows[i];
-            let w = weights.get(&f.id).copied().unwrap_or(1.0).max(0.0);
-            let delta = w * inc;
-            *rates.get_mut(&f.id).unwrap() += delta;
-            for r in &f.route {
+        for &i in unfrozen.iter() {
+            let delta = w_of(i) * inc;
+            rates[i] += delta;
+            for r in &flows[i].route {
                 residual[r.0 as usize] -= delta;
             }
         }
         // Freeze flows on saturated resources or at their cap.
         let before = unfrozen.len();
         unfrozen.retain(|&i| {
-            let f = &flows[i];
-            let w = weights.get(&f.id).copied().unwrap_or(1.0).max(0.0);
+            let w = w_of(i);
             if w <= EPS {
                 return false;
             }
-            let cap = caps.get(&f.id).copied().unwrap_or(f64::INFINITY);
-            if rates[&f.id] + EPS >= cap {
+            if rates[i] + EPS >= cap_of(i) {
                 return false;
             }
-            for r in &f.route {
+            for r in &flows[i].route {
                 if residual[r.0 as usize] <= EPS {
                     return false;
                 }
@@ -166,7 +272,40 @@ pub fn waterfill(
             break;
         }
     }
-    rates
+}
+
+/// Weighted max-min fairness with optional per-flow rate caps, by
+/// progressive filling.
+///
+/// Starting from an optional base allocation `floor` (useful for MADD's
+/// "pin targets, then backfill" pattern), all uncapped flows increase their
+/// rate proportionally to their weight until a resource saturates or a flow
+/// hits its cap; saturated/capped flows freeze and filling continues.
+///
+/// `weights` defaults to 1.0 for absent flows; `caps` to unbounded.
+/// Thin adapter over [`waterfill_dense`]; results are bit-identical.
+pub fn waterfill(
+    topo: &Topology,
+    flows: &[ActiveFlowView],
+    weights: &BTreeMap<FlowId, f64>,
+    caps: &BTreeMap<FlowId, f64>,
+    floor: Option<&RateAlloc>,
+) -> RateAlloc {
+    let w: Vec<f64> = flows
+        .iter()
+        .map(|f| weights.get(&f.id).copied().unwrap_or(1.0))
+        .collect();
+    let c: Vec<f64> = flows
+        .iter()
+        .map(|f| caps.get(&f.id).copied().unwrap_or(f64::INFINITY))
+        .collect();
+    let mut rates: Vec<f64> = flows
+        .iter()
+        .map(|f| floor.and_then(|fl| fl.get(&f.id)).copied().unwrap_or(0.0))
+        .collect();
+    let mut ws = AllocScratch::new();
+    waterfill_dense(topo, flows, Some(&w), Some(&c), &mut rates, &mut ws);
+    dense_to_alloc(flows, &rates)
 }
 
 /// Unweighted, uncapped max-min fairness: the paper's fair-sharing baseline.
@@ -183,6 +322,61 @@ pub fn weighted_rates(
     waterfill(topo, flows, weights, &BTreeMap::new(), None)
 }
 
+/// Dense strict-priority greedy filling — the allocation-free core behind
+/// [`priority_fill`].
+///
+/// `flows` must be in ascending id order (the [`crate::fluid`] invariant);
+/// order entries are resolved by binary search instead of a per-call id
+/// map. `rates` is zeroed and filled in place; `caps[i]` applies to
+/// `flows[i]` (`None` = unbounded). Order entries naming unknown flows are
+/// skipped; duplicates are served once.
+pub fn priority_fill_dense(
+    topo: &Topology,
+    flows: &[ActiveFlowView],
+    order: &[FlowId],
+    caps: Option<&[f64]>,
+    rates: &mut [f64],
+    ws: &mut AllocScratch,
+) {
+    debug_assert!(
+        flows.windows(2).all(|w| w[0].id < w[1].id),
+        "priority_fill flows must be sorted by ascending id"
+    );
+    debug_assert_eq!(rates.len(), flows.len());
+    debug_assert!(caps.is_none_or(|c| c.len() == flows.len()));
+    let AllocScratch { residual, seen, .. } = ws;
+    residual.clear();
+    residual.extend((0..topo.num_resources()).map(|r| topo.capacity(ResourceId(r as u32))));
+    seen.clear();
+    seen.resize(flows.len(), false);
+    rates.fill(0.0);
+    for fid in order {
+        let Ok(i) = flows.binary_search_by(|v| v.id.cmp(fid)) else {
+            continue; // ordering may mention flows that already finished
+        };
+        if seen[i] {
+            continue; // ignore duplicate entries
+        }
+        seen[i] = true;
+        let f = &flows[i];
+        let mut rate = f
+            .route
+            .iter()
+            .map(|r| residual[r.0 as usize])
+            .fold(f64::INFINITY, f64::min)
+            .max(0.0);
+        if let Some(c) = caps {
+            rate = rate.min(c[i].max(0.0));
+        }
+        if rate > EPS {
+            rates[i] = rate;
+            for r in &f.route {
+                residual[r.0 as usize] -= rate;
+            }
+        }
+    }
+}
+
 /// Strict-priority greedy filling.
 ///
 /// Flows are served in the order given by `order` (earlier = higher
@@ -190,42 +384,29 @@ pub fn weighted_rates(
 /// optionally limited by a per-flow cap. Flows not listed in `order`
 /// receive rate zero. This realizes priority-queue enforcement (paper §5)
 /// and turns EDD/SEBF orderings into concrete rates.
+///
+/// `flows` must be in ascending id order. Thin adapter over
+/// [`priority_fill_dense`]; results are bit-identical.
 pub fn priority_fill(
     topo: &Topology,
     flows: &[ActiveFlowView],
     order: &[FlowId],
     caps: &BTreeMap<FlowId, f64>,
 ) -> RateAlloc {
-    let by_id: BTreeMap<FlowId, &ActiveFlowView> = flows.iter().map(|f| (f.id, f)).collect();
-    let mut residual: Vec<f64> = (0..topo.num_resources())
-        .map(|r| topo.capacity(ResourceId(r as u32)))
-        .collect();
-    let mut rates: RateAlloc = flows.iter().map(|f| (f.id, 0.0)).collect();
-    let mut seen = std::collections::BTreeSet::new();
-    for &fid in order {
-        if !seen.insert(fid) {
-            continue; // ignore duplicate entries
-        }
-        let Some(f) = by_id.get(&fid) else {
-            continue; // ordering may mention flows that already finished
-        };
-        let mut rate = f
-            .route
-            .iter()
-            .map(|r| residual[r.0 as usize])
-            .fold(f64::INFINITY, f64::min)
-            .max(0.0);
-        if let Some(&cap) = caps.get(&fid) {
-            rate = rate.min(cap.max(0.0));
-        }
-        if rate > EPS {
-            rates.insert(fid, rate);
-            for r in &f.route {
-                residual[r.0 as usize] -= rate;
-            }
-        }
-    }
-    rates
+    let c: Option<Vec<f64>> = if caps.is_empty() {
+        None
+    } else {
+        Some(
+            flows
+                .iter()
+                .map(|f| caps.get(&f.id).copied().unwrap_or(f64::INFINITY))
+                .collect(),
+        )
+    };
+    let mut rates = vec![0.0; flows.len()];
+    let mut ws = AllocScratch::new();
+    priority_fill_dense(topo, flows, order, c.as_deref(), &mut rates, &mut ws);
+    dense_to_alloc(flows, &rates)
 }
 
 #[cfg(test)]
@@ -384,5 +565,88 @@ mod tests {
         for f in &flows {
             assert!((rates[&f.id] - 1.0 / 3.0).abs() < 1e-9);
         }
+    }
+
+    /// Dense and map-based waterfill must agree bit-for-bit, including
+    /// weights, caps, and a floor, with the scratch reused across calls.
+    #[test]
+    fn dense_waterfill_matches_map_adapter_bitwise() {
+        let topo = Topology::big_switch_uniform(4, 1.0);
+        let demands = [
+            FlowDemand::new(FlowId(0), NodeId(0), NodeId(2), 1.0, SimTime::ZERO),
+            FlowDemand::new(FlowId(1), NodeId(0), NodeId(3), 1.0, SimTime::ZERO),
+            FlowDemand::new(FlowId(2), NodeId(1), NodeId(2), 1.0, SimTime::ZERO),
+        ];
+        let flows: Vec<_> = demands.iter().map(|d| view(&topo, d)).collect();
+        let mut weights = BTreeMap::new();
+        weights.insert(FlowId(0), 2.0);
+        let mut caps = BTreeMap::new();
+        caps.insert(FlowId(2), 0.25);
+        let mut floor = RateAlloc::new();
+        floor.insert(FlowId(1), 0.1);
+
+        let via_map = waterfill(&topo, &flows, &weights, &caps, Some(&floor));
+
+        let w: Vec<f64> = flows
+            .iter()
+            .map(|f| weights.get(&f.id).copied().unwrap_or(1.0))
+            .collect();
+        let c: Vec<f64> = flows
+            .iter()
+            .map(|f| caps.get(&f.id).copied().unwrap_or(f64::INFINITY))
+            .collect();
+        let mut ws = AllocScratch::new();
+        for _ in 0..2 {
+            // Second round reuses the grown scratch: result must not change.
+            let mut dense: Vec<f64> = flows
+                .iter()
+                .map(|f| floor.get(&f.id).copied().unwrap_or(0.0))
+                .collect();
+            waterfill_dense(&topo, &flows, Some(&w), Some(&c), &mut dense, &mut ws);
+            for (i, f) in flows.iter().enumerate() {
+                assert_eq!(dense[i].to_bits(), via_map[&f.id].to_bits());
+            }
+        }
+    }
+
+    /// Dense and map-based priority_fill must agree bit-for-bit, with
+    /// unknown and duplicate order entries handled identically.
+    #[test]
+    fn dense_priority_fill_matches_map_adapter_bitwise() {
+        let (topo, flows) = two_flows_one_port();
+        let order = [FlowId(99), FlowId(1), FlowId(1), FlowId(0)];
+        let mut caps = BTreeMap::new();
+        caps.insert(FlowId(1), 0.3);
+        let via_map = priority_fill(&topo, &flows, &order, &caps);
+
+        let c: Vec<f64> = flows
+            .iter()
+            .map(|f| caps.get(&f.id).copied().unwrap_or(f64::INFINITY))
+            .collect();
+        let mut dense = vec![0.0; flows.len()];
+        let mut ws = AllocScratch::new();
+        priority_fill_dense(&topo, &flows, &order, Some(&c), &mut dense, &mut ws);
+        for (i, f) in flows.iter().enumerate() {
+            assert_eq!(dense[i].to_bits(), via_map[&f.id].to_bits());
+        }
+    }
+
+    #[test]
+    fn dense_feasibility_matches_map_check() {
+        let (topo, flows) = two_flows_one_port();
+        let mut residual = Vec::new();
+        assert!(check_feasible_dense(&topo, &flows, &[0.8, 0.8], &mut residual).is_err());
+        assert!(check_feasible_dense(&topo, &flows, &[-0.5, 0.0], &mut residual).is_err());
+        assert!(check_feasible_dense(&topo, &flows, &[0.5, 0.5], &mut residual).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flow")]
+    fn alloc_to_dense_rejects_unknown_ids() {
+        let (_topo, flows) = two_flows_one_port();
+        let mut alloc = RateAlloc::new();
+        alloc.insert(FlowId(9999), 0.1);
+        let mut out = Vec::new();
+        alloc_to_dense(&flows, &alloc, &mut out);
     }
 }

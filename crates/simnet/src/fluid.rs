@@ -20,7 +20,7 @@
 //! which incremental policies use to update cached group state instead of
 //! re-deriving it from the full flow set at every event.
 
-use crate::alloc::{check_feasible, RateAlloc};
+use crate::alloc::{check_feasible, check_feasible_dense, RateAlloc};
 use crate::flow::{ActiveFlowView, FlowCompletion, FlowDemand};
 use crate::ids::FlowId;
 use crate::time::{SimTime, EPS};
@@ -58,6 +58,13 @@ pub struct FluidNetwork {
     now: SimTime,
     completions: Vec<FlowCompletion>,
     delta: FlowDelta,
+    /// Cached [`Self::next_completion_in`] value, maintained incrementally:
+    /// rescanned when rates actually change or flows complete, decremented
+    /// by `dt` on plain advances. `None` = stale (must rescan);
+    /// `Some(None)` = no flow is progressing.
+    next_due: Option<Option<f64>>,
+    /// Reused per-resource buffer for dense feasibility checks.
+    feas_residual: Vec<f64>,
 }
 
 impl FluidNetwork {
@@ -70,6 +77,8 @@ impl FluidNetwork {
             now: SimTime::ZERO,
             completions: Vec::new(),
             delta: FlowDelta::default(),
+            next_due: Some(None),
+            feas_residual: Vec::new(),
         }
     }
 
@@ -169,8 +178,54 @@ impl FluidNetwork {
         if let Err(msg) = check_feasible(&self.topology, &self.views, alloc) {
             panic!("infeasible rate allocation: {msg}");
         }
+        let mut changed = false;
         for (v, rate) in self.views.iter().zip(self.rates.iter_mut()) {
-            *rate = alloc.get(&v.id).copied().unwrap_or(0.0).max(0.0);
+            let new = alloc.get(&v.id).copied().unwrap_or(0.0).max(0.0);
+            if new.to_bits() != rate.to_bits() {
+                *rate = new;
+                changed = true;
+            }
+        }
+        if changed {
+            self.rescan_next_due();
+        }
+    }
+
+    /// Applies a dense rate allocation (`rates[i]` for `views()[i]`, the
+    /// hot-path currency). Feasibility-checked like [`Self::set_rates`].
+    ///
+    /// If every rate is bit-identical to the current one, the call is a
+    /// no-op that preserves the incrementally maintained next-completion
+    /// estimate — the property that makes horizon-skipped and every-event
+    /// runs evolve bit-identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates.len() != active_count()` or the allocation is
+    /// infeasible for the topology.
+    pub fn set_rates_dense(&mut self, rates: &[f64]) {
+        assert_eq!(
+            rates.len(),
+            self.views.len(),
+            "dense allocation covers {} flows but {} are active",
+            rates.len(),
+            self.views.len()
+        );
+        if let Err(msg) =
+            check_feasible_dense(&self.topology, &self.views, rates, &mut self.feas_residual)
+        {
+            panic!("infeasible rate allocation: {msg}");
+        }
+        let mut changed = false;
+        for (cur, &new) in self.rates.iter_mut().zip(rates) {
+            let new = new.max(0.0);
+            if new.to_bits() != cur.to_bits() {
+                *cur = new;
+                changed = true;
+            }
+        }
+        if changed {
+            self.rescan_next_due();
         }
     }
 
@@ -179,15 +234,41 @@ impl FluidNetwork {
         self.index_of(id).map(|i| self.rates[i]).unwrap_or(0.0)
     }
 
+    /// Current rates in ascending flow-id order (`rates()[i]` belongs to
+    /// `views()[i]`). A borrow of the live table — no allocation.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// O(F) rescan of the earliest completion, refreshing the cache.
+    fn rescan_next_due(&mut self) {
+        self.next_due = Some(
+            self.views
+                .iter()
+                .zip(self.rates.iter())
+                .filter(|(_, &rate)| rate > EPS)
+                .map(|(v, &rate)| v.remaining / rate)
+                .min_by(|a, b| a.total_cmp(b)),
+        );
+    }
+
     /// Seconds until the earliest flow completion at current rates, or
     /// `None` if no flow is making progress.
+    ///
+    /// Maintained incrementally: the O(F) rescan happens only when rates
+    /// actually change or a flow completes; advances without completions
+    /// just subtract the elapsed time from the cached value.
     pub fn next_completion_in(&self) -> Option<f64> {
-        self.views
-            .iter()
-            .zip(self.rates.iter())
-            .filter(|(_, &rate)| rate > EPS)
-            .map(|(v, &rate)| v.remaining / rate)
-            .min_by(|a, b| a.total_cmp(b))
+        match self.next_due {
+            Some(cached) => cached,
+            None => self
+                .views
+                .iter()
+                .zip(self.rates.iter())
+                .filter(|(_, &rate)| rate > EPS)
+                .map(|(v, &rate)| v.remaining / rate)
+                .min_by(|a, b| a.total_cmp(b)),
+        }
     }
 
     /// Advances the clock by `dt` seconds at current rates, transferring
@@ -235,6 +316,17 @@ impl FluidNetwork {
         }
         self.views.truncate(keep);
         self.rates.truncate(keep);
+        if done.is_empty() {
+            // Remaining and rates shrank in lockstep: the earliest due time
+            // just moved `dt` closer (sub-ulp drift is absorbed by the
+            // completion epsilon). A non-progressing network stays `None`.
+            self.next_due = self
+                .next_due
+                .map(|cached| cached.map(|t| (t - dt).max(0.0)));
+        } else {
+            // The survivor set changed: rescan.
+            self.rescan_next_due();
+        }
         self.delta.departed.extend(done.iter().map(|c| c.id));
         self.completions.extend(done.iter().copied());
         done

@@ -23,8 +23,8 @@
 //! justification for evaluating coflow-style schedulers on fluid
 //! simulators.
 
-use crate::alloc::RateAlloc;
-use crate::driver::{drive, WorkloadSource};
+use crate::alloc::AllocScratch;
+use crate::driver::{drive, RecomputeCadence, WorkloadSource};
 use crate::flow::{ActiveFlowView, FlowCompletion, FlowDemand};
 use crate::fluid::{FlowDelta, FluidNetwork};
 use crate::ids::FlowId;
@@ -143,8 +143,8 @@ impl WorkloadSource for ChunkSource<'_> {
 
     /// Chunk boundaries are rate-change points even when the flow set did
     /// not change at parent granularity.
-    fn recompute_every_event(&self) -> bool {
-        true
+    fn cadence(&self) -> RecomputeCadence {
+        RecomputeCadence::EveryEvent
     }
 
     /// Chunk ids are internal artifacts; callers only get parent finishes.
@@ -160,10 +160,14 @@ impl WorkloadSource for ChunkSource<'_> {
         flows: &[ActiveFlowView],
         _delta: &FlowDelta,
         topo: &Topology,
-    ) -> RateAlloc {
+        ws: &mut AllocScratch,
+        out: &mut Vec<f64>,
+    ) {
         // Present each chunk under its parent's identity. At most one
         // chunk per parent is active at a time (chunks chain release
-        // times), so ids never collide.
+        // times), so ids never collide. Chunk workloads recompute at
+        // every event and rebuild the disguised view set each time, so
+        // they are exempt from the zero-allocation steady-state claim.
         let (backlog, parent_size): (BTreeMap<FlowId, f64>, BTreeMap<FlowId, f64>) =
             match self.visibility {
                 ChunkVisibility::FlowState => (
@@ -175,11 +179,11 @@ impl WorkloadSource for ChunkSource<'_> {
                 ),
                 ChunkVisibility::ChunkLocal => (BTreeMap::new(), BTreeMap::new()),
             };
-        let mut disguised = Vec::with_capacity(flows.len());
-        let mut reverse: BTreeMap<FlowId, FlowId> = BTreeMap::new();
-        for v in flows {
+        // Pair each disguised view with its index in `flows` so rates can
+        // be written back after the parent-id sort reorders them.
+        let mut pairs: Vec<(ActiveFlowView, usize)> = Vec::with_capacity(flows.len());
+        for (i, v) in flows.iter().enumerate() {
             let parent = self.chunk_to_parent.get(&v.id).copied().unwrap_or(v.id);
-            reverse.insert(parent, v.id);
             let mut pv = v.clone();
             pv.id = parent;
             pv.remaining += backlog.get(&parent).copied().unwrap_or(0.0);
@@ -192,28 +196,31 @@ impl WorkloadSource for ChunkSource<'_> {
                 // stable flow, not a chunk born at the last rollover.
                 pv.release = self.by_id[&parent].release;
             }
-            disguised.push(pv);
+            pairs.push((pv, i));
         }
-        disguised.sort_by_key(|v| v.id);
+        pairs.sort_by_key(|(v, _)| v.id);
+        let disguised: Vec<ActiveFlowView> = pairs.iter().map(|(v, _)| v.clone()).collect();
 
-        let rates = match (mode, self.visibility) {
+        let mut dense: Vec<f64> = Vec::with_capacity(disguised.len());
+        match (mode, self.visibility) {
             (RecomputeMode::Incremental, ChunkVisibility::FlowState) => {
                 let pdelta = FlowDelta {
                     arrived: std::mem::take(&mut self.parent_arrived),
                     departed: std::mem::take(&mut self.parent_departed),
                 };
-                policy.allocate_incremental(now, &disguised, &pdelta, topo)
+                policy.allocate_dense_incremental(now, &disguised, &pdelta, topo, ws, &mut dense);
             }
             _ => {
                 self.parent_arrived.clear();
                 self.parent_departed.clear();
-                policy.allocate(now, &disguised, topo)
+                policy.allocate_dense(now, &disguised, topo, ws, &mut dense);
             }
-        };
-        rates
-            .into_iter()
-            .filter_map(|(parent, rate)| reverse.get(&parent).map(|&chunk| (chunk, rate)))
-            .collect()
+        }
+        out.clear();
+        out.resize(flows.len(), 0.0);
+        for (j, (_, i)) in pairs.iter().enumerate() {
+            out[*i] = dense[j];
+        }
     }
 
     fn deadlock_context(&self) -> String {

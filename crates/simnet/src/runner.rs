@@ -22,8 +22,8 @@
 //! *dynamic* demands (compute units emitting flows, chunked transport,
 //! cluster arrivals) plug their own sources into the same driver.
 
-use crate::alloc::RateAlloc;
-use crate::driver::{drive, WorkloadSource};
+use crate::alloc::{alloc_to_dense, waterfill_dense, AllocScratch, RateAlloc};
+use crate::driver::{drive, DriveStats, WorkloadSource};
 use crate::flow::{ActiveFlowView, FlowCompletion, FlowDemand};
 use crate::fluid::{FlowDelta, FluidNetwork};
 use crate::ids::FlowId;
@@ -65,10 +65,80 @@ pub trait RatePolicy {
         self.allocate(now, flows, topo)
     }
 
+    /// Dense full recompute: writes `out[i]` for `flows[i]` (the id-sorted
+    /// active slice), reusing the caller-owned scratch so steady-state
+    /// allocations touch no heap. The default adapts [`Self::allocate`];
+    /// dense-native policies override this (and usually reimplement the
+    /// map-based entry points as adapters over it).
+    fn allocate_dense(
+        &mut self,
+        now: SimTime,
+        flows: &[ActiveFlowView],
+        topo: &Topology,
+        ws: &mut AllocScratch,
+        out: &mut Vec<f64>,
+    ) {
+        let _ = ws;
+        let alloc = self.allocate(now, flows, topo);
+        alloc_to_dense(flows, &alloc, out);
+    }
+
+    /// Dense incremental recompute: like [`Self::allocate_dense`] with the
+    /// flow delta. The default adapts [`Self::allocate_incremental`].
+    fn allocate_dense_incremental(
+        &mut self,
+        now: SimTime,
+        flows: &[ActiveFlowView],
+        delta: &FlowDelta,
+        topo: &Topology,
+        ws: &mut AllocScratch,
+        out: &mut Vec<f64>,
+    ) {
+        let _ = ws;
+        let alloc = self.allocate_incremental(now, flows, delta, topo);
+        alloc_to_dense(flows, &alloc, out);
+    }
+
+    /// How long the allocation just computed remains *certifiably* valid:
+    /// until when would recomputing with an unchanged flow set return the
+    /// bit-identical answer? Queried by the driver right after each
+    /// allocation when the workload opted into
+    /// [`crate::driver::RecomputeCadence::PolicyHorizon`]; events inside
+    /// the horizon skip the recompute entirely.
+    ///
+    /// `rates` are the applied rates (`rates[i]` for `flows[i]`), i.e. the
+    /// speeds flows will drain at during the horizon. Implementations must
+    /// be conservative: claiming validity the recompute would not honour
+    /// breaks the differential bit-identity guarantee, while
+    /// under-claiming merely costs a recompute. The default claims
+    /// nothing. Policies whose rates depend on remaining bytes (the
+    /// MADD family) must stay with [`AllocHorizon::NextEvent`]: their
+    /// recompute is only a fixed point in exact arithmetic, not bitwise.
+    fn horizon(&self, now: SimTime, flows: &[ActiveFlowView], rates: &[f64]) -> AllocHorizon {
+        let _ = (now, flows, rates);
+        AllocHorizon::NextEvent
+    }
+
     /// Human-readable policy name for reports.
     fn name(&self) -> &'static str {
         "policy"
     }
+}
+
+/// A policy's self-certified validity window for its latest allocation
+/// (see [`RatePolicy::horizon`]). A flow-set change always ends the
+/// window, whatever the variant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AllocHorizon {
+    /// No certification: recompute at the next event.
+    NextEvent,
+    /// Valid until the active flow set changes (the allocation does not
+    /// depend on time or remaining bytes — e.g. fixed priority orders).
+    UntilFlowChange,
+    /// Valid until the given absolute time (or a flow-set change,
+    /// whichever comes first) — e.g. until an SRPT ordering crossing or a
+    /// coordinator's next scheduled decision.
+    Until(SimTime),
 }
 
 /// Which `RatePolicy` entry point the simulation loop drives.
@@ -90,6 +160,37 @@ impl RatePolicy for MaxMinPolicy {
         crate::alloc::max_min_rates(topo, flows)
     }
 
+    fn allocate_dense(
+        &mut self,
+        _now: SimTime,
+        flows: &[ActiveFlowView],
+        topo: &Topology,
+        ws: &mut AllocScratch,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.resize(flows.len(), 0.0);
+        waterfill_dense(topo, flows, None, None, out, ws);
+    }
+
+    fn allocate_dense_incremental(
+        &mut self,
+        now: SimTime,
+        flows: &[ActiveFlowView],
+        _delta: &FlowDelta,
+        topo: &Topology,
+        ws: &mut AllocScratch,
+        out: &mut Vec<f64>,
+    ) {
+        self.allocate_dense(now, flows, topo, ws, out);
+    }
+
+    /// Max-min rates depend only on routes and capacities, so the
+    /// allocation stays bit-identical until the flow set changes.
+    fn horizon(&self, _now: SimTime, _flows: &[ActiveFlowView], _rates: &[f64]) -> AllocHorizon {
+        AllocHorizon::UntilFlowChange
+    }
+
     fn name(&self) -> &'static str {
         "fair-sharing"
     }
@@ -101,6 +202,7 @@ pub struct FlowOutcomes {
     completions: BTreeMap<FlowId, FlowCompletion>,
     trace: FlowTrace,
     makespan: SimTime,
+    stats: DriveStats,
 }
 
 impl FlowOutcomes {
@@ -127,6 +229,11 @@ impl FlowOutcomes {
     /// Time the last flow finished.
     pub fn makespan(&self) -> SimTime {
         self.makespan
+    }
+
+    /// Driver counters: allocations performed and horizon skips.
+    pub fn drive_stats(&self) -> DriveStats {
+        self.stats
     }
 
     /// Mean flow completion time.
@@ -226,6 +333,7 @@ pub fn run_flows_with(
         completions: source.completions,
         trace: outcome.trace,
         makespan: outcome.end,
+        stats: outcome.stats,
     }
 }
 

@@ -24,7 +24,9 @@ use echelonflow::paradigms::fsdp::build_fsdp;
 use echelonflow::paradigms::hybrid::{build_hybrid, HybridConfig};
 use echelonflow::paradigms::ids::IdAlloc;
 use echelonflow::paradigms::pp::build_pp_gpipe;
-use echelonflow::paradigms::runtime::{make_policy, run_jobs_arriving, run_jobs_with, Grouping};
+use echelonflow::paradigms::runtime::{
+    make_policy, run_jobs_arriving, run_jobs_every_event, run_jobs_with, Grouping,
+};
 use echelonflow::sched::baselines::{FifoPolicy, SrptPolicy};
 use echelonflow::sched::echelon::{EchelonMadd, InterOrder, IntraMode};
 use echelonflow::sched::varys::{CoflowOrder, VarysMadd};
@@ -417,6 +419,168 @@ fn cluster_scenario_matches_across_modes() {
             "{} admission trace diverged",
             kind.name()
         );
+    }
+}
+
+/// The recompute-horizon path: under `RecomputeCadence::PolicyHorizon`
+/// (the DAG runtime's default) the driver skips rate recomputation at
+/// events the policy certified as covered by its latest allocation. The
+/// trace must be bit-identical to the every-event reference, and for
+/// horizon-certifying policies the skipping must actually fire
+/// (non-vacuous: `horizon_skips > 0`, and allocations + skips in the
+/// horizon run account for every allocation of the reference run).
+#[test]
+fn policy_horizon_skipping_matches_every_event_runtime() {
+    let topo = Topology::big_switch_uniform(HOSTS, 1.0);
+    type Mk = fn() -> Box<dyn RatePolicy>;
+    let kinds: [(&str, Mk, bool); 3] = [
+        ("MaxMin", || Box::new(MaxMinPolicy), true),
+        ("Fifo", || Box::new(FifoPolicy), true),
+        ("Srpt", || Box::new(SrptPolicy), true),
+    ];
+    for (label, mk, expect_skips) in kinds {
+        for mode in [RecomputeMode::Full, RecomputeMode::Incremental] {
+            let run = |every_event: bool| {
+                let mut alloc = IdAlloc::new();
+                let dags = paradigm_mix(&mut alloc);
+                let dag_refs: Vec<&JobDag> = dags.iter().collect();
+                let mut policy = mk();
+                if every_event {
+                    run_jobs_every_event(&topo, &dag_refs, policy.as_mut(), mode)
+                } else {
+                    run_jobs_with(&topo, &dag_refs, policy.as_mut(), mode)
+                }
+            };
+            let horizon = run(false);
+            let every = run(true);
+            assert_eq!(
+                horizon.trace.events(),
+                every.trace.events(),
+                "trace diverged for {label} ({mode:?})"
+            );
+            assert_eq!(horizon.makespan, every.makespan);
+            assert_eq!(horizon.job_makespans, every.job_makespans);
+            assert_eq!(every.stats.horizon_skips, 0, "{label} reference skipped");
+            assert_eq!(
+                horizon.stats.allocations + horizon.stats.horizon_skips,
+                every.stats.allocations,
+                "allocation accounting broke for {label} ({mode:?})"
+            );
+            if expect_skips {
+                assert!(
+                    horizon.stats.horizon_skips > 0,
+                    "{label} ({mode:?}) never skipped — the horizon path is vacuous"
+                );
+            }
+        }
+    }
+}
+
+/// The MADD engines cannot certify a horizon (their remaining-
+/// proportional rates are not a floating-point fixed point), so under
+/// `PolicyHorizon` they must degrade to exactly the every-event behaviour:
+/// identical traces, zero skips, same allocation count.
+#[test]
+fn madd_policies_never_skip_and_match_every_event() {
+    let topo = Topology::big_switch_uniform(HOSTS, 1.0);
+    for grouping in [Grouping::Echelon, Grouping::Coflow] {
+        for mode in [RecomputeMode::Full, RecomputeMode::Incremental] {
+            let run = |every_event: bool| {
+                let mut alloc = IdAlloc::new();
+                let dags = paradigm_mix(&mut alloc);
+                let dag_refs: Vec<&JobDag> = dags.iter().collect();
+                let mut policy = make_policy(grouping, &dag_refs);
+                if every_event {
+                    run_jobs_every_event(&topo, &dag_refs, policy.as_mut(), mode)
+                } else {
+                    run_jobs_with(&topo, &dag_refs, policy.as_mut(), mode)
+                }
+            };
+            let horizon = run(false);
+            let every = run(true);
+            assert_eq!(
+                horizon.trace.events(),
+                every.trace.events(),
+                "trace diverged for {grouping:?} ({mode:?})"
+            );
+            assert_eq!(
+                horizon.stats.horizon_skips, 0,
+                "{grouping:?} certified a horizon it cannot honour"
+            );
+            assert_eq!(horizon.stats.allocations, every.stats.allocations);
+        }
+    }
+}
+
+/// The coordinator's trigger disciplines certify horizons when control
+/// latency is zero (frozen priority order between decisions); the
+/// horizon run must match the every-event reference bit-for-bit with the
+/// same number of decisions, and skipping must fire for the non-PerEvent
+/// triggers.
+#[test]
+fn coordinator_horizon_matches_every_event_for_all_triggers() {
+    let topo = Topology::big_switch_uniform(HOSTS, 1.0);
+    let configs = [
+        (CoordinatorConfig::default(), false), // PerEvent: no horizon
+        (
+            CoordinatorConfig {
+                trigger: Trigger::PerGroupChange,
+                ..CoordinatorConfig::default()
+            },
+            true,
+        ),
+        (
+            CoordinatorConfig {
+                trigger: Trigger::Interval(2.0),
+                ..CoordinatorConfig::default()
+            },
+            true,
+        ),
+        (
+            // Control latency disables horizon certification entirely.
+            CoordinatorConfig {
+                trigger: Trigger::PerGroupChange,
+                control_latency: 0.4,
+                ..CoordinatorConfig::default()
+            },
+            false,
+        ),
+    ];
+    for (cfg, expect_skips) in configs {
+        for mode in [RecomputeMode::Full, RecomputeMode::Incremental] {
+            let run = |every_event: bool| {
+                let mut alloc = IdAlloc::new();
+                let dags = paradigm_mix(&mut alloc);
+                let dag_refs: Vec<&JobDag> = dags.iter().collect();
+                let mut coordinator = Coordinator::new(cfg);
+                for dag in &dags {
+                    coordinator.submit_all(requests_from_dag(dag));
+                }
+                let mut policy = coordinator.into_policy();
+                let out = if every_event {
+                    run_jobs_every_event(&topo, &dag_refs, &mut policy, mode)
+                } else {
+                    run_jobs_with(&topo, &dag_refs, &mut policy, mode)
+                };
+                (out, policy.decisions_computed())
+            };
+            let (horizon, d_horizon) = run(false);
+            let (every, d_every) = run(true);
+            assert_eq!(
+                horizon.trace.events(),
+                every.trace.events(),
+                "trace diverged for {cfg:?} ({mode:?})"
+            );
+            assert_eq!(d_horizon, d_every, "decision count diverged for {cfg:?}");
+            if expect_skips {
+                assert!(
+                    horizon.stats.horizon_skips > 0,
+                    "{cfg:?} ({mode:?}) never skipped — the horizon path is vacuous"
+                );
+            } else {
+                assert_eq!(horizon.stats.horizon_skips, 0, "{cfg:?} skipped");
+            }
+        }
     }
 }
 

@@ -198,3 +198,174 @@ fn property3_search_space_grows_factorially() {
         assert_eq!(res.evaluated, expected);
     }
 }
+
+mod dense_allocation {
+    //! The dense allocation core: `Vec<f64>` rates indexed like the
+    //! id-sorted flow table must agree **bit-for-bit** with the map-based
+    //! adapters at the public API edge, across random topologies and
+    //! demand sets, with the scratch workspace reused between rounds
+    //! (the reuse is the point — a stale buffer would corrupt later
+    //! rounds silently).
+
+    use echelon_detrand::DetRng;
+    use echelonflow::simnet::alloc::{
+        alloc_to_dense, check_feasible, check_feasible_dense, dense_to_alloc, priority_fill,
+        priority_fill_dense, waterfill, waterfill_dense, AllocScratch, RateAlloc,
+    };
+    use echelonflow::simnet::flow::ActiveFlowView;
+    use echelonflow::simnet::ids::{FlowId, NodeId};
+    use echelonflow::simnet::time::SimTime;
+    use echelonflow::simnet::topology::Topology;
+    use std::collections::BTreeMap;
+
+    fn random_topology(rng: &mut DetRng) -> Topology {
+        let hosts = rng.usize_range_inclusive(3, 8);
+        let cap = rng.f64_range(0.5, 3.0);
+        if rng.next_f64() < 0.5 {
+            Topology::chain(hosts, cap)
+        } else {
+            Topology::big_switch_uniform(hosts, cap)
+        }
+    }
+
+    /// Random id-sorted active set over the topology's hosts.
+    fn random_views(rng: &mut DetRng, topo: &Topology, hosts: usize) -> Vec<ActiveFlowView> {
+        let n = rng.usize_range_inclusive(1, 12);
+        (0..n)
+            .map(|i| {
+                let src = rng.usize_range_inclusive(0, hosts - 1);
+                let mut dst = rng.usize_range_inclusive(0, hosts - 2);
+                if dst >= src {
+                    dst += 1;
+                }
+                let size = rng.f64_range(0.5, 4.0);
+                ActiveFlowView {
+                    id: FlowId(i as u64),
+                    src: NodeId(src as u32),
+                    dst: NodeId(dst as u32),
+                    size,
+                    remaining: size * rng.f64_range(0.1, 1.0),
+                    release: SimTime::new(rng.f64_range(0.0, 2.0)),
+                    route: topo.route(NodeId(src as u32), NodeId(dst as u32)),
+                }
+            })
+            .collect()
+    }
+
+    fn hosts_of(topo: &Topology) -> usize {
+        // Both generators above use `hosts` nodes numbered from 0; recover
+        // the count from the number of host-level resources (chain and big
+        // switch both expose 2 per host: ingress + egress).
+        topo.num_resources() / 2
+    }
+
+    #[test]
+    fn dense_waterfill_agrees_with_map_adapter_bitwise() {
+        let mut ws = AllocScratch::new(); // reused across every round
+        let mut dense: Vec<f64> = Vec::new();
+        for seed in 0..40u64 {
+            let mut rng = DetRng::seed_from_u64(0xDE45E + seed);
+            let topo = random_topology(&mut rng);
+            let views = random_views(&mut rng, &topo, hosts_of(&topo));
+
+            // Random weights/caps on a subset of flows, as a caller would
+            // pass them at the map edge.
+            let mut weights: BTreeMap<FlowId, f64> = BTreeMap::new();
+            let mut caps: BTreeMap<FlowId, f64> = BTreeMap::new();
+            for v in &views {
+                if rng.next_f64() < 0.4 {
+                    weights.insert(v.id, rng.f64_range(0.5, 3.0));
+                }
+                if rng.next_f64() < 0.3 {
+                    caps.insert(v.id, rng.f64_range(0.1, 1.5));
+                }
+            }
+            let via_map = waterfill(&topo, &views, &weights, &caps, None);
+
+            let w: Vec<f64> = views
+                .iter()
+                .map(|v| weights.get(&v.id).copied().unwrap_or(1.0))
+                .collect();
+            let c: Vec<f64> = views
+                .iter()
+                .map(|v| caps.get(&v.id).copied().unwrap_or(f64::INFINITY))
+                .collect();
+            dense.clear();
+            dense.resize(views.len(), 0.0);
+            waterfill_dense(&topo, &views, Some(&w), Some(&c), &mut dense, &mut ws);
+
+            for (v, &rate) in views.iter().zip(&dense) {
+                assert_eq!(
+                    rate.to_bits(),
+                    via_map[&v.id].to_bits(),
+                    "seed {seed}: flow {} dense {rate} vs map {}",
+                    v.id,
+                    via_map[&v.id]
+                );
+            }
+            assert!(check_feasible(&topo, &views, &via_map).is_ok());
+            let mut residual = Vec::new();
+            assert!(check_feasible_dense(&topo, &views, &dense, &mut residual).is_ok());
+        }
+    }
+
+    #[test]
+    fn dense_priority_fill_agrees_with_map_adapter_bitwise() {
+        let mut ws = AllocScratch::new();
+        let mut dense: Vec<f64> = Vec::new();
+        for seed in 0..40u64 {
+            let mut rng = DetRng::seed_from_u64(0xF111 + seed);
+            let topo = random_topology(&mut rng);
+            let views = random_views(&mut rng, &topo, hosts_of(&topo));
+
+            // A random priority permutation of the flow ids.
+            let mut order: Vec<FlowId> = views.iter().map(|v| v.id).collect();
+            for i in (1..order.len()).rev() {
+                let j = rng.usize_range_inclusive(0, i);
+                order.swap(i, j);
+            }
+            let mut caps: BTreeMap<FlowId, f64> = BTreeMap::new();
+            for v in &views {
+                if rng.next_f64() < 0.3 {
+                    caps.insert(v.id, rng.f64_range(0.1, 1.5));
+                }
+            }
+            let via_map = priority_fill(&topo, &views, &order, &caps);
+
+            let c: Vec<f64> = views
+                .iter()
+                .map(|v| caps.get(&v.id).copied().unwrap_or(f64::INFINITY))
+                .collect();
+            dense.clear();
+            dense.resize(views.len(), 0.0);
+            priority_fill_dense(&topo, &views, &order, Some(&c), &mut dense, &mut ws);
+
+            for (v, &rate) in views.iter().zip(&dense) {
+                assert_eq!(
+                    rate.to_bits(),
+                    via_map[&v.id].to_bits(),
+                    "seed {seed}: flow {} dense {rate} vs map {}",
+                    v.id,
+                    via_map[&v.id]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_map_round_trip_is_lossless() {
+        for seed in 0..20u64 {
+            let mut rng = DetRng::seed_from_u64(0x2071 + seed);
+            let topo = random_topology(&mut rng);
+            let views = random_views(&mut rng, &topo, hosts_of(&topo));
+            let alloc: RateAlloc = views
+                .iter()
+                .map(|v| (v.id, rng.f64_range(0.0, 2.0)))
+                .collect();
+            let mut dense = Vec::new();
+            alloc_to_dense(&views, &alloc, &mut dense);
+            let back = dense_to_alloc(&views, &dense);
+            assert_eq!(alloc, back, "seed {seed}: round trip lost information");
+        }
+    }
+}
