@@ -44,6 +44,7 @@ use echelon_sched::varys::VarysMadd;
 use echelon_simnet::flow::FlowDemand;
 use echelon_simnet::ids::{FlowId, NodeId};
 use echelon_simnet::runner::{run_flows_with, FlowOutcomes, RatePolicy, RecomputeMode};
+use echelon_simnet::sweep;
 use echelon_simnet::time::SimTime;
 use echelon_simnet::topology::Topology;
 use std::time::Instant;
@@ -138,6 +139,10 @@ struct SchedResult {
     full_eps: f64,
     inc_eps: f64,
     speedup: f64,
+    /// Fraction of occupied links whose rates changed per allocation,
+    /// from the incremental run (MADD steady state is ~1.0 — see the
+    /// dirty-link discussion in DESIGN.md §8).
+    link_frac: f64,
 }
 
 fn bench_scheduler(
@@ -161,6 +166,7 @@ fn bench_scheduler(
         full_eps: events as f64 / full_secs,
         inc_eps: events as f64 / inc_secs,
         speedup: full_secs / inc_secs,
+        link_frac: inc.drive_stats().link_recompute_fraction(),
     }
 }
 
@@ -223,6 +229,7 @@ fn bench_dyn_scheduler(ds: &DynScenario, name: &'static str, grouping: Grouping)
         full_eps: events as f64 / full_secs,
         inc_eps: events as f64 / inc_secs,
         speedup: full_secs / inc_secs,
+        link_frac: inc.stats.link_recompute_fraction(),
     }
 }
 
@@ -311,8 +318,8 @@ fn dyn_results(ds: &DynScenario) -> [SchedResult; 2] {
 
 fn print_row(r: &SchedResult, jobs: usize, flows: usize) {
     println!(
-        "{:<24} {:>5} {:>7} {:>8} {:>12.0} {:>12.0} {:>7.2}x",
-        r.name, jobs, flows, r.events, r.full_eps, r.inc_eps, r.speedup
+        "{:<24} {:>5} {:>7} {:>8} {:>12.0} {:>12.0} {:>7.2}x {:>6.3}",
+        r.name, jobs, flows, r.events, r.full_eps, r.inc_eps, r.speedup, r.link_frac
     );
 }
 
@@ -331,6 +338,10 @@ fn scheduler_json(json: &mut String, results: &[SchedResult]) {
             fmt_f64(r.inc_eps)
         ));
         json.push_str(&format!("          \"speedup\": {},\n", fmt_f64(r.speedup)));
+        json.push_str(&format!(
+            "          \"link_recompute_fraction\": {},\n",
+            fmt_f64(r.link_frac)
+        ));
         json.push_str("          \"trace_identical\": true\n");
         json.push_str(if ri + 1 < results.len() {
             "        },\n"
@@ -341,13 +352,58 @@ fn scheduler_json(json: &mut String, results: &[SchedResult]) {
     json.push_str("      ]\n");
 }
 
+/// Runs every (jobs, scheduler) combo of the static grid through the
+/// sweep engine on `threads` worker threads, returning the merged
+/// result digest plus the wall time. The digest is the byte identity
+/// witness: it must be identical for every thread count.
+fn sweep_digest(threads: usize, topo: &Topology, job_counts: &[usize]) -> (String, f64) {
+    let combos: Vec<(usize, &'static str)> = job_counts
+        .iter()
+        .flat_map(|&jobs| [(jobs, "echelon-madd"), (jobs, "varys-madd")])
+        .collect();
+    let start = Instant::now();
+    let rows = sweep::sweep_with(threads, &combos, |_, &(jobs, name)| {
+        let sc = scenario(jobs);
+        let mut policy: Box<dyn RatePolicy> = match name {
+            "echelon-madd" => Box::new(EchelonMadd::new(sc.echelons.clone())),
+            _ => Box::new(VarysMadd::new(sc.coflows.clone())),
+        };
+        let out = run_flows_with(
+            topo,
+            sc.demands.clone(),
+            policy.as_mut(),
+            RecomputeMode::Incremental,
+        );
+        format!(
+            "{name}/{jobs}: events={} makespan_bits={:016x}",
+            out.trace().events().len(),
+            out.makespan().secs().to_bits()
+        )
+    });
+    (rows.join("\n"), start.elapsed().as_secs_f64())
+}
+
+/// Asserts the sweep engine's determinism contract on this machine:
+/// serial and `threads`-worker sweeps over the same grid produce
+/// byte-identical digests. Returns `(serial_secs, parallel_secs)`.
+fn sweep_gate(threads: usize, topo: &Topology, job_counts: &[usize]) -> (f64, f64) {
+    let (serial, serial_secs) = sweep_digest(1, topo, job_counts);
+    let (parallel, parallel_secs) = sweep_digest(threads, topo, job_counts);
+    assert_eq!(
+        serial, parallel,
+        "sweep digest diverged between 1 and {threads} threads"
+    );
+    (serial_secs, parallel_secs)
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let topo = Topology::big_switch_uniform(HOSTS, 2.0);
+    let threads = sweep::configured_threads();
 
     println!(
-        "{:<24} {:>5} {:>7} {:>8} {:>12} {:>12} {:>8}",
-        "scheduler", "jobs", "flows", "events", "full ev/s", "incr ev/s", "speedup"
+        "{:<24} {:>5} {:>7} {:>8} {:>12} {:>12} {:>8} {:>6}",
+        "scheduler", "jobs", "flows", "events", "full ev/s", "incr ev/s", "speedup", "link%"
     );
 
     if smoke {
@@ -362,6 +418,10 @@ fn main() {
             print_row(&r, ds.jobs, ds.flows);
         }
         smoke_horizon_gate(&ds);
+        // Sweep-engine gate: a 2-worker sweep over the smallest static
+        // scenario must merge byte-identically to the serial sweep.
+        sweep_gate(2, &topo, &JOB_COUNTS[..1]);
+        println!("sweep gate: 1-thread and 2-thread digests identical");
         println!("\nsmoke ok (traces bit-identical across modes)");
         return;
     }
@@ -374,9 +434,11 @@ fn main() {
     ));
     json.push_str(&format!("  \"flows_per_job\": {FLOWS_PER_JOB},\n"));
     json.push_str(&format!("  \"repeats\": {REPEATS},\n"));
+    json.push_str(&format!("  \"threads\": {threads},\n"));
     json.push_str("  \"scenarios\": [\n");
 
     for (si, &jobs) in JOB_COUNTS.iter().enumerate() {
+        let wall = Instant::now();
         let sc = scenario(jobs);
 
         // Mean concurrency is a property of the workload + a scheduler;
@@ -391,6 +453,7 @@ fn main() {
         let active = mean_active_flows(&ref_out);
 
         let results = static_results(&sc, &topo);
+        let wall_secs = wall.elapsed().as_secs_f64();
 
         json.push_str("    {\n");
         json.push_str(&format!("      \"jobs\": {jobs},\n"));
@@ -399,6 +462,7 @@ fn main() {
             "      \"mean_active_flows\": {},\n",
             fmt_f64(active)
         ));
+        json.push_str(&format!("      \"wall_secs\": {},\n", fmt_f64(wall_secs)));
         for r in &results {
             print_row(r, jobs, sc.demands.len());
         }
@@ -419,13 +483,16 @@ fn main() {
     json.push_str("  \"dynamic_scenarios\": [\n");
     println!();
     for (si, &jobs) in DYNAMIC_JOB_COUNTS.iter().enumerate() {
+        let wall = Instant::now();
         let ds = dyn_scenario(jobs);
         let results = dyn_results(&ds);
+        let wall_secs = wall.elapsed().as_secs_f64();
 
         json.push_str("    {\n");
         json.push_str(&format!("      \"jobs\": {jobs},\n"));
         json.push_str(&format!("      \"hosts\": {},\n", ds.hosts));
         json.push_str(&format!("      \"flows\": {},\n", ds.flows));
+        json.push_str(&format!("      \"wall_secs\": {},\n", fmt_f64(wall_secs)));
         for r in &results {
             print_row(r, jobs, ds.flows);
         }
@@ -436,7 +503,28 @@ fn main() {
             "    }\n"
         });
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+
+    // Sweep engine: the whole static grid (jobs × scheduler) fanned out
+    // across worker threads, digest asserted byte-identical to serial.
+    // Scaling is hardware-dependent; wall times are recorded as measured
+    // on this machine.
+    let grid_threads = threads.max(2);
+    let (serial_secs, parallel_secs) = sweep_gate(grid_threads, &topo, &JOB_COUNTS);
+    println!(
+        "\nsweep: {} tasks, serial {serial_secs:.3}s vs {grid_threads}-thread {parallel_secs:.3}s, digests identical",
+        JOB_COUNTS.len() * 2
+    );
+    json.push_str("  \"sweep\": {\n");
+    json.push_str(&format!("    \"tasks\": {},\n", JOB_COUNTS.len() * 2));
+    json.push_str(&format!("    \"threads\": {grid_threads},\n"));
+    json.push_str(&format!("    \"serial_secs\": {},\n", fmt_f64(serial_secs)));
+    json.push_str(&format!(
+        "    \"parallel_secs\": {},\n",
+        fmt_f64(parallel_secs)
+    ));
+    json.push_str("    \"identical\": true\n");
+    json.push_str("  }\n}\n");
 
     std::fs::write("BENCH_sched.json", &json).expect("write BENCH_sched.json");
     println!("\nwrote BENCH_sched.json");

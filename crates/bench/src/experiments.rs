@@ -573,7 +573,10 @@ pub fn multijob_sweep(
     let mut tardiness = vec![Vec::new(); names.len()];
     let mut jct = vec![Vec::new(); names.len()];
     let mut wins = vec![0usize; names.len()];
-    for &seed in seeds {
+    // Seeds are independent runs: fan them out across worker threads and
+    // merge in seed order, so the aggregation below sums floats in the
+    // exact order the serial loop did — bit-identical output.
+    let per_seed_rows = echelon_simnet::sweep::sweep(seeds, |_, &seed| {
         let mut cfg = WorkloadConfig::default_mix(seed, jobs, hosts);
         cfg.placement = PlacementPolicy::Scattered {
             seed: seed ^ 0xDEAD,
@@ -594,7 +597,9 @@ pub fn multijob_sweep(
         let mut lw = EchelonMadd::new(echelons).with_inter(InterOrder::LeastWork);
         let (_, m) = scenario.run_with(&mut lw);
         per_seed.push((m.total_tardiness, m.mean_jct));
-
+        per_seed
+    });
+    for per_seed in per_seed_rows {
         let best = per_seed
             .iter()
             .map(|&(t, _)| t)

@@ -149,6 +149,19 @@ impl Scenario {
         let metrics = scenario_metrics(&self.jobs, &run);
         (run, metrics)
     }
+
+    /// Runs the scenario under **all** schedulers, fanning the runs out
+    /// across worker threads via [`echelon_simnet::sweep`]. The runs
+    /// share nothing (each builds its own policy), results come back in
+    /// [`SchedulerKind::ALL`] order regardless of thread count, and each
+    /// run is bit-identical to its serial [`Scenario::run_with_mode`]
+    /// counterpart.
+    pub fn run_all(&self, mode: RecomputeMode) -> Vec<(SchedulerKind, RunResult, ScenarioMetrics)> {
+        echelon_simnet::sweep::sweep(&SchedulerKind::ALL, |_, &kind| {
+            let (run, metrics) = self.run_with_mode(kind, mode);
+            (kind, run, metrics)
+        })
+    }
 }
 
 /// Convenience: generate and run one workload under one scheduler.
@@ -247,6 +260,40 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The parallel all-schedulers fan-out returns results in `ALL` order
+    /// and each run is bit-identical to its serial counterpart, for both
+    /// the default thread count and a forced multi-thread sweep.
+    #[test]
+    fn run_all_matches_serial_runs_bitwise() {
+        let cfg = WorkloadConfig::default_mix(41, 4, 24);
+        let scenario = Scenario::generate(&cfg);
+        let serial: Vec<_> = SchedulerKind::ALL
+            .iter()
+            .map(|&k| scenario.run_with_mode(k, RecomputeMode::Incremental))
+            .collect();
+        let check = |results: &[(SchedulerKind, RunResult, ScenarioMetrics)]| {
+            assert_eq!(results.len(), SchedulerKind::ALL.len());
+            for (i, (kind, run, metrics)) in results.iter().enumerate() {
+                assert_eq!(*kind, SchedulerKind::ALL[i], "result order broke");
+                let (sr, sm) = &serial[i];
+                assert_eq!(run.trace.events(), sr.trace.events(), "{}", kind.name());
+                assert_eq!(run.flow_finishes, sr.flow_finishes);
+                assert_eq!(metrics.mean_jct.to_bits(), sm.mean_jct.to_bits());
+                assert_eq!(
+                    metrics.total_tardiness.to_bits(),
+                    sm.total_tardiness.to_bits()
+                );
+            }
+        };
+        check(&scenario.run_all(RecomputeMode::Incremental));
+        // Forced multi-thread sweep over the same grid.
+        let forced = echelon_simnet::sweep::sweep_with(4, &SchedulerKind::ALL, |_, &kind| {
+            let (run, metrics) = scenario.run_with_mode(kind, RecomputeMode::Incremental);
+            (kind, run, metrics)
+        });
+        check(&forced);
     }
 
     #[test]

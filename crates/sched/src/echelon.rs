@@ -25,6 +25,7 @@
 //!   sketched in the paper's Fig. 6.
 
 use crate::book::EchelonBook;
+use crate::scratch::GroupCsr;
 use crate::sincronia::{bssi_order, GroupLoad};
 use echelon_core::echelon::EchelonFlow;
 use echelon_core::EchelonId;
@@ -32,6 +33,7 @@ use echelon_simnet::alloc::{dense_to_alloc, waterfill_dense, AllocScratch, RateA
 use echelon_simnet::flow::ActiveFlowView;
 use echelon_simnet::fluid::FlowDelta;
 use echelon_simnet::ids::FlowId;
+use echelon_simnet::linkindex::{LinkIndex, LinkLoad};
 use echelon_simnet::runner::RatePolicy;
 use echelon_simnet::time::{SimTime, EPS};
 use echelon_simnet::topology::Topology;
@@ -124,6 +126,15 @@ pub struct EchelonMadd {
     // `apply_delta`, consumed by `allocate_cached`; the naive `allocate`
     // path neither reads nor writes it.
     cached_members: BTreeMap<GroupKey, Vec<(SimTime, FlowId)>>,
+    // Link↔flow adjacency maintained in lockstep with `cached_members`
+    // from the same deltas. Its O(F) consistency check guards both; when
+    // it fails, the conservative fallback rebuilds everything from the
+    // flow table (see DESIGN.md §8).
+    links: LinkIndex,
+    // Reusable flat group structure + per-link accumulator for the
+    // cached allocation path: steady-state events allocate nothing.
+    scratch: GroupCsr<GroupKey>,
+    load: LinkLoad,
 }
 
 impl EchelonMadd {
@@ -137,6 +148,9 @@ impl EchelonMadd {
             intra: IntraMode::FinishEarly,
             backfill: true,
             cached_members: BTreeMap::new(),
+            links: LinkIndex::default(),
+            scratch: GroupCsr::default(),
+            load: LinkLoad::new(),
         }
     }
 
@@ -459,20 +473,22 @@ impl EchelonMadd {
                 }
             }
         }
+        // The link index receives exactly the same delta stream, so one
+        // O(F) consistency check covers both caches.
+        self.links.apply_delta(flows, delta);
     }
 
-    /// True when the cache covers exactly the given active set.
+    /// True when the cache covers exactly the given active set. Checked
+    /// through the link index (updated in lockstep with `cached_members`
+    /// from the same deltas): an O(F) id-set walk instead of a per-flow
+    /// binary-search sweep.
     fn cache_consistent(&self, flows: &[ActiveFlowView]) -> bool {
-        self.cached_members.values().map(Vec::len).sum::<usize>() == flows.len()
-            && self
-                .cached_members
-                .values()
-                .flatten()
-                .all(|&(_, id)| flows.binary_search_by(|v| v.id.cmp(&id)).is_ok())
+        self.links.consistent(flows)
     }
 
-    /// Re-derives the cache from scratch (identical grouping and ordering
-    /// to the naive path).
+    /// Re-derives the cache (and the link index) from scratch — the
+    /// conservative fallback when a delta was missed. Identical grouping
+    /// and ordering to the naive path.
     fn rebuild_cache(&mut self, now: SimTime, flows: &[ActiveFlowView]) {
         self.book.observe(now, flows);
         self.cached_members.clear();
@@ -487,101 +503,308 @@ impl EchelonMadd {
         for list in self.cached_members.values_mut() {
             list.sort_unstable();
         }
+        self.links.rebuild(flows);
     }
 
-    /// Inter-group ordering computed from cached member lists: each
-    /// group's ranking value is computed once, instead of inside the sort
-    /// comparator (the naive path's dominant cost). The comparator is a
-    /// strict total order with a deterministic key tie-break, so the
-    /// resulting order is identical to the naive one.
-    fn serve_order_cached(
+    /// [`projected_tardiness`] over CSR member slices, accumulating into
+    /// the reusable [`LinkLoad`] instead of a transient `BTreeMap`. The
+    /// running per-link sums build in the same member order with the same
+    /// first-touch semantics, so the result is bit-identical.
+    fn projected_tardiness_csr(
+        now: SimTime,
+        flows: &[ActiveFlowView],
+        pos: &[usize],
+        deadline: &[SimTime],
+        topo: &Topology,
+        load: &mut LinkLoad,
+    ) -> f64 {
+        let mut worst = f64::NEG_INFINITY;
+        load.begin(topo.num_resources());
+        for (&p, d) in pos.iter().zip(deadline) {
+            let v = &flows[p];
+            for r in &v.route {
+                load.add(*r, v.remaining / topo.capacity(*r));
+            }
+            let finish_lb = v.route.iter().map(|r| load.get(*r)).fold(0.0f64, f64::max);
+            worst = worst.max(now.secs() + finish_lb - d.secs());
+        }
+        worst
+    }
+
+    /// [`Self::isolation_gamma`] over a CSR member slice: max of the
+    /// per-link load sums, folded over the ascending touched-link list
+    /// exactly as the map-based fold enumerates its keys.
+    fn isolation_gamma_csr(
+        flows: &[ActiveFlowView],
+        pos: &[usize],
+        topo: &Topology,
+        load: &mut LinkLoad,
+    ) -> f64 {
+        load.begin(topo.num_resources());
+        for &p in pos {
+            let v = &flows[p];
+            for r in &v.route {
+                load.add(*r, v.remaining / topo.capacity(*r));
+            }
+        }
+        load.sort_touched();
+        let mut gamma = 0.0f64;
+        for i in 0..load.touched().len() {
+            gamma = gamma.max(load.get(load.touched()[i]));
+        }
+        gamma
+    }
+
+    /// Inter-group ordering over the flat group structure: each group's
+    /// ranking value is computed once into a reusable rank buffer, then
+    /// `order` is sorted with a strict total order (deterministic key
+    /// tie-break), yielding exactly the naive path's order.
+    fn order_groups(
         &self,
         now: SimTime,
-        members_of: &BTreeMap<GroupKey, Vec<Member<'_>>>,
+        flows: &[ActiveFlowView],
         topo: &Topology,
-    ) -> Vec<GroupKey> {
-        let mut keys: Vec<GroupKey> = members_of.keys().copied().collect();
+        sc: &mut GroupCsr<GroupKey>,
+        load: &mut LinkLoad,
+    ) {
+        let groups = sc.keys.len();
+        sc.order.clear();
+        sc.order.extend(0..groups);
         match self.inter {
             InterOrder::MostTardy => {
-                let val: BTreeMap<GroupKey, f64> = members_of
-                    .iter()
-                    .map(|(k, ms)| (*k, self.weight_of(*k) * projected_tardiness(now, ms, topo)))
-                    .collect();
-                keys.sort_by(|a, b| val[b].total_cmp(&val[a]).then(a.cmp(b)));
+                sc.rank.clear();
+                for g in 0..groups {
+                    let tau = Self::projected_tardiness_csr(
+                        now,
+                        flows,
+                        &sc.pos[sc.starts[g]..sc.starts[g + 1]],
+                        &sc.deadline[sc.starts[g]..sc.starts[g + 1]],
+                        topo,
+                        load,
+                    );
+                    sc.rank.push(self.weight_of(sc.keys[g]) * tau);
+                }
+                let GroupCsr {
+                    keys, order, rank, ..
+                } = sc;
+                order.sort_by(|&a, &b| rank[b].total_cmp(&rank[a]).then(keys[a].cmp(&keys[b])));
             }
             InterOrder::LeastWork => {
-                let val: BTreeMap<GroupKey, f64> = members_of
-                    .iter()
-                    .map(|(k, ms)| (*k, Self::isolation_gamma(ms, topo)))
-                    .collect();
-                keys.sort_by(|a, b| val[a].total_cmp(&val[b]).then(a.cmp(b)));
+                sc.rank.clear();
+                for g in 0..groups {
+                    sc.rank.push(Self::isolation_gamma_csr(
+                        flows,
+                        &sc.pos[sc.starts[g]..sc.starts[g + 1]],
+                        topo,
+                        load,
+                    ));
+                }
+                let GroupCsr {
+                    keys, order, rank, ..
+                } = sc;
+                order.sort_by(|&a, &b| rank[a].total_cmp(&rank[b]).then(keys[a].cmp(&keys[b])));
             }
             InterOrder::StageLeastWork => {
-                let val: BTreeMap<GroupKey, (f64, SimTime)> = members_of
-                    .iter()
-                    .map(|(k, ms)| {
-                        let head_deadline = ms[0].deadline;
-                        let mut per_resource: BTreeMap<u32, f64> = BTreeMap::new();
-                        for m in ms
-                            .iter()
-                            .take_while(|m| m.deadline.approx_eq(head_deadline))
-                        {
-                            for r in &m.view.route {
-                                *per_resource.entry(r.0).or_insert(0.0) +=
-                                    m.view.remaining / topo.capacity(*r);
-                            }
-                        }
-                        let gamma = per_resource.values().fold(0.0f64, |a, &b| a.max(b));
-                        (*k, (gamma, head_deadline))
-                    })
-                    .collect();
-                keys.sort_by(|a, b| {
-                    let (ga, da) = val[a];
-                    let (gb, db) = val[b];
-                    ga.total_cmp(&gb).then(da.cmp(&db)).then(a.cmp(b))
+                sc.rank.clear();
+                sc.rank_time.clear();
+                for g in 0..groups {
+                    let pos = &sc.pos[sc.starts[g]..sc.starts[g + 1]];
+                    let deadline = &sc.deadline[sc.starts[g]..sc.starts[g + 1]];
+                    let head_deadline = deadline[0];
+                    let stage_len = deadline
+                        .iter()
+                        .take_while(|d| d.approx_eq(head_deadline))
+                        .count();
+                    sc.rank.push(Self::isolation_gamma_csr(
+                        flows,
+                        &pos[..stage_len],
+                        topo,
+                        load,
+                    ));
+                    sc.rank_time.push(head_deadline);
+                }
+                let GroupCsr {
+                    keys,
+                    order,
+                    rank,
+                    rank_time,
+                    ..
+                } = sc;
+                order.sort_by(|&a, &b| {
+                    rank[a]
+                        .total_cmp(&rank[b])
+                        .then(rank_time[a].cmp(&rank_time[b]))
+                        .then(keys[a].cmp(&keys[b]))
                 });
             }
             InterOrder::EarliestDeadline => {
-                keys.sort_by(|a, b| {
-                    members_of[a][0]
-                        .deadline
-                        .cmp(&members_of[b][0].deadline)
-                        .then(a.cmp(b))
-                });
+                sc.rank_time.clear();
+                for g in 0..groups {
+                    sc.rank_time.push(sc.deadline[sc.starts[g]]);
+                }
+                let GroupCsr {
+                    keys,
+                    order,
+                    rank_time,
+                    ..
+                } = sc;
+                order.sort_by(|&a, &b| rank_time[a].cmp(&rank_time[b]).then(keys[a].cmp(&keys[b])));
             }
             InterOrder::Bssi => {
+                // Non-default ablation: keep the map-based load build (the
+                // BSSI solve itself dominates). Accumulate in ascending id
+                // order — member positions index the id-sorted flow slice,
+                // so sorting positions ascending is ascending id order —
+                // to match the naive path's float summation bit-for-bit.
                 let mut key_for_id = BTreeMap::new();
-                let loads: Vec<GroupLoad> = keys
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &k)| {
-                        let id = EchelonId(i as u64);
-                        key_for_id.insert(id, k);
-                        // Accumulate in ascending id order to match the
-                        // naive path's float summation order bit-for-bit.
-                        let mut by_id: Vec<&Member<'_>> = members_of[&k].iter().collect();
-                        by_id.sort_by_key(|m| m.view.id);
+                let loads: Vec<GroupLoad> = (0..groups)
+                    .map(|g| {
+                        let id = EchelonId(g as u64);
+                        key_for_id.insert(id, g);
+                        let mut by_id: Vec<usize> = sc.pos[sc.starts[g]..sc.starts[g + 1]].to_vec();
+                        by_id.sort_unstable();
                         let mut load = BTreeMap::new();
-                        for m in by_id {
-                            for r in &m.view.route {
-                                *load.entry(r.0).or_insert(0.0) +=
-                                    m.view.remaining / topo.capacity(*r);
+                        for p in by_id {
+                            let v = &flows[p];
+                            for r in &v.route {
+                                *load.entry(r.0).or_insert(0.0) += v.remaining / topo.capacity(*r);
                             }
                         }
                         GroupLoad {
                             id,
-                            weight: self.weight_of(k),
+                            weight: self.weight_of(sc.keys[g]),
                             load,
                         }
                     })
                     .collect();
-                keys = bssi_order(&loads)
-                    .into_iter()
-                    .map(|id| key_for_id[&id])
-                    .collect();
+                sc.order.clear();
+                sc.order
+                    .extend(bssi_order(&loads).into_iter().map(|id| key_for_id[&id]));
             }
         }
-        keys
+    }
+
+    /// MADD over one deadline-stage given as CSR member positions: the
+    /// flat mirror of [`Self::serve_stage`], with the per-link byte sums
+    /// in the reusable [`LinkLoad`] (gamma folds over the ascending
+    /// touched-link list, exactly the map iteration order) and member
+    /// positions used directly instead of re-finding each flow by binary
+    /// search.
+    fn serve_stage_csr(
+        stage: &[usize],
+        flows: &[ActiveFlowView],
+        residual: &mut [f64],
+        rates: &mut [f64],
+        caps: Option<&[f64]>,
+        load: &mut LinkLoad,
+    ) {
+        load.begin(residual.len());
+        for &p in stage {
+            let v = &flows[p];
+            for r in &v.route {
+                load.add(*r, v.remaining);
+            }
+        }
+        load.sort_touched();
+        let mut gamma: f64 = 0.0;
+        for i in 0..load.touched().len() {
+            let r = load.touched()[i];
+            let res = residual[r.0 as usize];
+            if res <= EPS {
+                gamma = f64::INFINITY;
+                break;
+            }
+            gamma = gamma.max(load.get(r) / res);
+        }
+        if !gamma.is_finite() || gamma <= EPS {
+            return;
+        }
+        for &p in stage {
+            let v = &flows[p];
+            let mut rate = v.remaining / gamma;
+            if let Some(caps) = caps {
+                rate = rate.min(caps[p]);
+            }
+            rates[p] = rate;
+            for r in &v.route {
+                residual[r.0 as usize] = (residual[r.0 as usize] - rate).max(0.0);
+            }
+        }
+    }
+
+    /// Serving pass over the flat group structure: the allocation-free
+    /// mirror of [`Self::serve`]. Equalize caps land in a dense per-flow
+    /// buffer written just before each group's stages are served (entries
+    /// of other groups are stale and never read).
+    #[allow(clippy::too_many_arguments)]
+    fn serve_csr(
+        &self,
+        now: SimTime,
+        flows: &[ActiveFlowView],
+        topo: &Topology,
+        ws: &mut AllocScratch,
+        sc: &mut GroupCsr<GroupKey>,
+        load: &mut LinkLoad,
+        rates: &mut Vec<f64>,
+    ) {
+        debug_assert!(flows.windows(2).all(|w| w[0].id < w[1].id));
+        topo.capacities_into(&mut sc.residual);
+        rates.clear();
+        rates.resize(flows.len(), 0.0);
+
+        for oi in 0..sc.order.len() {
+            let g = sc.order[oi];
+            let (start, end) = (sc.starts[g], sc.starts[g + 1]);
+            let use_caps = match self.intra {
+                IntraMode::FinishEarly => false,
+                IntraMode::Equalize => {
+                    let tau = Self::projected_tardiness_csr(
+                        now,
+                        flows,
+                        &sc.pos[start..end],
+                        &sc.deadline[start..end],
+                        topo,
+                        load,
+                    )
+                    .max(0.0);
+                    if sc.caps.len() < flows.len() {
+                        sc.caps.resize(flows.len(), f64::INFINITY);
+                    }
+                    for m in start..end {
+                        let p = sc.pos[m];
+                        let target = sc.deadline[m].secs() + tau;
+                        let horizon = (target - now.secs()).max(EPS);
+                        sc.caps[p] = flows[p].remaining / horizon;
+                    }
+                    true
+                }
+            };
+            // Partition into deadline stages (EDD order is already
+            // sorted) and MADD each stage against the residual.
+            let mut i = start;
+            while i < end {
+                let d = sc.deadline[i];
+                let mut j = i;
+                while j < end && sc.deadline[j].approx_eq(d) {
+                    j += 1;
+                }
+                Self::serve_stage_csr(
+                    &sc.pos[i..j],
+                    flows,
+                    &mut sc.residual,
+                    rates,
+                    use_caps.then_some(&sc.caps),
+                    load,
+                );
+                i = j;
+            }
+        }
+
+        if self.backfill {
+            // The MADD rates become the waterfill floor in place: leftover
+            // capacity is shared max-min on top of them.
+            waterfill_dense(topo, flows, None, None, rates, ws);
+        }
     }
 
     /// Allocation from the cached group structure maintained by
@@ -615,27 +838,32 @@ impl EchelonMadd {
         if !self.cache_consistent(flows) {
             self.rebuild_cache(now, flows);
         }
-        let members_of: BTreeMap<GroupKey, Vec<Member<'_>>> = self
-            .cached_members
-            .iter()
-            .map(|(k, list)| {
-                let ms = list
-                    .iter()
-                    .map(|&(deadline, id)| {
-                        let idx = flows
-                            .binary_search_by(|v| v.id.cmp(&id))
-                            .expect("cached flow is active");
-                        Member {
-                            view: &flows[idx],
-                            deadline,
-                        }
-                    })
-                    .collect();
-                (*k, ms)
-            })
-            .collect();
-        let order = self.serve_order_cached(now, &members_of, topo);
-        self.serve(now, &order, &members_of, flows, topo, ws, out);
+        let mut sc = std::mem::take(&mut self.scratch);
+        let mut load = std::mem::take(&mut self.load);
+        self.build_csr(flows, &mut sc);
+        self.order_groups(now, flows, topo, &mut sc, &mut load);
+        self.serve_csr(now, flows, topo, ws, &mut sc, &mut load, out);
+        self.scratch = sc;
+        self.load = load;
+    }
+
+    /// Flattens the cached member lists into the CSR workspace, resolving
+    /// each member's position in the id-sorted flow slice once. Groups
+    /// land in ascending key order (the member cache's `BTreeMap`
+    /// iteration order), members in their cached EDD order.
+    fn build_csr(&self, flows: &[ActiveFlowView], sc: &mut GroupCsr<GroupKey>) {
+        sc.clear_groups();
+        for (k, list) in &self.cached_members {
+            sc.keys.push(*k);
+            for &(deadline, id) in list {
+                let idx = flows
+                    .binary_search_by(|v| v.id.cmp(&id))
+                    .expect("cached flow is active");
+                sc.pos.push(idx);
+                sc.deadline.push(deadline);
+            }
+            sc.starts.push(sc.pos.len());
+        }
     }
 }
 

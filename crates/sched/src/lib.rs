@@ -52,6 +52,7 @@ pub mod baselines;
 pub mod book;
 pub mod echelon;
 pub mod optimal;
+mod scratch;
 pub mod sincronia;
 pub mod varys;
 

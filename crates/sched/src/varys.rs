@@ -15,6 +15,7 @@
 //! schedule exactly: the three staggered 2B flows converge to rates
 //! (B/6, B/3, B/2) and all finish at t = 7.
 
+use crate::scratch::GroupCsr;
 use crate::sincronia::{bssi_order, GroupLoad};
 use echelon_core::coflow::Coflow;
 use echelon_core::EchelonId;
@@ -22,6 +23,7 @@ use echelon_simnet::alloc::{dense_to_alloc, waterfill_dense, AllocScratch, RateA
 use echelon_simnet::flow::ActiveFlowView;
 use echelon_simnet::fluid::FlowDelta;
 use echelon_simnet::ids::FlowId;
+use echelon_simnet::linkindex::{LinkIndex, LinkLoad};
 use echelon_simnet::runner::RatePolicy;
 use echelon_simnet::time::{SimTime, EPS};
 use echelon_simnet::topology::Topology;
@@ -58,6 +60,13 @@ pub struct VarysMadd {
     // by `apply_delta` and consumed by `allocate_cached`. The naive
     // `allocate` path neither reads nor writes it.
     cached_members: BTreeMap<GroupKey, Vec<FlowId>>,
+    // Link-indexed adjacency over the active set, maintained from the
+    // same delta stream as `cached_members` (so one consistency check
+    // covers both).
+    links: LinkIndex,
+    // Reusable flat workspaces for the cached allocation path.
+    scratch: GroupCsr<GroupKey>,
+    load: LinkLoad,
 }
 
 impl VarysMadd {
@@ -85,6 +94,9 @@ impl VarysMadd {
             backfill: true,
             arrivals: BTreeMap::new(),
             cached_members: BTreeMap::new(),
+            links: LinkIndex::default(),
+            scratch: GroupCsr::default(),
+            load: LinkLoad::default(),
         }
     }
 
@@ -180,28 +192,167 @@ impl VarysMadd {
         keys
     }
 
-    /// Serve order from cached groups with per-group ranking values
-    /// computed once instead of inside the sort comparator. Arrival and
-    /// BSSI orderings already compute their keys once, so only SEBF needs
-    /// the cached variant; the result is identical to [`Self::serve_order`]
-    /// because the comparator is a strict total order with a key tie-break.
-    fn serve_order_cached(
+    /// [`Self::gamma`] over a CSR member slice: per-link sums accumulate
+    /// into the reusable [`LinkLoad`] in the same member order with the
+    /// same first-touch semantics as the map build, and the max folds
+    /// over the ascending touched-link list exactly as the map fold
+    /// enumerates its keys — bit-identical by construction.
+    fn gamma_csr(
+        flows: &[ActiveFlowView],
+        pos: &[usize],
+        topo: &Topology,
+        load: &mut LinkLoad,
+    ) -> f64 {
+        load.begin(topo.num_resources());
+        for &p in pos {
+            let v = &flows[p];
+            for r in &v.route {
+                load.add(*r, v.remaining / topo.capacity(*r));
+            }
+        }
+        load.sort_touched();
+        let mut gamma = 0.0f64;
+        for i in 0..load.touched().len() {
+            gamma = gamma.max(load.get(load.touched()[i]));
+        }
+        gamma
+    }
+
+    /// Inter-coflow ordering over the flat group structure: each group's
+    /// ranking value is computed once into a reusable rank buffer, then
+    /// `order` is sorted with a strict total order (deterministic key
+    /// tie-break), yielding exactly the naive path's order.
+    fn order_groups(
         &self,
         now: SimTime,
-        groups: &BTreeMap<GroupKey, Vec<&ActiveFlowView>>,
+        flows: &[ActiveFlowView],
         topo: &Topology,
-    ) -> Vec<GroupKey> {
+        sc: &mut GroupCsr<GroupKey>,
+        load: &mut LinkLoad,
+    ) {
+        let groups = sc.keys.len();
+        sc.order.clear();
+        sc.order.extend(0..groups);
         match self.order {
             CoflowOrder::Sebf => {
-                let mut keys: Vec<GroupKey> = groups.keys().copied().collect();
-                let val: BTreeMap<GroupKey, f64> = groups
-                    .iter()
-                    .map(|(k, ms)| (*k, Self::gamma(ms, topo)))
-                    .collect();
-                keys.sort_by(|a, b| val[a].total_cmp(&val[b]).then(a.cmp(b)));
-                keys
+                sc.rank.clear();
+                for g in 0..groups {
+                    sc.rank.push(Self::gamma_csr(
+                        flows,
+                        &sc.pos[sc.starts[g]..sc.starts[g + 1]],
+                        topo,
+                        load,
+                    ));
+                }
+                let GroupCsr {
+                    keys, order, rank, ..
+                } = sc;
+                order.sort_by(|&a, &b| rank[a].total_cmp(&rank[b]).then(keys[a].cmp(&keys[b])));
             }
-            CoflowOrder::Arrival | CoflowOrder::Bssi => self.serve_order(now, groups, topo),
+            CoflowOrder::Arrival => {
+                sc.rank_time.clear();
+                for g in 0..groups {
+                    sc.rank_time
+                        .push(self.arrivals.get(&sc.keys[g]).copied().unwrap_or(now));
+                }
+                let GroupCsr {
+                    keys,
+                    order,
+                    rank_time,
+                    ..
+                } = sc;
+                order.sort_by(|&a, &b| rank_time[a].cmp(&rank_time[b]).then(keys[a].cmp(&keys[b])));
+            }
+            CoflowOrder::Bssi => {
+                // Non-default ablation: keep the map-based load build (the
+                // BSSI solve itself dominates). Member positions index the
+                // id-sorted flow slice and the cached lists are id-sorted,
+                // so the pos slice already enumerates members in ascending
+                // id order — the naive path's float summation order.
+                let mut key_for_id = BTreeMap::new();
+                let loads: Vec<GroupLoad> = (0..groups)
+                    .map(|g| {
+                        let id = EchelonId(g as u64);
+                        key_for_id.insert(id, g);
+                        let mut load = BTreeMap::new();
+                        for &p in &sc.pos[sc.starts[g]..sc.starts[g + 1]] {
+                            let v = &flows[p];
+                            for r in &v.route {
+                                *load.entry(r.0).or_insert(0.0) += v.remaining / topo.capacity(*r);
+                            }
+                        }
+                        GroupLoad {
+                            id,
+                            weight: self.weight_of(sc.keys[g]),
+                            load,
+                        }
+                    })
+                    .collect();
+                sc.order.clear();
+                sc.order
+                    .extend(bssi_order(&loads).into_iter().map(|id| key_for_id[&id]));
+            }
+        }
+    }
+
+    /// Serving pass over the flat group structure: the allocation-free
+    /// mirror of [`Self::serve`]. Member positions are used directly
+    /// instead of re-finding each flow by binary search, and the per-link
+    /// byte sums live in the reusable [`LinkLoad`] (gamma folds over the
+    /// ascending touched-link list, exactly the map iteration order).
+    fn serve_csr(
+        &self,
+        flows: &[ActiveFlowView],
+        topo: &Topology,
+        ws: &mut AllocScratch,
+        sc: &mut GroupCsr<GroupKey>,
+        load: &mut LinkLoad,
+        rates: &mut Vec<f64>,
+    ) {
+        debug_assert!(flows.windows(2).all(|w| w[0].id < w[1].id));
+        topo.capacities_into(&mut sc.residual);
+        rates.clear();
+        rates.resize(flows.len(), 0.0);
+        for oi in 0..sc.order.len() {
+            let g = sc.order[oi];
+            let members = &sc.pos[sc.starts[g]..sc.starts[g + 1]];
+            // Γ against residual capacity.
+            load.begin(sc.residual.len());
+            for &p in members {
+                let v = &flows[p];
+                for r in &v.route {
+                    load.add(*r, v.remaining);
+                }
+            }
+            load.sort_touched();
+            let mut gamma: f64 = 0.0;
+            for i in 0..load.touched().len() {
+                let r = load.touched()[i];
+                let res = sc.residual[r.0 as usize];
+                if res <= EPS {
+                    gamma = f64::INFINITY;
+                    break;
+                }
+                gamma = gamma.max(load.get(r) / res);
+            }
+            if !gamma.is_finite() || gamma <= EPS {
+                continue; // dense rates are already zero
+            }
+            for &p in members {
+                let v = &flows[p];
+                let rate = v.remaining / gamma;
+                rates[p] = rate;
+                for r in &v.route {
+                    sc.residual[r.0 as usize] = (sc.residual[r.0 as usize] - rate).max(0.0);
+                }
+            }
+        }
+
+        if self.backfill {
+            // Work conservation: flows may exceed their MADD rate using
+            // leftover capacity, shared max-min — the MADD rates become
+            // the waterfill floor in place.
+            waterfill_dense(topo, flows, None, None, rates, ws);
         }
     }
 
@@ -296,16 +447,14 @@ impl VarysMadd {
                 }
             }
         }
+        self.links.apply_delta(flows, delta);
     }
 
-    /// True when the cache covers exactly the given active set.
+    /// True when the cache covers exactly the given active set. The link
+    /// index is fed from the same delta stream as the member cache, so
+    /// its O(F) flow-table walk vouches for both.
     fn cache_consistent(&self, flows: &[ActiveFlowView]) -> bool {
-        self.cached_members.values().map(Vec::len).sum::<usize>() == flows.len()
-            && self
-                .cached_members
-                .values()
-                .flatten()
-                .all(|id| flows.binary_search_by(|v| v.id.cmp(id)).is_ok())
+        self.links.consistent(flows)
     }
 
     fn rebuild_cache(&mut self, now: SimTime, flows: &[ActiveFlowView]) {
@@ -315,6 +464,7 @@ impl VarysMadd {
             self.arrivals.entry(key).or_insert(now);
             self.cached_members.entry(key).or_default().push(v.id);
         }
+        self.links.rebuild(flows);
     }
 
     /// Allocation from the cached group structure maintained by
@@ -346,24 +496,31 @@ impl VarysMadd {
         if !self.cache_consistent(flows) {
             self.rebuild_cache(now, flows);
         }
-        let groups: BTreeMap<GroupKey, Vec<&ActiveFlowView>> = self
-            .cached_members
-            .iter()
-            .map(|(k, ids)| {
-                let members = ids
-                    .iter()
-                    .map(|id| {
-                        let idx = flows
-                            .binary_search_by(|v| v.id.cmp(id))
-                            .expect("cached flow is active");
-                        &flows[idx]
-                    })
-                    .collect();
-                (*k, members)
-            })
-            .collect();
-        let order = self.serve_order_cached(now, &groups, topo);
-        self.serve(&order, &groups, flows, topo, ws, out);
+        let mut sc = std::mem::take(&mut self.scratch);
+        let mut load = std::mem::take(&mut self.load);
+        self.build_csr(flows, &mut sc);
+        self.order_groups(now, flows, topo, &mut sc, &mut load);
+        self.serve_csr(flows, topo, ws, &mut sc, &mut load, out);
+        self.scratch = sc;
+        self.load = load;
+    }
+
+    /// Flattens the cached member lists into the CSR workspace, resolving
+    /// each member's position in the id-sorted flow slice once. Groups
+    /// land in ascending key order (the member cache's `BTreeMap`
+    /// iteration order), members in ascending id order.
+    fn build_csr(&self, flows: &[ActiveFlowView], sc: &mut GroupCsr<GroupKey>) {
+        sc.clear_groups();
+        for (k, ids) in &self.cached_members {
+            sc.keys.push(*k);
+            for id in ids {
+                let idx = flows
+                    .binary_search_by(|v| v.id.cmp(id))
+                    .expect("cached flow is active");
+                sc.pos.push(idx);
+            }
+            sc.starts.push(sc.pos.len());
+        }
     }
 }
 

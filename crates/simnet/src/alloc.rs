@@ -53,11 +53,18 @@ pub struct AllocScratch {
     /// Residual capacity per resource during filling.
     residual: Vec<f64>,
     /// Weight mass per resource among unfrozen flows (waterfill rounds).
+    /// Entries off the active-link list are stale and never read.
     mass: Vec<f64>,
     /// Indices of flows still participating in the filling.
     unfrozen: Vec<usize>,
     /// Per-flow served marker (priority-fill duplicate suppression).
     seen: Vec<bool>,
+    /// Ascending resource ids the current filling can touch (the union of
+    /// the participating flows' routes) — waterfill rounds scan only
+    /// these instead of every resource.
+    links: Vec<u32>,
+    /// Dedup marker for building `links`; all-false between calls.
+    link_seen: Vec<bool>,
 }
 
 impl AllocScratch {
@@ -74,8 +81,7 @@ fn residuals_dense_into(
     rates: &[f64],
     residual: &mut Vec<f64>,
 ) {
-    residual.clear();
-    residual.extend((0..topo.num_resources()).map(|r| topo.capacity(ResourceId(r as u32))));
+    topo.capacities_into(residual);
     for (f, &rate) in flows.iter().zip(rates) {
         for r in &f.route {
             residual[r.0 as usize] -= rate;
@@ -201,6 +207,8 @@ pub fn waterfill_dense(
         residual,
         mass,
         unfrozen,
+        links,
+        link_seen,
         ..
     } = ws;
     residuals_dense_into(topo, flows, rates, residual);
@@ -210,10 +218,39 @@ pub fn waterfill_dense(
     unfrozen.extend(0..flows.len());
     unfrozen.retain(|&i| rates[i] + EPS < cap_of(i));
 
+    // The links the filling can touch: the union of the participating
+    // flows' routes, ascending. Rounds below reset/scan only these, so a
+    // round costs O(active links + unfrozen routes) instead of O(all
+    // resources). Bit-identical to the full scan: every resource with
+    // nonzero mass is on this list, the list is ascending like the full
+    // enumeration, and off-list `mass` entries (stale from earlier calls)
+    // are never read.
+    links.clear();
+    if link_seen.len() < topo.num_resources() {
+        link_seen.resize(topo.num_resources(), false);
+    }
+    for &i in unfrozen.iter() {
+        for r in &flows[i].route {
+            let ri = r.0 as usize;
+            if !link_seen[ri] {
+                link_seen[ri] = true;
+                links.push(r.0);
+            }
+        }
+    }
+    links.sort_unstable();
+    for &r in links.iter() {
+        link_seen[r as usize] = false; // restore the all-false invariant
+    }
+    if mass.len() < topo.num_resources() {
+        mass.resize(topo.num_resources(), 0.0);
+    }
+
     while !unfrozen.is_empty() {
         // Weight mass per resource among unfrozen flows.
-        mass.clear();
-        mass.resize(topo.num_resources(), 0.0);
+        for &r in links.iter() {
+            mass[r as usize] = 0.0;
+        }
         for &i in unfrozen.iter() {
             let w = w_of(i);
             for r in &flows[i].route {
@@ -222,9 +259,10 @@ pub fn waterfill_dense(
         }
         // Largest uniform increment before some resource saturates...
         let mut inc = f64::INFINITY;
-        for (r, &m) in mass.iter().enumerate() {
+        for &r in links.iter() {
+            let m = mass[r as usize];
             if m > EPS {
-                inc = inc.min((residual[r].max(0.0)) / m);
+                inc = inc.min((residual[r as usize].max(0.0)) / m);
             }
         }
         // ...or some flow hits its cap.
@@ -345,8 +383,7 @@ pub fn priority_fill_dense(
     debug_assert_eq!(rates.len(), flows.len());
     debug_assert!(caps.is_none_or(|c| c.len() == flows.len()));
     let AllocScratch { residual, seen, .. } = ws;
-    residual.clear();
-    residual.extend((0..topo.num_resources()).map(|r| topo.capacity(ResourceId(r as u32))));
+    topo.capacities_into(residual);
     seen.clear();
     seen.resize(flows.len(), false);
     rates.fill(0.0);
@@ -628,6 +665,167 @@ mod tests {
         priority_fill_dense(&topo, &flows, &order, Some(&c), &mut dense, &mut ws);
         for (i, f) in flows.iter().enumerate() {
             assert_eq!(dense[i].to_bits(), via_map[&f.id].to_bits());
+        }
+    }
+
+    /// The pre-link-index progressive filling, kept verbatim as the
+    /// bitwise reference for [`waterfill_dense`]'s active-link rounds.
+    fn waterfill_reference(
+        topo: &Topology,
+        flows: &[ActiveFlowView],
+        weights: Option<&[f64]>,
+        caps: Option<&[f64]>,
+        rates: &mut [f64],
+    ) {
+        let w_of = |i: usize| weights.map_or(1.0, |w| w[i]).max(0.0);
+        let cap_of = |i: usize| caps.map_or(f64::INFINITY, |c| c[i]);
+        let mut residual: Vec<f64> = (0..topo.num_resources())
+            .map(|r| topo.capacity(ResourceId(r as u32)))
+            .collect();
+        for (f, &rate) in flows.iter().zip(rates.iter()) {
+            for r in &f.route {
+                residual[r.0 as usize] -= rate;
+            }
+        }
+        let mut unfrozen: Vec<usize> = (0..flows.len())
+            .filter(|&i| rates[i] + EPS < cap_of(i))
+            .collect();
+        while !unfrozen.is_empty() {
+            let mut mass = vec![0.0; topo.num_resources()];
+            for &i in &unfrozen {
+                let w = w_of(i);
+                for r in &flows[i].route {
+                    mass[r.0 as usize] += w;
+                }
+            }
+            let mut inc = f64::INFINITY;
+            for (r, &m) in mass.iter().enumerate() {
+                if m > EPS {
+                    inc = inc.min((residual[r].max(0.0)) / m);
+                }
+            }
+            for &i in &unfrozen {
+                let w = w_of(i);
+                if w > EPS {
+                    let cap = cap_of(i);
+                    if cap.is_finite() {
+                        inc = inc.min((cap - rates[i]).max(0.0) / w);
+                    }
+                }
+            }
+            if !inc.is_finite() {
+                break;
+            }
+            for &i in &unfrozen {
+                let delta = w_of(i) * inc;
+                rates[i] += delta;
+                for r in &flows[i].route {
+                    residual[r.0 as usize] -= delta;
+                }
+            }
+            let before = unfrozen.len();
+            unfrozen.retain(|&i| {
+                let w = w_of(i);
+                if w <= EPS {
+                    return false;
+                }
+                if rates[i] + EPS >= cap_of(i) {
+                    return false;
+                }
+                for r in &flows[i].route {
+                    if residual[r.0 as usize] <= EPS {
+                        return false;
+                    }
+                }
+                true
+            });
+            if unfrozen.len() == before {
+                break;
+            }
+        }
+    }
+
+    /// Randomized bitwise check of the active-link waterfill against the
+    /// full-scan reference: both Full and Incremental recompute paths go
+    /// through [`waterfill_dense`], so the differential suite alone cannot
+    /// catch a bug here.
+    #[test]
+    fn waterfill_matches_full_scan_reference_bitwise() {
+        use echelon_detrand::DetRng;
+        let mut rng = DetRng::seed_from_u64(0x11DE_C5ED);
+        let topos = [
+            Topology::big_switch_uniform(12, 1.0),
+            Topology::dumbbell(5, 5, 4.0, 1.0),
+            Topology::chain(6, 2.0),
+        ];
+        let mut ws = AllocScratch::new();
+        for trial in 0..60 {
+            let topo = &topos[trial % topos.len()];
+            let hosts = topo.num_nodes().min(10); // route among hosts only
+            let n = rng.usize_range_inclusive(1, 24);
+            let mut flows = Vec::new();
+            for id in 0..n {
+                let src = rng.usize_range_inclusive(0, hosts - 1);
+                let mut dst = rng.usize_range_inclusive(0, hosts - 1);
+                if dst == src {
+                    dst = (dst + 1) % hosts;
+                }
+                let d = FlowDemand::new(
+                    FlowId(id as u64),
+                    NodeId(src as u32),
+                    NodeId(dst as u32),
+                    rng.f64_range(0.5, 8.0),
+                    SimTime::ZERO,
+                );
+                flows.push(view(topo, &d));
+            }
+            let weights: Option<Vec<f64>> =
+                (trial % 2 == 0).then(|| (0..n).map(|_| rng.f64_range(0.0, 3.0)).collect());
+            let caps: Option<Vec<f64>> = (trial % 3 == 0).then(|| {
+                (0..n)
+                    .map(|_| {
+                        if rng.next_f64() < 0.3 {
+                            f64::INFINITY
+                        } else {
+                            rng.f64_range(0.0, 1.5)
+                        }
+                    })
+                    .collect()
+            });
+            let floor: Vec<f64> = (0..n)
+                .map(|i| {
+                    let c = caps.as_ref().map_or(f64::INFINITY, |c| c[i]);
+                    if rng.next_f64() < 0.2 {
+                        rng.f64_range(0.0, 0.2).min(c)
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            let mut optimized = floor.clone();
+            waterfill_dense(
+                topo,
+                &flows,
+                weights.as_deref(),
+                caps.as_deref(),
+                &mut optimized,
+                &mut ws,
+            );
+            let mut reference = floor;
+            waterfill_reference(
+                topo,
+                &flows,
+                weights.as_deref(),
+                caps.as_deref(),
+                &mut reference,
+            );
+            for (i, (a, b)) in optimized.iter().zip(&reference).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "trial {trial} flow {i}: optimized {a} != reference {b}"
+                );
+            }
         }
     }
 

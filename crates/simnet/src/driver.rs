@@ -145,6 +145,27 @@ pub struct DriveStats {
     /// the recompute because the flow set was unchanged and the policy's
     /// horizon still covered the current time.
     pub horizon_skips: usize,
+    /// Distinct links touched by a bitwise rate change, summed over rate
+    /// applications (see [`FluidNetwork::link_stats`]).
+    pub dirty_links: usize,
+    /// Occupied links at each rate application, summed likewise.
+    /// `dirty_links / occupied_links` is the run's link-recompute
+    /// fraction: 1.0 means every applied allocation rewrote every
+    /// occupied link (the MADD steady state — their remaining-
+    /// proportional rates move every event), lower means the dirty-link
+    /// tracking actually narrowed the recompute.
+    pub occupied_links: usize,
+}
+
+impl DriveStats {
+    /// `dirty_links / occupied_links` (0.0 when nothing was occupied).
+    pub fn link_recompute_fraction(&self) -> f64 {
+        if self.occupied_links == 0 {
+            0.0
+        } else {
+            self.dirty_links as f64 / self.occupied_links as f64
+        }
+    }
 }
 
 /// What [`drive`] hands back: the recorded trace and the clock at exit.
@@ -311,6 +332,9 @@ pub fn drive(
         source.on_flow_completions(now, &done, &mut net, &mut trace);
     }
 
+    let (dirty, occupied) = net.link_stats();
+    stats.dirty_links = dirty;
+    stats.occupied_links = occupied;
     DriveOutcome {
         end: net.now(),
         trace,

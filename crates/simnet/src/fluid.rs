@@ -23,6 +23,7 @@
 use crate::alloc::{check_feasible, check_feasible_dense, RateAlloc};
 use crate::flow::{ActiveFlowView, FlowCompletion, FlowDemand};
 use crate::ids::FlowId;
+use crate::linkindex::LinkIndex;
 use crate::time::{SimTime, EPS};
 use crate::topology::Topology;
 
@@ -65,11 +66,25 @@ pub struct FluidNetwork {
     next_due: Option<Option<f64>>,
     /// Reused per-resource buffer for dense feasibility checks.
     feas_residual: Vec<f64>,
+    /// Link↔flow adjacency, maintained on every release/completion — the
+    /// authoritative (always-consistent) copy policies can borrow.
+    links: LinkIndex,
+    /// Distinct links touched by a bitwise rate change, summed over
+    /// [`Self::set_rates_dense`] / [`Self::set_rates`] calls.
+    links_dirty: usize,
+    /// Occupied-link count at each rate application, summed likewise —
+    /// the denominator of the `link_recompute_fraction` benchmark counter.
+    links_occupied: usize,
+    /// Per-resource generation stamp deduplicating `links_dirty` within
+    /// one rate application.
+    dirty_stamp: Vec<u64>,
+    dirty_mark: u64,
 }
 
 impl FluidNetwork {
     /// Creates an empty network over `topology` at time zero.
     pub fn new(topology: Topology) -> FluidNetwork {
+        let num_resources = topology.num_resources();
         FluidNetwork {
             topology,
             views: Vec::new(),
@@ -79,6 +94,11 @@ impl FluidNetwork {
             delta: FlowDelta::default(),
             next_due: Some(None),
             feas_residual: Vec::new(),
+            links: LinkIndex::new(num_resources),
+            links_dirty: 0,
+            links_occupied: 0,
+            dirty_stamp: vec![0; num_resources],
+            dirty_mark: 0,
         }
     }
 
@@ -135,7 +155,23 @@ impl FluidNetwork {
             },
         );
         self.rates.insert(pos, 0.0);
+        self.links.insert(demand.id, &self.views[pos].route);
         self.delta.arrived.push(demand.id);
+    }
+
+    /// The link↔flow adjacency over the active set, maintained on every
+    /// release and completion (always [`LinkIndex::consistent`] with
+    /// [`Self::views`]).
+    pub fn link_index(&self) -> &LinkIndex {
+        &self.links
+    }
+
+    /// `(dirty, occupied)` link counters summed over rate applications:
+    /// `dirty` counts distinct links touched by a bitwise rate change per
+    /// application, `occupied` the links carrying at least one flow. Their
+    /// ratio is the `link_recompute_fraction` reported by `sched_bench`.
+    pub fn link_stats(&self) -> (usize, usize) {
+        (self.links_dirty, self.links_occupied)
     }
 
     /// Snapshot of all active flows in ascending id order, as handed to
@@ -179,15 +215,34 @@ impl FluidNetwork {
             panic!("infeasible rate allocation: {msg}");
         }
         let mut changed = false;
-        for (v, rate) in self.views.iter().zip(self.rates.iter_mut()) {
-            let new = alloc.get(&v.id).copied().unwrap_or(0.0).max(0.0);
-            if new.to_bits() != rate.to_bits() {
-                *rate = new;
+        self.dirty_mark += 1;
+        for i in 0..self.views.len() {
+            let new = alloc
+                .get(&self.views[i].id)
+                .copied()
+                .unwrap_or(0.0)
+                .max(0.0);
+            if new.to_bits() != self.rates[i].to_bits() {
+                self.rates[i] = new;
                 changed = true;
+                self.mark_route_dirty(i);
             }
         }
+        self.links_occupied += self.links.occupied_count();
         if changed {
             self.rescan_next_due();
+        }
+    }
+
+    /// Counts the links of flow `i`'s route not yet marked this
+    /// application into `links_dirty`.
+    fn mark_route_dirty(&mut self, i: usize) {
+        for r in &self.views[i].route {
+            let ri = r.0 as usize;
+            if self.dirty_stamp[ri] != self.dirty_mark {
+                self.dirty_stamp[ri] = self.dirty_mark;
+                self.links_dirty += 1;
+            }
         }
     }
 
@@ -217,13 +272,16 @@ impl FluidNetwork {
             panic!("infeasible rate allocation: {msg}");
         }
         let mut changed = false;
-        for (cur, &new) in self.rates.iter_mut().zip(rates) {
-            let new = new.max(0.0);
-            if new.to_bits() != cur.to_bits() {
-                *cur = new;
+        self.dirty_mark += 1;
+        for (i, &r) in rates.iter().enumerate() {
+            let new = r.max(0.0);
+            if new.to_bits() != self.rates[i].to_bits() {
+                self.rates[i] = new;
                 changed = true;
+                self.mark_route_dirty(i);
             }
         }
+        self.links_occupied += self.links.occupied_count();
         if changed {
             self.rescan_next_due();
         }
@@ -316,6 +374,9 @@ impl FluidNetwork {
         }
         self.views.truncate(keep);
         self.rates.truncate(keep);
+        for c in &done {
+            self.links.remove(c.id);
+        }
         if done.is_empty() {
             // Remaining and rates shrank in lockstep: the earliest due time
             // just moved `dt` closer (sub-ulp drift is absorbed by the
@@ -496,6 +557,37 @@ mod tests {
         net.release(&demand(3, 2, 3, 1.0, 0.0));
         let ids: Vec<FlowId> = net.views().iter().map(|v| v.id).collect();
         assert_eq!(ids, vec![FlowId(1), FlowId(3), FlowId(5)]);
+    }
+
+    #[test]
+    fn link_index_tracks_releases_and_completions() {
+        let mut net = FluidNetwork::new(Topology::big_switch_uniform(3, 1.0));
+        net.release(&demand(0, 0, 1, 1.0, 0.0));
+        net.release(&demand(1, 2, 1, 4.0, 0.0));
+        assert!(net.link_index().consistent(net.views()));
+        // Both flows land on host 1's ingress port (ResourceId 3).
+        assert_eq!(
+            net.link_index().flows_on(crate::ids::ResourceId(3)),
+            &[FlowId(0), FlowId(1)]
+        );
+        assert_eq!(net.link_index().occupied_count(), 3);
+
+        let rates = max_min_rates(net.topology(), net.views());
+        net.set_rates(&rates);
+        // One application: both flows' rates changed, touching all 3
+        // occupied links.
+        assert_eq!(net.link_stats(), (3, 3));
+
+        let dt = net.next_completion_in().unwrap();
+        net.advance(dt); // flow 0 finishes
+        assert!(net.link_index().consistent(net.views()));
+        assert_eq!(net.link_index().occupied_count(), 2);
+
+        // Re-applying identical rates dirties nothing but still counts
+        // the occupied denominator.
+        let rates: Vec<f64> = net.rates().to_vec();
+        net.set_rates_dense(&rates);
+        assert_eq!(net.link_stats(), (3, 5));
     }
 
     #[test]

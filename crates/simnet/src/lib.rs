@@ -32,6 +32,13 @@
 //!   work-conserving backfill.
 //! - [`fluid`] — the active-flow table: applies a rate allocation, advances
 //!   time, and predicts the next flow completion.
+//! - [`linkindex`] — link↔flow adjacency maintained incrementally from
+//!   flow deltas, plus the stamped dense per-link accumulator the MADD
+//!   schedulers allocate rates with.
+//! - [`sweep`] — deterministic parallel sweep engine: shared-nothing
+//!   scenario/seed/scheduler tasks fan out across threads (`parallel`
+//!   feature, default on) with results merged in task-index order, so
+//!   output is byte-identical regardless of thread count.
 //! - [`driver`] — the shared simulation driver: one
 //!   release→allocate→advance→complete event loop, parameterized by a
 //!   [`driver::WorkloadSource`]. Every simulation in the workspace (static
@@ -67,8 +74,10 @@ pub mod fattree;
 pub mod flow;
 pub mod fluid;
 pub mod ids;
+pub mod linkindex;
 pub mod quantized;
 pub mod runner;
+pub mod sweep;
 pub mod time;
 pub mod topology;
 pub mod trace;
@@ -82,6 +91,7 @@ pub mod prelude {
     pub use crate::flow::{ActiveFlowView, FlowDemand};
     pub use crate::fluid::{FlowDelta, FluidNetwork};
     pub use crate::ids::{FlowId, LinkId, NodeId, ResourceId};
+    pub use crate::linkindex::{LinkIndex, LinkLoad};
     pub use crate::quantized::{run_flows_quantized, QuantizedOutcome};
     pub use crate::runner::{run_flows, FlowOutcomes, MaxMinPolicy, RatePolicy, RecomputeMode};
     pub use crate::time::SimTime;

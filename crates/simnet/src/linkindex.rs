@@ -1,0 +1,359 @@
+//! Link↔flow adjacency, maintained incrementally from [`FlowDelta`]s.
+//!
+//! [`LinkIndex`] keeps, for every resource, the ascending list of flow
+//! ids currently routed over it (link→flows), plus each indexed flow's
+//! route (flow→links) so departures can be unwound without consulting the
+//! topology. It is the structural half of the link-indexed allocation
+//! core: consumers iterate only a link's resident flows — or only the
+//! links that are occupied at all — instead of scanning every flow per
+//! link.
+//!
+//! The index is a pure function of the active-flow set, so it supports a
+//! cheap O(F) [`LinkIndex::consistent`] check against the id-sorted flow
+//! table. Incremental maintenance ([`LinkIndex::apply_delta`]) and the
+//! from-scratch [`LinkIndex::rebuild`] must agree exactly (membership
+//! *and* ordering); `tests/properties.rs` drives random delta sequences
+//! against both. When a consumer cannot prove its deltas were applied
+//! exhaustively it falls back to [`LinkIndex::ensure`] — the conservative
+//! full recompute documented in DESIGN.md §8.
+//!
+//! [`LinkLoad`] is the arithmetic half: a stamped dense per-link
+//! accumulator that replaces the transient `BTreeMap<ResourceId, f64>`
+//! maps the MADD schedulers used to build on every event. Iterating the
+//! touched list after [`LinkLoad::sort_touched`] visits exactly the links
+//! a `BTreeMap` would, in the same ascending order, so floating-point
+//! reductions over it are bit-identical to the map-based path.
+
+use crate::flow::ActiveFlowView;
+use crate::fluid::FlowDelta;
+use crate::ids::{FlowId, ResourceId};
+
+/// CSR-style link→flows / flow→links adjacency over the active-flow set.
+///
+/// Invariants (checked by `debug_assert`s and the property suite):
+/// - `flows_on(r)` is strictly ascending in flow id for every resource;
+/// - a flow id appears in `flows_on(r)` iff `r` is in its indexed route;
+/// - `occupied_links()` is strictly ascending and lists exactly the
+///   resources with at least one resident flow.
+#[derive(Debug, Clone, Default)]
+pub struct LinkIndex {
+    /// `per_link[r]` = ascending flow ids routed over resource `r`.
+    per_link: Vec<Vec<FlowId>>,
+    /// Indexed flows in ascending id order, each with its route copy.
+    flows: Vec<(FlowId, Vec<ResourceId>)>,
+    /// Ascending resource ids with at least one resident flow.
+    occupied: Vec<ResourceId>,
+}
+
+impl LinkIndex {
+    /// Creates an empty index over `num_resources` resources.
+    pub fn new(num_resources: usize) -> LinkIndex {
+        LinkIndex {
+            per_link: vec![Vec::new(); num_resources],
+            flows: Vec::new(),
+            occupied: Vec::new(),
+        }
+    }
+
+    /// Number of resources the index spans.
+    pub fn num_resources(&self) -> usize {
+        self.per_link.len()
+    }
+
+    /// Number of indexed flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True when no flow is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Ascending flow ids resident on resource `r` (empty for resources
+    /// the index has not grown to yet).
+    pub fn flows_on(&self, r: ResourceId) -> &[FlowId] {
+        self.per_link
+            .get(r.0 as usize)
+            .map_or(&[][..], |v| v.as_slice())
+    }
+
+    /// The indexed route of `id`, or `None` if the flow is not indexed.
+    pub fn links_of(&self, id: FlowId) -> Option<&[ResourceId]> {
+        self.flow_pos(id).map(|i| self.flows[i].1.as_slice())
+    }
+
+    /// Ascending resource ids with at least one resident flow.
+    pub fn occupied_links(&self) -> &[ResourceId] {
+        &self.occupied
+    }
+
+    /// Number of occupied links (O(1)).
+    pub fn occupied_count(&self) -> usize {
+        self.occupied.len()
+    }
+
+    fn flow_pos(&self, id: FlowId) -> Option<usize> {
+        self.flows.binary_search_by(|(f, _)| f.cmp(&id)).ok()
+    }
+
+    /// Indexes a flow under its route, growing the per-link table on
+    /// demand (a default-constructed index spans no resources yet).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already indexed.
+    pub fn insert(&mut self, id: FlowId, route: &[ResourceId]) {
+        let pos = match self.flows.binary_search_by(|(f, _)| f.cmp(&id)) {
+            Ok(_) => panic!("flow {id} already indexed"),
+            Err(pos) => pos,
+        };
+        self.flows.insert(pos, (id, route.to_vec()));
+        for &r in route {
+            let ri = r.0 as usize;
+            if ri >= self.per_link.len() {
+                self.per_link.resize_with(ri + 1, Vec::new);
+            }
+            let bucket = &mut self.per_link[ri];
+            if bucket.is_empty() {
+                let at = self.occupied.partition_point(|&o| o < r);
+                debug_assert!(self.occupied.get(at) != Some(&r));
+                self.occupied.insert(at, r);
+            }
+            let at = bucket.partition_point(|&f| f < id);
+            debug_assert!(bucket.get(at) != Some(&id), "flow {id} already on {r}");
+            bucket.insert(at, id);
+        }
+    }
+
+    /// Removes a flow from the index. Returns `false` when the flow was
+    /// not indexed (tolerated: a delta may report the departure of a flow
+    /// that arrived and departed within the same drain).
+    pub fn remove(&mut self, id: FlowId) -> bool {
+        let Some(pos) = self.flow_pos(id) else {
+            return false;
+        };
+        let (_, route) = self.flows.remove(pos);
+        for r in route {
+            let bucket = &mut self.per_link[r.0 as usize];
+            let at = bucket.partition_point(|&f| f < id);
+            debug_assert_eq!(bucket.get(at), Some(&id), "flow {id} missing from {r}");
+            bucket.remove(at);
+            if bucket.is_empty() {
+                let at = self.occupied.partition_point(|&o| o < r);
+                debug_assert_eq!(self.occupied.get(at), Some(&r));
+                self.occupied.remove(at);
+            }
+        }
+        true
+    }
+
+    /// Applies one drained [`FlowDelta`] against the *post-delta* flow
+    /// table: arrivals are looked up in `flows` for their routes (an
+    /// arrival that already departed again is skipped — its departure is
+    /// then a tolerated no-op), departures unwind via the stored route.
+    pub fn apply_delta(&mut self, flows: &[ActiveFlowView], delta: &FlowDelta) {
+        for &id in &delta.arrived {
+            if let Ok(i) = flows.binary_search_by(|v| v.id.cmp(&id)) {
+                self.insert(id, &flows[i].route);
+            }
+        }
+        for &id in &delta.departed {
+            self.remove(id);
+        }
+    }
+
+    /// Rebuilds the index from scratch over the id-sorted flow table.
+    pub fn rebuild(&mut self, flows: &[ActiveFlowView]) {
+        for bucket in &mut self.per_link {
+            bucket.clear();
+        }
+        self.flows.clear();
+        self.occupied.clear();
+        for v in flows {
+            self.insert(v.id, &v.route);
+        }
+    }
+
+    /// O(F) check that the indexed flow set is exactly `flows` (which is
+    /// id-sorted). Because the index is a pure function of the flow set,
+    /// id-set equality implies the whole adjacency is current.
+    pub fn consistent(&self, flows: &[ActiveFlowView]) -> bool {
+        self.flows.len() == flows.len()
+            && self.flows.iter().zip(flows).all(|((id, _), v)| *id == v.id)
+    }
+
+    /// Conservative fallback: rebuild unless [`Self::consistent`]; returns
+    /// `true` when a rebuild happened.
+    pub fn ensure(&mut self, flows: &[ActiveFlowView]) -> bool {
+        if self.consistent(flows) {
+            false
+        } else {
+            self.rebuild(flows);
+            true
+        }
+    }
+}
+
+/// Stamped dense per-link `f64` accumulator with a touched-link list.
+///
+/// A drop-in replacement for a transient `BTreeMap<ResourceId, f64>`:
+/// [`LinkLoad::begin`] resets in O(1) by bumping a generation stamp,
+/// [`LinkLoad::add`] accumulates (`0.0 + x` on first touch, matching
+/// `entry(r).or_insert(0.0) += x` bit-for-bit), and after
+/// [`LinkLoad::sort_touched`] the touched list enumerates exactly the
+/// links a map would, in ascending order — so folds over it reproduce the
+/// map-based reduction bitwise. Values at untouched links are stale and
+/// must never be read; [`LinkLoad::get`] guards with the stamp.
+#[derive(Debug, Clone, Default)]
+pub struct LinkLoad {
+    val: Vec<f64>,
+    stamp: Vec<u64>,
+    cur: u64,
+    touched: Vec<ResourceId>,
+}
+
+impl LinkLoad {
+    /// Creates an empty accumulator (sized lazily by [`Self::begin`]).
+    pub fn new() -> LinkLoad {
+        LinkLoad::default()
+    }
+
+    /// Starts a fresh accumulation over `num_resources` resources.
+    pub fn begin(&mut self, num_resources: usize) {
+        self.cur += 1;
+        if self.val.len() < num_resources {
+            self.val.resize(num_resources, 0.0);
+            self.stamp.resize(num_resources, 0);
+        }
+        self.touched.clear();
+    }
+
+    /// Adds `x` to the accumulator at `r`, returning the new sum.
+    pub fn add(&mut self, r: ResourceId, x: f64) -> f64 {
+        let i = r.0 as usize;
+        if self.stamp[i] != self.cur {
+            self.stamp[i] = self.cur;
+            self.val[i] = 0.0 + x;
+            self.touched.push(r);
+        } else {
+            self.val[i] += x;
+        }
+        self.val[i]
+    }
+
+    /// Accumulated value at `r` (zero if untouched this generation).
+    pub fn get(&self, r: ResourceId) -> f64 {
+        let i = r.0 as usize;
+        if i < self.stamp.len() && self.stamp[i] == self.cur {
+            self.val[i]
+        } else {
+            0.0
+        }
+    }
+
+    /// Sorts the touched list ascending, enabling map-order iteration.
+    pub fn sort_touched(&mut self) {
+        self.touched.sort_unstable();
+    }
+
+    /// Links touched this generation (ascending after
+    /// [`Self::sort_touched`]).
+    pub fn touched(&self) -> &[ResourceId] {
+        &self.touched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+    use crate::time::SimTime;
+
+    fn view(id: u64, route: &[u32]) -> ActiveFlowView {
+        ActiveFlowView {
+            id: FlowId(id),
+            src: NodeId(0),
+            dst: NodeId(1),
+            size: 1.0,
+            remaining: 1.0,
+            release: SimTime::ZERO,
+            route: route.iter().map(|&r| ResourceId(r)).collect(),
+        }
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut idx = LinkIndex::new(4);
+        idx.insert(FlowId(2), &[ResourceId(0), ResourceId(3)]);
+        idx.insert(FlowId(1), &[ResourceId(3)]);
+        assert_eq!(idx.flows_on(ResourceId(3)), &[FlowId(1), FlowId(2)]);
+        assert_eq!(idx.flows_on(ResourceId(0)), &[FlowId(2)]);
+        assert_eq!(idx.occupied_links(), &[ResourceId(0), ResourceId(3)]);
+        assert_eq!(
+            idx.links_of(FlowId(2)),
+            Some(&[ResourceId(0), ResourceId(3)][..])
+        );
+        assert!(idx.remove(FlowId(2)));
+        assert_eq!(idx.occupied_links(), &[ResourceId(3)]);
+        assert!(!idx.remove(FlowId(2)));
+        assert!(idx.remove(FlowId(1)));
+        assert!(idx.is_empty());
+        assert_eq!(idx.occupied_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already indexed")]
+    fn duplicate_insert_rejected() {
+        let mut idx = LinkIndex::new(2);
+        idx.insert(FlowId(0), &[ResourceId(0)]);
+        idx.insert(FlowId(0), &[ResourceId(1)]);
+    }
+
+    #[test]
+    fn apply_delta_matches_rebuild() {
+        let flows = vec![view(0, &[0, 1]), view(2, &[1, 2]), view(5, &[0])];
+        let mut inc = LinkIndex::new(3);
+        inc.insert(FlowId(1), &[ResourceId(2)]); // departs below
+        inc.insert(FlowId(0), &[ResourceId(0), ResourceId(1)]);
+        let delta = FlowDelta {
+            arrived: vec![FlowId(2), FlowId(5), FlowId(9)], // 9 already gone
+            departed: vec![FlowId(1), FlowId(9)],
+        };
+        inc.apply_delta(&flows, &delta);
+        let mut scratch = LinkIndex::new(3);
+        scratch.rebuild(&flows);
+        assert!(inc.consistent(&flows));
+        for r in 0..3 {
+            assert_eq!(inc.flows_on(ResourceId(r)), scratch.flows_on(ResourceId(r)));
+        }
+        assert_eq!(inc.occupied_links(), scratch.occupied_links());
+    }
+
+    #[test]
+    fn ensure_rebuilds_only_when_stale() {
+        let flows = vec![view(0, &[0]), view(1, &[1])];
+        let mut idx = LinkIndex::new(2);
+        assert!(idx.ensure(&flows)); // stale: rebuilt
+        assert!(!idx.ensure(&flows)); // now consistent
+        assert_eq!(idx.flows_on(ResourceId(1)), &[FlowId(1)]);
+    }
+
+    #[test]
+    fn link_load_matches_map_semantics() {
+        let mut load = LinkLoad::new();
+        load.begin(4);
+        assert_eq!(load.add(ResourceId(3), 1.5), 1.5);
+        assert_eq!(load.add(ResourceId(1), 0.5), 0.5);
+        assert_eq!(load.add(ResourceId(3), 0.25), 1.75);
+        assert_eq!(load.get(ResourceId(3)), 1.75);
+        assert_eq!(load.get(ResourceId(0)), 0.0);
+        load.sort_touched();
+        assert_eq!(load.touched(), &[ResourceId(1), ResourceId(3)]);
+        // A new generation forgets everything in O(1).
+        load.begin(4);
+        assert_eq!(load.get(ResourceId(3)), 0.0);
+        assert!(load.touched().is_empty());
+        assert_eq!(load.add(ResourceId(3), 2.0), 2.0);
+    }
+}

@@ -274,6 +274,25 @@ impl Topology {
         }
     }
 
+    /// Writes every resource's capacity into `out` (indexed by resource
+    /// id), reusing its storage. The dense mirror of [`Self::capacity`],
+    /// used to seed residual buffers without a per-call allocation.
+    pub fn capacities_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        match self {
+            Topology::BigSwitch(bs) => {
+                out.reserve(2 * bs.hosts());
+                for h in 0..bs.hosts() {
+                    out.push(bs.egress[h]);
+                    out.push(bs.ingress[h]);
+                }
+            }
+            Topology::LinkGraph(g) => {
+                out.extend(g.links.iter().map(|&(_, _, cap)| cap));
+            }
+        }
+    }
+
     /// The resources a `src → dst` flow occupies, in deterministic order.
     ///
     /// # Panics
@@ -326,6 +345,23 @@ mod tests {
         assert_eq!(t.capacity(ResourceId(1)), 3.0); // host0 ingress
         assert_eq!(t.capacity(ResourceId(2)), 2.0); // host1 egress
         assert_eq!(t.capacity(ResourceId(3)), 4.0); // host1 ingress
+    }
+
+    #[test]
+    fn capacities_into_matches_capacity() {
+        let topos = [
+            Topology::BigSwitch(BigSwitch::new(vec![1.0, 2.0], vec![3.0, 4.0])),
+            Topology::chain(4, 2.5),
+            Topology::dumbbell(2, 2, 10.0, 1.0),
+        ];
+        let mut caps = vec![99.0]; // stale contents must be discarded
+        for t in &topos {
+            t.capacities_into(&mut caps);
+            assert_eq!(caps.len(), t.num_resources());
+            for (r, &c) in caps.iter().enumerate() {
+                assert_eq!(c, t.capacity(ResourceId(r as u32)));
+            }
+        }
     }
 
     #[test]

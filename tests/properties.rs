@@ -369,3 +369,103 @@ mod dense_allocation {
         }
     }
 }
+
+mod link_index {
+    //! The link-indexed adjacency (`simnet::linkindex::LinkIndex`)
+    //! maintained incrementally from random `FlowDelta` sequences must
+    //! equal the index rebuilt from scratch after every drain — same
+    //! per-link membership, same ordering, same occupied-link list.
+
+    use echelon_detrand::DetRng;
+    use echelonflow::simnet::flow::ActiveFlowView;
+    use echelonflow::simnet::fluid::FlowDelta;
+    use echelonflow::simnet::ids::{FlowId, NodeId, ResourceId};
+    use echelonflow::simnet::linkindex::LinkIndex;
+    use echelonflow::simnet::time::SimTime;
+    use echelonflow::simnet::topology::Topology;
+
+    fn view(id: u64, hosts: usize, topo: &Topology, rng: &mut DetRng) -> ActiveFlowView {
+        let src = rng.usize_range_inclusive(0, hosts - 1);
+        let mut dst = rng.usize_range_inclusive(0, hosts - 2);
+        if dst >= src {
+            dst += 1;
+        }
+        let size = rng.f64_range(0.5, 4.0);
+        ActiveFlowView {
+            id: FlowId(id),
+            src: NodeId(src as u32),
+            dst: NodeId(dst as u32),
+            size,
+            remaining: size,
+            release: SimTime::new(0.0),
+            route: topo.route(NodeId(src as u32), NodeId(dst as u32)),
+        }
+    }
+
+    fn assert_equal(incremental: &LinkIndex, rebuilt: &LinkIndex, step: usize) {
+        assert_eq!(
+            incremental.occupied_links(),
+            rebuilt.occupied_links(),
+            "step {step}: occupied-link lists differ"
+        );
+        let resources = incremental.num_resources().max(rebuilt.num_resources());
+        for r in 0..resources {
+            let r = ResourceId(r as u32);
+            assert_eq!(
+                incremental.flows_on(r),
+                rebuilt.flows_on(r),
+                "step {step}: per-link membership/order differs on {r:?}"
+            );
+        }
+    }
+
+    /// Random arrive/depart churn, including the two tolerated edge
+    /// cases: a flow that arrives and departs within the same drain
+    /// (reported in `arrived` but absent from the active slice) and a
+    /// departure for a flow the index never held.
+    #[test]
+    fn incremental_index_matches_rebuilt_from_scratch() {
+        for seed in 0..25u64 {
+            let mut rng = DetRng::seed_from_u64(0x11D3 + seed);
+            let hosts = rng.usize_range_inclusive(3, 8);
+            let topo = if rng.next_f64() < 0.5 {
+                Topology::chain(hosts, 1.0)
+            } else {
+                Topology::big_switch_uniform(hosts, 1.0)
+            };
+            let mut active: Vec<ActiveFlowView> = Vec::new();
+            let mut incremental = LinkIndex::new(topo.num_resources());
+            let mut next_id = 0u64;
+            for step in 0..60 {
+                let mut delta = FlowDelta::default();
+                for _ in 0..rng.usize_range_inclusive(0, 3) {
+                    let v = view(next_id, hosts, &topo, &mut rng);
+                    delta.arrived.push(v.id);
+                    active.push(v);
+                    next_id += 1;
+                }
+                if rng.next_f64() < 0.2 {
+                    // Arrived and departed within the same drain: the id is
+                    // reported but never joins the active slice.
+                    delta.arrived.push(FlowId(next_id));
+                    delta.departed.push(FlowId(next_id));
+                    next_id += 1;
+                }
+                while !active.is_empty() && rng.next_f64() < 0.3 {
+                    let i = rng.usize_range_inclusive(0, active.len() - 1);
+                    delta.departed.push(active.remove(i).id);
+                }
+                active.sort_by_key(|v| v.id);
+                incremental.apply_delta(&active, &delta);
+
+                let mut rebuilt = LinkIndex::new(topo.num_resources());
+                rebuilt.rebuild(&active);
+                assert_equal(&incremental, &rebuilt, step);
+                assert!(
+                    incremental.consistent(&active),
+                    "seed {seed} step {step}: consistency check rejected a correct index"
+                );
+            }
+        }
+    }
+}
