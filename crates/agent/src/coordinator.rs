@@ -25,6 +25,7 @@ use echelon_core::echelon::EchelonFlow;
 use echelon_core::EchelonId;
 use echelon_sched::echelon::{EchelonMadd, InterOrder, IntraMode};
 use echelon_simnet::alloc::{priority_fill, waterfill, RateAlloc};
+use echelon_simnet::fault::FaultKind;
 use echelon_simnet::flow::ActiveFlowView;
 use echelon_simnet::fluid::FlowDelta;
 use echelon_simnet::ids::FlowId;
@@ -131,6 +132,7 @@ impl Coordinator {
             group_counts: BTreeMap::new(),
             counts_valid: false,
             cached_between: None,
+            outage: false,
         }
     }
 }
@@ -155,10 +157,21 @@ pub struct CoordinatedPolicy {
     counts_valid: bool,
     /// Between-decisions cache: the last allocation returned while no
     /// decision was due, plus the fresh-flow ids it was computed for.
-    /// Valid while the flow set and the known/fresh split are unchanged
-    /// (`priority_fill`/`waterfill` depend only on routes and capacities,
-    /// not on remaining bytes, so the naive recompute would reproduce it).
+    /// Valid while the flow set, the known/fresh split, *and the link
+    /// capacities* are unchanged (`priority_fill`/`waterfill` depend on
+    /// routes and capacities, not on remaining bytes, so the naive
+    /// recompute would reproduce it). Capacity changes arrive as faults:
+    /// [`Self::on_fault`] drops the cache — before that hook existed the
+    /// cache was keyed only on the flow set and silently served pre-fault
+    /// rates after a link degradation (the stale-cache defect the fault
+    /// differential suite was built to expose).
     cached_between: Option<(RateAlloc, Vec<FlowId>)>,
+    /// True between [`FaultKind::CoordinatorDown`] and
+    /// [`FaultKind::CoordinatorUp`]: no decisions are computed and every
+    /// flow gets plain fair-share bandwidth (the agents' local fallback —
+    /// a stale priority order must not be enforced forever while the
+    /// coordinator cannot refresh it).
+    outage: bool,
 }
 
 impl CoordinatedPolicy {
@@ -213,6 +226,13 @@ impl CoordinatedPolicy {
             }
         }
         for &id in &delta.departed {
+            if delta.arrived.contains(&id) {
+                // Arrived and departed within this same delta: the arrival
+                // loop above never counted it (it is absent from `flows`),
+                // so decrementing here would steal a count from a flow
+                // that is still active in the same EchelonFlow.
+                continue;
+            }
             if let Some(h) = self.engine.book().echelon_of(id) {
                 let gid = h.id();
                 if let Some(c) = self.group_counts.get_mut(&gid) {
@@ -308,10 +328,33 @@ impl CoordinatedPolicy {
             Some(&rates),
         )
     }
+
+    /// The outage allocation: plain fair-share waterfill over every
+    /// active flow, ignoring the cached decision entirely. Used by both
+    /// the full and incremental paths so they stay bit-identical.
+    fn fair_share(&self, flows: &[ActiveFlowView], topo: &Topology) -> RateAlloc {
+        waterfill(topo, flows, &BTreeMap::new(), &BTreeMap::new(), None)
+    }
 }
 
 impl RatePolicy for CoordinatedPolicy {
     fn allocate(&mut self, now: SimTime, flows: &[ActiveFlowView], topo: &Topology) -> RateAlloc {
+        // Reference binding tracks the data plane, not the decision
+        // cadence: a head flow that starts and finishes between two
+        // interval decisions (or during an outage) must still bind its
+        // EchelonFlow's reference, exactly as the incremental path's
+        // per-delta observation does. Skipping this was a stale-state
+        // divergence: Full mode bound the reference from a later
+        // surviving member and ranked the group differently after
+        // recovery.
+        self.engine.observe(now, flows);
+        if self.outage {
+            // Coordinator unreachable: do not consult or refresh the
+            // decision; agents fall back to fair sharing. Flows arriving
+            // during the outage are first seen (for control-latency
+            // aging) once the coordinator is back.
+            return self.fair_share(flows, topo);
+        }
         let (known, fresh) = self.split_known(now, flows);
 
         let groups = self.active_groups(flows);
@@ -339,8 +382,13 @@ impl RatePolicy for CoordinatedPolicy {
             // `flows` and the engine's incremental path applies. Feed the
             // engine its delta at *every* event — not just when a decision
             // is due — so its caches never go stale across skipped
-            // decisions.
+            // decisions (this also holds through a coordinator outage:
+            // the engine keeps absorbing deltas it will need when the
+            // coordinator returns).
             self.engine.apply_delta(now, flows, delta);
+            if self.outage {
+                return self.fair_share(flows, topo);
+            }
             if self.decision_due(now, &groups) {
                 let rates = self.engine.allocate_cached(now, flows, topo);
                 return self.decide(now, flows, flows, true, groups, rates, topo);
@@ -362,7 +410,13 @@ impl RatePolicy for CoordinatedPolicy {
         // With control latency the known set changes as flows age in ways
         // a flow delta does not capture, so the engine runs its full path
         // on the known subset; group counting and the between-decisions
-        // cache still apply.
+        // cache still apply. Observe the *whole* slice first (fresh flows
+        // included) so reference binding matches the naive path, which
+        // observes every event.
+        self.engine.observe(now, flows);
+        if self.outage {
+            return self.fair_share(flows, topo);
+        }
         let (known, fresh) = self.split_known(now, flows);
         if self.decision_due(now, &groups) {
             let rates = self.engine.allocate(now, &known, topo);
@@ -386,6 +440,33 @@ impl RatePolicy for CoordinatedPolicy {
     /// the flow set changes or the next decision fires. With a control
     /// latency, flows graduate from fresh to known as their observations
     /// land — a time-driven rate change no horizon can cover.
+    fn on_fault(&mut self, _now: SimTime, fault: &FaultKind) {
+        match fault {
+            FaultKind::LinkDown(_) | FaultKind::LinkRestore(_) | FaultKind::LinkDegrade(..) => {
+                // `cached_between` was computed against pre-fault
+                // capacities; priority_fill/waterfill results change with
+                // them. Without this invalidation the incremental path
+                // kept serving stale (possibly now-infeasible) rates
+                // after capacity churn while the naive path recomputed —
+                // the pre-existing stale-cache defect this PR fixes.
+                self.cached_between = None;
+            }
+            FaultKind::CoordinatorDown => {
+                self.outage = true;
+                self.cached_between = None;
+            }
+            FaultKind::CoordinatorUp => {
+                self.outage = false;
+                self.cached_between = None;
+                // The recovered coordinator has no trustworthy decision:
+                // force a fresh one at the next allocation, whatever the
+                // trigger.
+                self.last_decision = None;
+            }
+            FaultKind::WorkerSlowdown { .. } => {}
+        }
+    }
+
     fn horizon(
         &self,
         _now: SimTime,
@@ -393,6 +474,12 @@ impl RatePolicy for CoordinatedPolicy {
         _rates: &[f64],
     ) -> echelon_simnet::runner::AllocHorizon {
         use echelon_simnet::runner::AllocHorizon;
+        if self.outage {
+            // Fair share depends only on routes and capacities; any fault
+            // (including CoordinatorUp) resets the certificate in the
+            // driver, so this is safe across the whole outage window.
+            return AllocHorizon::UntilFlowChange;
+        }
         if self.config.control_latency > 0.0 {
             return AllocHorizon::NextEvent;
         }
@@ -428,6 +515,37 @@ mod tests {
     fn fig2_dag() -> echelon_paradigms::dag::JobDag {
         let mut alloc = IdAlloc::new();
         build_pp_gpipe(JobId(0), &PpConfig::fig2(), &mut alloc)
+    }
+
+    /// Id-sorted views of every flow the dag's echelons declare, as if all
+    /// were released at t=0 with full remaining bytes.
+    fn views_of(dag: &echelon_paradigms::dag::JobDag, topo: &Topology) -> Vec<ActiveFlowView> {
+        let mut v: Vec<ActiveFlowView> = dag
+            .echelons
+            .iter()
+            .flat_map(|e| e.flows())
+            .map(|f| ActiveFlowView {
+                id: f.id,
+                src: f.src,
+                dst: f.dst,
+                size: f.size,
+                remaining: f.size,
+                release: SimTime::ZERO,
+                route: topo.route(f.src, f.dst),
+            })
+            .collect();
+        v.sort_by_key(|x| x.id);
+        v.dedup_by(|a, b| a.id == b.id);
+        v
+    }
+
+    fn policy_with(
+        cfg: CoordinatorConfig,
+        dag: &echelon_paradigms::dag::JobDag,
+    ) -> CoordinatedPolicy {
+        let mut coord = Coordinator::new(cfg);
+        coord.submit_all(requests_from_dag(dag));
+        coord.into_policy()
     }
 
     #[test]
@@ -556,6 +674,173 @@ mod tests {
                 cfg
             );
             assert_eq!(naive.decisions_computed(), inc.decisions_computed());
+        }
+    }
+
+    /// With `Trigger::Interval`, the very first event must still produce a
+    /// decision (the `last_decision.is_none()` guard), no matter how long
+    /// the interval: there is nothing cached to serve yet.
+    #[test]
+    fn interval_trigger_decides_on_first_event() {
+        let dag = fig2_dag();
+        let topo = Topology::chain(2, 1.0);
+        let views = views_of(&dag, &topo);
+        let mut policy = policy_with(
+            CoordinatorConfig {
+                trigger: Trigger::Interval(1e6),
+                ..CoordinatorConfig::default()
+            },
+            &dag,
+        );
+        assert_eq!(policy.decisions_computed(), 0);
+        let rates = policy.allocate(SimTime::ZERO, &views, &topo);
+        assert_eq!(policy.decisions_computed(), 1);
+        assert!(!rates.is_empty());
+    }
+
+    /// The interval predicate `now - t0 + 1e-12 >= dt` fires exactly on
+    /// the boundary (and within epsilon below it), but not clearly before.
+    #[test]
+    fn interval_decision_fires_on_epsilon_boundary() {
+        let dag = fig2_dag();
+        let topo = Topology::chain(2, 1.0);
+        let views = views_of(&dag, &topo);
+        let mut policy = policy_with(
+            CoordinatorConfig {
+                trigger: Trigger::Interval(5.0),
+                ..CoordinatorConfig::default()
+            },
+            &dag,
+        );
+        let _ = policy.allocate(SimTime::ZERO, &views, &topo);
+        assert_eq!(policy.decisions_computed(), 1);
+        // Clearly inside the interval: served from the cached order.
+        let _ = policy.allocate(SimTime::new(4.999999), &views, &topo);
+        assert_eq!(policy.decisions_computed(), 1);
+        // Within float epsilon below the boundary: counts as due.
+        let _ = policy.allocate(SimTime::new(5.0 - 1e-13), &views, &topo);
+        assert_eq!(policy.decisions_computed(), 2);
+        // Exactly on the next boundary (relative to the refreshed t0).
+        let t0 = 5.0 - 1e-13;
+        let _ = policy.allocate(SimTime::new(t0 + 5.0), &views, &topo);
+        assert_eq!(policy.decisions_computed(), 3);
+    }
+
+    /// A flow that arrives *and* departs within one delta was never added
+    /// to the incremental group counts, so its departure must not subtract
+    /// one — otherwise a still-active sibling's EchelonFlow vanishes from
+    /// the active set and `PerGroupChange` fires a spurious decision.
+    #[test]
+    fn group_counts_survive_arrive_depart_within_one_delta() {
+        let dag = fig2_dag();
+        let topo = Topology::chain(2, 1.0);
+        let views = views_of(&dag, &topo);
+        // Keep one member of the first echelon active; pick a sibling from
+        // the same echelon as the blip flow.
+        let first = dag.echelons[0].flows().next().unwrap().id;
+        let sibling = dag.echelons[0]
+            .flows()
+            .map(|f| f.id)
+            .find(|&id| id != first)
+            .expect("fig2 echelon has >= 2 flows");
+        let active: Vec<ActiveFlowView> = views.iter().filter(|v| v.id == first).cloned().collect();
+
+        // control_latency > 0 drives the engine-full incremental branch,
+        // which exercises `update_group_counts` without requiring the
+        // engine to see a globally consistent delta stream.
+        let mut policy = policy_with(
+            CoordinatorConfig {
+                trigger: Trigger::PerGroupChange,
+                control_latency: 0.5,
+                ..CoordinatorConfig::default()
+            },
+            &dag,
+        );
+        let delta0 = FlowDelta {
+            arrived: vec![first],
+            departed: vec![],
+        };
+        let _ = policy.allocate_incremental(SimTime::ZERO, &active, &delta0, &topo);
+        assert_eq!(policy.decisions_computed(), 1);
+
+        // The sibling arrives and departs entirely inside this delta: the
+        // active flow set is unchanged, so no new decision may fire.
+        let blip = FlowDelta {
+            arrived: vec![sibling],
+            departed: vec![sibling],
+        };
+        let _ = policy.allocate_incremental(SimTime::new(0.1), &active, &blip, &topo);
+        assert_eq!(
+            policy.decisions_computed(),
+            1,
+            "blip flow corrupted the incremental group counts"
+        );
+    }
+
+    /// During a coordinator outage the policy serves plain fair share (no
+    /// stale priority order), and recovery forces a fresh decision.
+    #[test]
+    fn outage_serves_fair_share_and_recovery_redecides() {
+        let dag = fig2_dag();
+        let topo = Topology::chain(2, 1.0);
+        let views = views_of(&dag, &topo);
+        let mut policy = policy_with(CoordinatorConfig::default(), &dag);
+
+        let _ = policy.allocate(SimTime::ZERO, &views, &topo);
+        assert_eq!(policy.decisions_computed(), 1);
+
+        policy.on_fault(SimTime::new(1.0), &FaultKind::CoordinatorDown);
+        let rates = policy.allocate(SimTime::new(1.0), &views, &topo);
+        let fair = waterfill(&topo, &views, &BTreeMap::new(), &BTreeMap::new(), None);
+        assert_eq!(rates, fair, "outage allocation is not plain fair share");
+        // No decision ran during the outage.
+        assert_eq!(policy.decisions_computed(), 1);
+        assert_eq!(
+            policy.horizon(SimTime::new(1.0), &views, &[]),
+            echelon_simnet::runner::AllocHorizon::UntilFlowChange
+        );
+
+        policy.on_fault(SimTime::new(2.0), &FaultKind::CoordinatorUp);
+        let _ = policy.allocate(SimTime::new(2.0), &views, &topo);
+        assert_eq!(
+            policy.decisions_computed(),
+            2,
+            "recovery must force a fresh decision"
+        );
+    }
+
+    /// Full and incremental paths stay bit-identical through a coordinator
+    /// outage window injected mid-job.
+    #[test]
+    fn outage_window_preserves_differential_identity() {
+        use echelon_paradigms::runtime::run_jobs_faulted;
+        use echelon_simnet::fault::FaultPlan;
+        use echelon_simnet::runner::RecomputeMode;
+
+        let topo = Topology::chain(2, 1.0);
+        let plan = FaultPlan::empty()
+            .with(SimTime::new(1.0), FaultKind::CoordinatorDown)
+            .with(SimTime::new(3.0), FaultKind::CoordinatorUp);
+        let configs = [
+            CoordinatorConfig::default(),
+            CoordinatorConfig {
+                trigger: Trigger::Interval(2.0),
+                ..CoordinatorConfig::default()
+            },
+        ];
+        for cfg in configs {
+            let dag = fig2_dag();
+            let mut naive = policy_with(cfg, &dag);
+            let full = run_jobs_faulted(&topo, &[&dag], &mut naive, RecomputeMode::Full, &plan);
+            let mut inc = policy_with(cfg, &dag);
+            let fast =
+                run_jobs_faulted(&topo, &[&dag], &mut inc, RecomputeMode::Incremental, &plan);
+            assert_eq!(
+                full.trace.events(),
+                fast.trace.events(),
+                "outage trace mismatch for {:?}",
+                cfg
+            );
         }
     }
 }

@@ -15,7 +15,9 @@
 //! ablations.
 
 use echelon_simnet::alloc::{weighted_rates, RateAlloc};
+use echelon_simnet::fault::FaultKind;
 use echelon_simnet::flow::ActiveFlowView;
+use echelon_simnet::fluid::FlowDelta;
 use echelon_simnet::ids::FlowId;
 use echelon_simnet::runner::RatePolicy;
 use echelon_simnet::time::SimTime;
@@ -72,12 +74,18 @@ pub fn quantize_to_queues(
     if ranked.is_empty() {
         return out;
     }
-    let per_queue = ranked.len().div_ceil(config.queues as usize);
+    // Spread ranks evenly across all queues: flow at rank `i` of `len`
+    // lands in queue `i * queues / len`. Unlike the ceiling-sized buckets
+    // this replaced (`per_queue = len.div_ceil(queues)`), every queue in
+    // `0..min(len, queues)` receives at least one flow — with e.g. 9 flows
+    // and 8 queues the old scheme put 2 flows in each of queues 0..=3 and
+    // left queues 5..=7 empty, collapsing the intended weight spread.
+    let len = ranked.len();
     for (i, (fid, rate)) in ranked.into_iter().enumerate() {
         let q = if rate <= 0.0 {
             config.queues - 1
         } else {
-            ((i / per_queue) as u8).min(config.queues - 1)
+            (i * config.queues as usize / len) as u8
         };
         out.insert(fid, q);
     }
@@ -113,11 +121,15 @@ impl<P: RatePolicy> QueueEnforcedPolicy<P> {
     pub fn inner(&self) -> &P {
         &self.inner
     }
-}
 
-impl<P: RatePolicy> RatePolicy for QueueEnforcedPolicy<P> {
-    fn allocate(&mut self, now: SimTime, flows: &[ActiveFlowView], topo: &Topology) -> RateAlloc {
-        let exact = self.inner.allocate(now, flows, topo);
+    /// Quantizes `exact` into queues and re-divides bandwidth by queue
+    /// weight (shared by both `RatePolicy` entry points).
+    fn enforce(
+        &mut self,
+        exact: RateAlloc,
+        flows: &[ActiveFlowView],
+        topo: &Topology,
+    ) -> RateAlloc {
         let assignment = quantize_to_queues(&exact, flows, &self.config);
         let weights: BTreeMap<FlowId, f64> = assignment
             .iter()
@@ -125,6 +137,31 @@ impl<P: RatePolicy> RatePolicy for QueueEnforcedPolicy<P> {
             .collect();
         self.last_assignment = assignment;
         weighted_rates(topo, flows, &weights)
+    }
+}
+
+impl<P: RatePolicy> RatePolicy for QueueEnforcedPolicy<P> {
+    fn allocate(&mut self, now: SimTime, flows: &[ActiveFlowView], topo: &Topology) -> RateAlloc {
+        let exact = self.inner.allocate(now, flows, topo);
+        self.enforce(exact, flows, topo)
+    }
+
+    fn allocate_incremental(
+        &mut self,
+        now: SimTime,
+        flows: &[ActiveFlowView],
+        delta: &FlowDelta,
+        topo: &Topology,
+    ) -> RateAlloc {
+        let exact = self.inner.allocate_incremental(now, flows, delta, topo);
+        self.enforce(exact, flows, topo)
+    }
+
+    fn on_fault(&mut self, now: SimTime, fault: &FaultKind) {
+        // The wrapper holds no capacity-derived state itself (the queue
+        // assignment is recomputed from scratch every allocation), but the
+        // wrapped policy may — forward so its caches get invalidated too.
+        self.inner.on_fault(now, fault);
     }
 
     fn name(&self) -> &'static str {
@@ -183,6 +220,43 @@ mod tests {
         assert_eq!(q[&FlowId(1)], 0);
         assert_eq!(q[&FlowId(2)], 1);
         assert_eq!(q[&FlowId(3)], 1); // zero rate → lowest queue
+    }
+
+    #[test]
+    fn every_queue_is_populated_for_positive_rates() {
+        // Property: for n positive-rate flows and q queues, every queue in
+        // 0..min(n, q) receives at least one flow. The pre-fix ceiling
+        // bucketing violated this whenever q did not divide n (e.g. 9
+        // flows / 8 queues left queues 5..=7 empty).
+        let topo = Topology::chain(2, 1.0);
+        for queues in 1u8..=16 {
+            for n in 1u64..=24 {
+                let demands: Vec<FlowDemand> = (0..n).map(|i| demand(i, 1.0)).collect();
+                let flows = views(&topo, &demands);
+                let mut rates = RateAlloc::new();
+                for i in 0..n {
+                    // Distinct positive rates, descending in id.
+                    rates.insert(FlowId(i), (n - i) as f64);
+                }
+                let cfg = QueueConfig { queues, ratio: 2.0 };
+                let assignment = quantize_to_queues(&rates, &flows, &cfg);
+                let mut hit = vec![false; queues as usize];
+                for (_, &q) in assignment.iter() {
+                    hit[q as usize] = true;
+                }
+                let expect = (n as usize).min(queues as usize);
+                let occupied = hit.iter().filter(|&&h| h).count();
+                assert_eq!(
+                    occupied, expect,
+                    "{n} flows over {queues} queues occupied {occupied} (want {expect})"
+                );
+                // Ranking is monotone: a higher-rate flow never lands in a
+                // strictly lower-priority queue.
+                for i in 1..n {
+                    assert!(assignment[&FlowId(i - 1)] <= assignment[&FlowId(i)]);
+                }
+            }
+        }
     }
 
     #[test]

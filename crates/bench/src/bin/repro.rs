@@ -16,6 +16,7 @@
 //! repro quantization   # E14: fluid-model validation
 //! repro hierarchy      # E15: flat vs hierarchical all-reduce
 //! repro steady         # E16: multi-iteration steady state
+//! repro churn          # E17: JCT/tardiness under capacity churn
 //! ```
 
 use echelon_bench::experiments as exp;
@@ -66,6 +67,33 @@ fn main() {
     if all || arg == "steady" {
         steady_state();
     }
+    if all || arg == "churn" {
+        churn();
+    }
+}
+
+fn churn() {
+    banner("E17 — capacity churn (link flaps, degradation, outage, straggler)");
+    let mut t = Table::new(&[
+        "scheduler",
+        "clean JCT",
+        "churn JCT",
+        "churn tardiness",
+        "stall flow-s",
+        "fault recomputes",
+    ]);
+    for r in exp::churn_experiment(42) {
+        t.row(vec![
+            r.scheduler.to_string(),
+            f(r.clean_jct),
+            f(r.churn_jct),
+            f(r.churn_tardiness),
+            f(r.stall_flow_seconds),
+            r.fault_recomputes.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("(same seeded fault plan injected into every scheduler's run)");
 }
 
 fn hierarchy() {

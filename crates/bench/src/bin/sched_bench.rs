@@ -27,6 +27,7 @@
 //! `--smoke` runs one small scenario per family with the same
 //! trace-identity assertions and writes nothing — a cheap CI gate.
 
+use echelon_cluster::churn::{random_fault_plan, ChurnConfig};
 use echelon_cluster::workload::{generate_workload, WorkloadConfig};
 use echelon_core::arrangement::ArrangementFn;
 use echelon_core::coflow::Coflow;
@@ -36,7 +37,8 @@ use echelon_detrand::DetRng;
 use echelon_paradigms::dag::JobDag;
 use echelon_paradigms::ids::IdAlloc;
 use echelon_paradigms::runtime::{
-    make_policy, run_jobs_every_event, run_jobs_with, Grouping, RunResult,
+    make_policy, run_jobs_every_event, run_jobs_faulted, run_jobs_faulted_every_event,
+    run_jobs_with, Grouping, RunResult,
 };
 use echelon_sched::baselines::SrptPolicy;
 use echelon_sched::echelon::EchelonMadd;
@@ -276,6 +278,104 @@ fn smoke_horizon_gate(ds: &DynScenario) {
     );
 }
 
+/// The churn plan every faulted bench run shares: random link flaps,
+/// degradations, an outage and a straggler over the scenario's own
+/// topology, plus one guaranteed incident on host 0's egress.
+fn fault_plan_for(ds: &DynScenario) -> echelon_simnet::fault::FaultPlan {
+    use echelon_simnet::fault::FaultKind;
+    use echelon_simnet::ids::ResourceId;
+    let topo = Topology::big_switch_uniform(ds.hosts, 1.0);
+    random_fault_plan(0xFA417 + ds.jobs as u64, &topo, &ChurnConfig::default())
+        .with(SimTime::new(1.0), FaultKind::LinkDown(ResourceId(0)))
+        .with(SimTime::new(2.0), FaultKind::LinkRestore(ResourceId(0)))
+}
+
+fn timed_dyn_faulted_run(
+    ds: &DynScenario,
+    grouping: Grouping,
+    mode: RecomputeMode,
+    plan: &echelon_simnet::fault::FaultPlan,
+) -> (RunResult, f64) {
+    let topo = Topology::big_switch_uniform(ds.hosts, 1.0);
+    let dag_refs: Vec<&JobDag> = ds.dags.iter().collect();
+    let mut best: Option<(RunResult, f64)> = None;
+    for _ in 0..REPEATS {
+        let mut policy = make_policy(grouping, &dag_refs);
+        let start = Instant::now();
+        let out = run_jobs_faulted(&topo, &dag_refs, policy.as_mut(), mode, plan);
+        let secs = start.elapsed().as_secs_f64();
+        if best.as_ref().is_none_or(|(_, b)| secs < *b) {
+            best = Some((out, secs));
+        }
+    }
+    best.unwrap()
+}
+
+/// Faulted dynamic bench: identical churn injected into both recompute
+/// modes; the trace-identity assertion makes capacity churn part of the
+/// perf gate, not a separate correctness suite only.
+fn bench_dyn_faulted(ds: &DynScenario, name: &'static str, grouping: Grouping) -> SchedResult {
+    let plan = fault_plan_for(ds);
+    let (full, full_secs) = timed_dyn_faulted_run(ds, grouping, RecomputeMode::Full, &plan);
+    let (inc, inc_secs) = timed_dyn_faulted_run(ds, grouping, RecomputeMode::Incremental, &plan);
+    assert_eq!(
+        full.trace.events(),
+        inc.trace.events(),
+        "{name}: faulted incremental trace diverged from full on {} dynamic jobs",
+        ds.jobs
+    );
+    assert_eq!(full.stats.fault_events, plan.len());
+    let events = full.trace.events().len();
+    SchedResult {
+        name,
+        events,
+        full_eps: events as f64 / full_secs,
+        inc_eps: events as f64 / inc_secs,
+        speedup: full_secs / inc_secs,
+        link_frac: inc.stats.link_recompute_fraction(),
+    }
+}
+
+/// Smoke gate for fault injection: under the churn plan, the incremental
+/// run must stay bit-identical both to the full recompute and to the
+/// every-event naive reference (the strongest oracle — no cadence skips,
+/// no caches), and every fault must be drained and accounted.
+fn smoke_fault_gate(ds: &DynScenario) {
+    let topo = Topology::big_switch_uniform(ds.hosts, 1.0);
+    let dag_refs: Vec<&JobDag> = ds.dags.iter().collect();
+    let plan = fault_plan_for(ds);
+    for grouping in [Grouping::Echelon, Grouping::Coflow] {
+        let mut p_inc = make_policy(grouping, &dag_refs);
+        let inc = run_jobs_faulted(
+            &topo,
+            &dag_refs,
+            p_inc.as_mut(),
+            RecomputeMode::Incremental,
+            &plan,
+        );
+        let mut p_ref = make_policy(grouping, &dag_refs);
+        let reference = run_jobs_faulted_every_event(
+            &topo,
+            &dag_refs,
+            p_ref.as_mut(),
+            RecomputeMode::Full,
+            &plan,
+        );
+        assert_eq!(
+            inc.trace.events(),
+            reference.trace.events(),
+            "{grouping:?}: faulted incremental trace diverged from every-event reference"
+        );
+        assert_eq!(inc.stats.fault_events, plan.len());
+        assert_eq!(reference.stats.fault_events, plan.len());
+        assert!(inc.stats.fault_recomputes > 0);
+    }
+    println!(
+        "fault gate: {} churn events, incremental ≡ every-event reference for both groupings",
+        plan.len()
+    );
+}
+
 /// Time-averaged number of concurrently active flows: Σ fct / makespan.
 fn mean_active_flows(out: &FlowOutcomes) -> f64 {
     let span = out.makespan().secs();
@@ -418,6 +518,7 @@ fn main() {
             print_row(&r, ds.jobs, ds.flows);
         }
         smoke_horizon_gate(&ds);
+        smoke_fault_gate(&ds);
         // Sweep-engine gate: a 2-worker sweep over the smallest static
         // scenario must merge byte-identically to the serial sweep.
         sweep_gate(2, &topo, &JOB_COUNTS[..1]);
@@ -492,6 +593,43 @@ fn main() {
         json.push_str(&format!("      \"jobs\": {jobs},\n"));
         json.push_str(&format!("      \"hosts\": {},\n", ds.hosts));
         json.push_str(&format!("      \"flows\": {},\n", ds.flows));
+        json.push_str(&format!("      \"wall_secs\": {},\n", fmt_f64(wall_secs)));
+        for r in &results {
+            print_row(r, jobs, ds.flows);
+        }
+        scheduler_json(&mut json, &results);
+        json.push_str(if si + 1 < DYNAMIC_JOB_COUNTS.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    json.push_str("  ],\n");
+
+    // Faulted dynamic scenarios: the same workloads under seeded capacity
+    // churn (link flaps, degradation, coordinator outage, straggler).
+    // Fault handling rides the incremental path, so its speedup should
+    // survive churn; the assertion inside `bench_dyn_faulted` guarantees
+    // the number comes from a bit-identical schedule.
+    json.push_str("  \"faulted_dynamic_scenarios\": [\n");
+    println!();
+    for (si, &jobs) in DYNAMIC_JOB_COUNTS.iter().enumerate() {
+        let wall = Instant::now();
+        let ds = dyn_scenario(jobs);
+        let results = [
+            bench_dyn_faulted(&ds, "echelon-madd+churn", Grouping::Echelon),
+            bench_dyn_faulted(&ds, "varys-madd+churn", Grouping::Coflow),
+        ];
+        let wall_secs = wall.elapsed().as_secs_f64();
+
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"jobs\": {jobs},\n"));
+        json.push_str(&format!("      \"hosts\": {},\n", ds.hosts));
+        json.push_str(&format!("      \"flows\": {},\n", ds.flows));
+        json.push_str(&format!(
+            "      \"fault_events\": {},\n",
+            fault_plan_for(&ds).len()
+        ));
         json.push_str(&format!("      \"wall_secs\": {},\n", fmt_f64(wall_secs)));
         for r in &results {
             print_row(r, jobs, ds.flows);

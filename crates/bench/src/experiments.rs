@@ -1032,6 +1032,74 @@ pub fn steady_state_experiment(seed: u64) -> Vec<(&'static str, f64, f64)> {
     rows
 }
 
+// --------------------------------------------------------------- E17 --
+
+/// One scheduler's row of the churn experiment.
+#[derive(Debug, Clone)]
+pub struct ChurnRow {
+    /// Scheduler name.
+    pub scheduler: &'static str,
+    /// Mean JCT without faults.
+    pub clean_jct: f64,
+    /// Mean JCT under the churn plan.
+    pub churn_jct: f64,
+    /// Eq. 4 total tardiness under churn.
+    pub churn_tardiness: f64,
+    /// Flow-seconds spent stalled on downed links.
+    pub stall_flow_seconds: f64,
+    /// Fault-forced policy recomputes.
+    pub fault_recomputes: usize,
+}
+
+/// E17 — tardiness and JCT under capacity churn (link flaps, partial
+/// degradations, coordinator outages, a straggler): the same seeded fault
+/// plan is injected into every scheduler's run, alongside a fault-free
+/// control. EchelonFlow scheduling should keep its tardiness lead over
+/// Coflow and fair sharing even while the fabric is churning, because the
+/// fault hooks invalidate exactly the caches the incremental paths keep.
+pub fn churn_experiment(seed: u64) -> Vec<ChurnRow> {
+    use echelon_cluster::churn::{random_fault_plan, ChurnConfig};
+    use echelon_simnet::runner::RecomputeMode;
+
+    let cfg = WorkloadConfig::default_mix(seed, 4, 24);
+    let scenario = Scenario::generate(&cfg);
+    let churn = ChurnConfig {
+        horizon: 8.0,
+        max_repair: 2.0,
+        link_downs: 2,
+        degrades: 2,
+        outages: 1,
+        slowdowns: 1,
+    };
+    // Random churn plus one targeted incident: host 0's egress port goes
+    // dark for a second mid-run. Packed placement guarantees host 0 is
+    // busy, so the stall-time column is exercised on every seed (the
+    // random picks land on idle ports more often than not).
+    use echelon_simnet::fault::FaultKind;
+    use echelon_simnet::ids::ResourceId;
+    let plan = random_fault_plan(seed, &scenario.topology, &churn)
+        .with(SimTime::new(2.0), FaultKind::LinkDown(ResourceId(0)))
+        .with(SimTime::new(3.0), FaultKind::LinkRestore(ResourceId(0)));
+    let mut rows = Vec::new();
+    for kind in [
+        SchedulerKind::Fair,
+        SchedulerKind::Coflow,
+        SchedulerKind::Echelon,
+    ] {
+        let (_, clean) = scenario.run_with_mode(kind, RecomputeMode::Incremental);
+        let (run, m) = scenario.run_faulted(kind, RecomputeMode::Incremental, &plan);
+        rows.push(ChurnRow {
+            scheduler: kind.name(),
+            clean_jct: clean.mean_jct,
+            churn_jct: m.mean_jct,
+            churn_tardiness: m.total_tardiness,
+            stall_flow_seconds: run.stats.stall_flow_seconds,
+            fault_recomputes: run.stats.fault_recomputes,
+        });
+    }
+    rows
+}
+
 /// Profiling report for the Fig. 2 job (feeds the E11a narrative).
 pub fn profile_fig2() -> (f64, f64) {
     let dag = fig2_dag();
@@ -1209,5 +1277,25 @@ mod tests {
     fn multijob_runs_all_schedulers() {
         let rows = multijob(3, 3, 16, false);
         assert_eq!(rows.len(), 5);
+    }
+
+    #[test]
+    fn churn_slows_everyone_but_keeps_echelon_competitive() {
+        let rows = churn_experiment(42);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            // Churn never speeds a run up, and every scheduler was forced
+            // through at least one fault recompute.
+            assert!(
+                r.churn_jct + 1e-9 >= r.clean_jct,
+                "{}: churn {} < clean {}",
+                r.scheduler,
+                r.churn_jct,
+                r.clean_jct
+            );
+            assert!(r.fault_recomputes > 0, "{} never recomputed", r.scheduler);
+        }
+        let find = |n: &str| rows.iter().find(|r| r.scheduler == n).unwrap();
+        assert!(find("echelon").churn_tardiness <= find("coflow").churn_tardiness + 1e-6);
     }
 }

@@ -1,0 +1,190 @@
+//! Seeded fault-plan generation for capacity-churn experiments.
+//!
+//! Real training clusters see link flaps, partial degradations (e.g. a
+//! NIC renegotiating to a lower speed), coordinator failovers and
+//! stragglers. [`random_fault_plan`] turns a seed and a [`ChurnConfig`]
+//! into a deterministic [`FaultPlan`] against a concrete topology, with
+//! two structural guarantees:
+//!
+//! - every `LinkDown` has a matching `LinkRestore` strictly after it (a
+//!   never-restored link on the only route deadlocks the simulation by
+//!   design — the driver panics rather than spinning), and likewise every
+//!   `CoordinatorDown` is paired with a `CoordinatorUp`;
+//! - degradation factors are bounded away from zero, so degraded-but-up
+//!   links keep making progress.
+//!
+//! Windows on the same resource may overlap; capacity factors always
+//! scale from the *base* (construction-time) capacity, so whichever event
+//! applies last wins and restores are exact.
+
+use echelon_detrand::DetRng;
+use echelon_simnet::fault::{FaultKind, FaultPlan};
+use echelon_simnet::ids::{NodeId, ResourceId};
+use echelon_simnet::time::SimTime;
+use echelon_simnet::topology::Topology;
+
+/// Knobs for [`random_fault_plan`]. Event *starts* are drawn uniformly
+/// from `[0, horizon)`; repairs land within `max_repair` after the start.
+#[derive(Debug, Clone)]
+pub struct ChurnConfig {
+    /// Time window fault onsets are drawn from.
+    pub horizon: f64,
+    /// Longest down/degraded/outage window.
+    pub max_repair: f64,
+    /// Full link-down (+ restore) incidents.
+    pub link_downs: usize,
+    /// Fractional degradation (+ restore) incidents; factors are drawn
+    /// from `[0.25, 0.75]`.
+    pub degrades: usize,
+    /// Coordinator outage windows.
+    pub outages: usize,
+    /// Straggler incidents: a worker slows by a factor in `[1.5, 4.0]`,
+    /// then recovers to full speed.
+    pub slowdowns: usize,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> ChurnConfig {
+        ChurnConfig {
+            horizon: 10.0,
+            max_repair: 2.0,
+            link_downs: 1,
+            degrades: 2,
+            outages: 1,
+            slowdowns: 1,
+        }
+    }
+}
+
+impl ChurnConfig {
+    /// A plan with no events (for control runs in sweeps).
+    pub fn none() -> ChurnConfig {
+        ChurnConfig {
+            link_downs: 0,
+            degrades: 0,
+            outages: 0,
+            slowdowns: 0,
+            ..ChurnConfig::default()
+        }
+    }
+}
+
+/// Generates a deterministic fault plan for `topo` (same seed + config +
+/// topology → same plan). See the module docs for the guarantees.
+///
+/// # Panics
+///
+/// Panics if `cfg.horizon` or `cfg.max_repair` is not positive, or if the
+/// topology has no resources while link events were requested.
+pub fn random_fault_plan(seed: u64, topo: &Topology, cfg: &ChurnConfig) -> FaultPlan {
+    assert!(cfg.horizon > 0.0, "non-positive churn horizon");
+    assert!(cfg.max_repair > 0.0, "non-positive repair bound");
+    let resources = topo.num_resources();
+    assert!(
+        resources > 0 || (cfg.link_downs == 0 && cfg.degrades == 0),
+        "link churn requested on a topology without resources"
+    );
+    let hosts = topo.num_nodes();
+    let mut rng = DetRng::seed_from_u64(seed);
+    let mut plan = FaultPlan::empty();
+
+    let window = |rng: &mut DetRng| {
+        let start = rng.f64_range(0.0, cfg.horizon);
+        let end = start + rng.f64_range(cfg.max_repair * 0.1, cfg.max_repair);
+        (SimTime::new(start), SimTime::new(end))
+    };
+
+    for _ in 0..cfg.link_downs {
+        let r = ResourceId(rng.u64_range_inclusive(0, resources as u64 - 1) as u32);
+        let (s, e) = window(&mut rng);
+        plan = plan
+            .with(s, FaultKind::LinkDown(r))
+            .with(e, FaultKind::LinkRestore(r));
+    }
+    for _ in 0..cfg.degrades {
+        let r = ResourceId(rng.u64_range_inclusive(0, resources as u64 - 1) as u32);
+        let factor = rng.f64_range(0.25, 0.75);
+        let (s, e) = window(&mut rng);
+        plan = plan
+            .with(s, FaultKind::LinkDegrade(r, factor))
+            .with(e, FaultKind::LinkRestore(r));
+    }
+    for _ in 0..cfg.outages {
+        let (s, e) = window(&mut rng);
+        plan = plan
+            .with(s, FaultKind::CoordinatorDown)
+            .with(e, FaultKind::CoordinatorUp);
+    }
+    for _ in 0..cfg.slowdowns {
+        let worker = NodeId(rng.u64_range_inclusive(0, hosts as u64 - 1) as u32);
+        let factor = rng.f64_range(1.5, 4.0);
+        let (s, e) = window(&mut rng);
+        plan = plan
+            .with(s, FaultKind::WorkerSlowdown { worker, factor })
+            .with(
+                e,
+                FaultKind::WorkerSlowdown {
+                    worker,
+                    factor: 1.0,
+                },
+            );
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic() {
+        let topo = Topology::big_switch_uniform(8, 1.0);
+        let cfg = ChurnConfig::default();
+        let a = random_fault_plan(7, &topo, &cfg);
+        let b = random_fault_plan(7, &topo, &cfg);
+        assert_eq!(a.events(), b.events());
+        let c = random_fault_plan(8, &topo, &cfg);
+        assert_ne!(a.events(), c.events());
+    }
+
+    #[test]
+    fn every_down_is_restored() {
+        let topo = Topology::big_switch_uniform(8, 1.0);
+        let cfg = ChurnConfig {
+            link_downs: 5,
+            degrades: 3,
+            outages: 2,
+            slowdowns: 2,
+            ..ChurnConfig::default()
+        };
+        let plan = random_fault_plan(11, &topo, &cfg);
+        // Per resource, the latest-applied link event must be a restore;
+        // the latest coordinator event must be an Up.
+        use std::collections::BTreeMap;
+        let mut last_link: BTreeMap<ResourceId, &FaultKind> = BTreeMap::new();
+        let mut last_coord: Option<&FaultKind> = None;
+        for e in plan.events() {
+            match &e.kind {
+                FaultKind::LinkDown(r)
+                | FaultKind::LinkRestore(r)
+                | FaultKind::LinkDegrade(r, _) => {
+                    last_link.insert(*r, &e.kind);
+                }
+                FaultKind::CoordinatorDown | FaultKind::CoordinatorUp => last_coord = Some(&e.kind),
+                FaultKind::WorkerSlowdown { .. } => {}
+            }
+        }
+        for (_, k) in last_link {
+            assert!(matches!(k, FaultKind::LinkRestore(_)), "left down: {k:?}");
+        }
+        if let Some(k) = last_coord {
+            assert!(matches!(k, FaultKind::CoordinatorUp));
+        }
+    }
+
+    #[test]
+    fn none_config_is_empty() {
+        let topo = Topology::chain(2, 1.0);
+        assert!(random_fault_plan(1, &topo, &ChurnConfig::none()).is_empty());
+    }
+}

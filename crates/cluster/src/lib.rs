@@ -16,7 +16,10 @@
 //!   the global objective (Eq. 4), and worker idleness.
 //! - [`scenario`] — end-to-end scenario runner comparing schedulers on
 //!   the same workload.
+//! - [`churn`] — seeded fault-plan generation (link flaps, degradations,
+//!   coordinator outages, stragglers) for the capacity-churn experiments.
 
+pub mod churn;
 pub mod metrics;
 pub mod placement;
 pub mod scenario;
@@ -24,6 +27,7 @@ pub mod workload;
 
 /// Convenient re-exports.
 pub mod prelude {
+    pub use crate::churn::{random_fault_plan, ChurnConfig};
     pub use crate::metrics::{echelon_tardiness_from_run, JobMetrics, ScenarioMetrics};
     pub use crate::placement::PlacementPolicy;
     pub use crate::scenario::{run_scenario, Scenario, SchedulerKind};

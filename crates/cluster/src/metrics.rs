@@ -126,8 +126,21 @@ pub fn scenario_metrics(jobs: &[GeneratedJob], run: &RunResult) -> ScenarioMetri
         }
     }
     let span = run.makespan.secs();
+    // Average over every *placed* worker, not just those that recorded
+    // busy time: a host that sat idle the whole run (no finished compute
+    // unit) is absent from `worker_busy`, and skipping it biased the mean
+    // upward — a scheduler that starves half the cluster looked as
+    // utilized as one that keeps every host busy.
+    let mut placed: Vec<_> = jobs
+        .iter()
+        .flat_map(|j| j.placement.iter().copied())
+        .chain(run.worker_busy.keys().copied())
+        .collect();
+    placed.sort();
+    placed.dedup();
     let mut utils = Vec::new();
-    for (worker, &busy) in &run.worker_busy {
+    for worker in &placed {
+        let busy = run.worker_busy.get(worker).copied().unwrap_or(0.0);
         let gates = gate_time.get(worker).copied().unwrap_or(0.0);
         if span > 0.0 {
             utils.push(((busy - gates) / span).clamp(0.0, 1.0));
@@ -199,6 +212,34 @@ mod tests {
         let m = scenario_metrics(&jobs, &run);
         assert!(m.mean_utilization > 0.0);
         assert!(m.mean_utilization <= 1.0);
+    }
+
+    #[test]
+    fn idle_placed_workers_drag_mean_utilization() {
+        // One job placed on hosts {0, 1} but with all recorded busy time
+        // on host 0: host 1 must enter the mean at 0, halving it.
+        let (jobs, run) = run_small();
+        let m = scenario_metrics(&jobs, &run);
+
+        // Re-run the metric with one extra phantom placed host that never
+        // shows up in worker_busy: the mean must strictly drop.
+        let mut padded = jobs.clone();
+        padded[0].placement.push(echelon_simnet::ids::NodeId(999));
+        let m2 = scenario_metrics(&padded, &run);
+        assert!(m2.mean_utilization < m.mean_utilization);
+        let n = {
+            let mut w: Vec<_> = jobs
+                .iter()
+                .flat_map(|j| j.placement.iter().copied())
+                .collect();
+            w.sort();
+            w.dedup();
+            w.len() as f64
+        };
+        assert!(
+            (m2.mean_utilization - m.mean_utilization * n / (n + 1.0)).abs() < 1e-9,
+            "idle host must contribute exactly one zero term"
+        );
     }
 
     #[test]

@@ -10,9 +10,10 @@ use crate::workload::{generate_workload, generate_workload_ungated, GeneratedJob
 use echelon_paradigms::dag::JobDag;
 use echelon_paradigms::ids::IdAlloc;
 use echelon_paradigms::runtime::{
-    make_policy, run_jobs, run_jobs_arriving, run_jobs_with, Grouping, RunResult,
+    make_policy, run_jobs, run_jobs_arriving, run_jobs_faulted, run_jobs_with, Grouping, RunResult,
 };
 use echelon_sched::baselines::{FifoPolicy, SrptPolicy};
+use echelon_simnet::fault::FaultPlan;
 use echelon_simnet::runner::{MaxMinPolicy, RatePolicy, RecomputeMode};
 use echelon_simnet::time::SimTime;
 use echelon_simnet::topology::Topology;
@@ -140,6 +141,38 @@ impl Scenario {
         let run = run_jobs_arriving(&self.topology, &dags, &arrivals, policy.as_mut(), mode);
         let metrics = scenario_metrics(&self.jobs, &run);
         (run, metrics)
+    }
+
+    /// Runs the scenario under one scheduler with an injected fault plan
+    /// (link churn, coordinator outages, stragglers — see
+    /// [`crate::churn`]). Full and Incremental stay bit-identical here
+    /// too: faults force a recompute through every policy's invalidation
+    /// hook.
+    pub fn run_faulted(
+        &self,
+        kind: SchedulerKind,
+        mode: RecomputeMode,
+        plan: &FaultPlan,
+    ) -> (RunResult, ScenarioMetrics) {
+        let dags: Vec<&_> = self.jobs.iter().map(|j| &j.dag).collect();
+        let mut policy = policy_for(kind, &dags);
+        let run = run_jobs_faulted(&self.topology, &dags, policy.as_mut(), mode, plan);
+        let metrics = scenario_metrics(&self.jobs, &run);
+        (run, metrics)
+    }
+
+    /// [`Scenario::run_all`] under an injected fault plan: every
+    /// scheduler sees the identical churn, fanned out across worker
+    /// threads, results in [`SchedulerKind::ALL`] order.
+    pub fn run_all_faulted(
+        &self,
+        mode: RecomputeMode,
+        plan: &FaultPlan,
+    ) -> Vec<(SchedulerKind, RunResult, ScenarioMetrics)> {
+        echelon_simnet::sweep::sweep(&SchedulerKind::ALL, |_, &kind| {
+            let (run, metrics) = self.run_faulted(kind, mode, plan);
+            (kind, run, metrics)
+        })
     }
 
     /// Runs the scenario under a caller-supplied policy (for ablations).
@@ -294,6 +327,38 @@ mod tests {
             (kind, run, metrics)
         });
         check(&forced);
+    }
+
+    /// Under randomized churn every scheduler still completes the
+    /// workload, Full and Incremental remain bit-identical, and the
+    /// faulted run is never faster than the fault-free one.
+    #[test]
+    fn churn_preserves_differential_identity_for_all_schedulers() {
+        use crate::churn::{random_fault_plan, ChurnConfig};
+
+        let cfg = WorkloadConfig::default_mix(43, 3, 16);
+        let scenario = Scenario::generate(&cfg);
+        let plan = random_fault_plan(43, &scenario.topology, &ChurnConfig::default());
+        assert!(!plan.is_empty());
+        for kind in SchedulerKind::ALL {
+            let (clean, _) = scenario.run_with_mode(kind, RecomputeMode::Full);
+            let (full, m) = scenario.run_faulted(kind, RecomputeMode::Full, &plan);
+            let (inc, _) = scenario.run_faulted(kind, RecomputeMode::Incremental, &plan);
+            assert_eq!(
+                full.trace.events(),
+                inc.trace.events(),
+                "{} faulted trace diverged between modes",
+                kind.name()
+            );
+            assert_eq!(full.flow_finishes, inc.flow_finishes);
+            assert_eq!(m.jobs.len(), 3, "{} lost jobs under churn", kind.name());
+            assert!(
+                full.makespan.secs() + 1e-9 >= clean.makespan.secs(),
+                "{} got faster under churn",
+                kind.name()
+            );
+            assert_eq!(full.stats.fault_events, plan.len());
+        }
     }
 
     #[test]

@@ -129,8 +129,22 @@ pub fn delay_start(mut dag: JobDag, arrival: f64, alloc: &mut IdAlloc) -> JobDag
     if arrival == 0.0 {
         return dag;
     }
+    // Gate every participant: not just workers with computation programs,
+    // but also hosts that appear only as flow endpoints (e.g. a sink that
+    // receives a broadcast without computing). Those have no `programs`
+    // entry yet — indexing with `get_mut(..).unwrap()` panicked on them —
+    // so materialize one holding only the gate.
+    let mut participants: Vec<NodeId> = dag.workers();
+    for comm in dag.comms.values() {
+        for f in comm.flows() {
+            participants.push(f.src);
+            participants.push(f.dst);
+        }
+    }
+    participants.sort();
+    participants.dedup();
     let mut gates = Vec::new();
-    for worker in dag.workers() {
+    for worker in participants {
         let id = alloc.next_comp();
         dag.comps.insert(
             id,
@@ -144,7 +158,7 @@ pub fn delay_start(mut dag: JobDag, arrival: f64, alloc: &mut IdAlloc) -> JobDag
                 deps_comm: vec![],
             },
         );
-        dag.programs.get_mut(&worker).unwrap().insert(0, id);
+        dag.programs.entry(worker).or_default().insert(0, id);
         gates.push(id);
     }
     for comm in dag.comms.values_mut() {
@@ -406,6 +420,47 @@ mod tests {
                     j.arrival
                 );
             }
+        }
+    }
+
+    #[test]
+    fn delay_start_handles_comm_only_endpoint() {
+        use echelon_core::arrangement::ArrangementFn;
+        use echelon_paradigms::dag::DagBuilder;
+
+        // NodeId(1) receives a flow but runs no computation: it has no
+        // `programs` entry until `delay_start` materializes its gate (the
+        // old `get_mut(..).unwrap()` panicked here).
+        let mut alloc = IdAlloc::new();
+        let mut b = DagBuilder::new(JobId(0), &mut alloc);
+        let f = b.comp(NodeId(0), 1.0, CompKind::Generic, "W", &[], &[]);
+        let send = b.comm_op(
+            &echelon_collectives::CollectiveOp::P2p {
+                src: NodeId(0),
+                dst: NodeId(1),
+                bytes: 1.0,
+            },
+            echelon_collectives::Style::Direct,
+            &[f],
+            &[],
+        );
+        let flows: Vec<_> = b.comms()[&send].flows().copied().collect();
+        b.declare_echelon(vec![flows.clone()], ArrangementFn::Coflow);
+        b.declare_coflow(flows);
+        let dag = b.build();
+        assert!(!dag.programs.contains_key(&NodeId(1)));
+
+        let gated = delay_start(dag, 2.0, &mut alloc);
+        // The sink got a program holding exactly its arrival gate.
+        let program = &gated.programs[&NodeId(1)];
+        assert_eq!(program.len(), 1);
+        assert_eq!(gated.comps[&program[0]].label, ARRIVAL_LABEL);
+
+        // And the gated job still runs, with no flow before arrival.
+        let topo = Topology::big_switch_uniform(2, 1.0);
+        let out = run_jobs(&topo, &[&gated], &mut MaxMinPolicy);
+        for f in gated.all_flows() {
+            assert!(SimTime::new(2.0).at_or_before(out.flow_releases[&f.id]));
         }
     }
 

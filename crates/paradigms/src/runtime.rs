@@ -30,7 +30,8 @@ use echelon_core::JobId;
 use echelon_sched::echelon::EchelonMadd;
 use echelon_sched::varys::VarysMadd;
 use echelon_simnet::alloc::AllocScratch;
-use echelon_simnet::driver::{drive, DriveStats, RecomputeCadence, WorkloadSource};
+use echelon_simnet::driver::{drive, drive_faulted, DriveStats, RecomputeCadence, WorkloadSource};
+use echelon_simnet::fault::{FaultKind, FaultPlan};
 use echelon_simnet::flow::{FlowCompletion, FlowDemand};
 use echelon_simnet::fluid::FluidNetwork;
 use echelon_simnet::ids::{FlowId, NodeId};
@@ -203,6 +204,11 @@ struct JobSource<'a> {
     /// Force [`RecomputeCadence::EveryEvent`], ignoring policy horizons.
     /// The every-event reference run for the horizon differential tests.
     force_every_event: bool,
+    /// Per-worker compute slowdown multipliers from
+    /// [`FaultKind::WorkerSlowdown`] faults (absent = 1.0). Applied to
+    /// the duration of units started after the fault and to the remaining
+    /// time of units running when it strikes.
+    slow_factor: BTreeMap<NodeId, f64>,
     result: RunResult,
 }
 
@@ -248,6 +254,7 @@ impl<'a> JobSource<'a> {
             total_comps: dags.iter().map(|d| d.comps.len()).sum(),
             total_comms: dags.iter().map(|d| d.comms.len()).sum(),
             force_every_event: false,
+            slow_factor: BTreeMap::new(),
             result: RunResult {
                 comp_spans: BTreeMap::new(),
                 comm_spans: BTreeMap::new(),
@@ -373,12 +380,18 @@ impl<'a> JobSource<'a> {
         }
     }
 
+    /// The current compute slowdown multiplier of a worker (1.0 unless a
+    /// [`FaultKind::WorkerSlowdown`] changed it).
+    fn slow_of(&self, w: NodeId) -> f64 {
+        self.slow_factor.get(&w).copied().unwrap_or(1.0)
+    }
+
     /// Completes a running computation unit at `now`.
     fn finish_comp(&mut self, id: CompId, now: SimTime) {
         self.running.remove(&id);
         let dag = self.dags[self.comp_of[&id]];
         let unit = &dag.comps[&id];
-        let (worker, duration) = (unit.worker, unit.duration);
+        let worker = unit.worker;
         let start = self.comp_starts[&id];
         self.result.comp_spans.insert(id, (start, now));
         self.result.timeline.push(TimelineEntry {
@@ -389,7 +402,9 @@ impl<'a> JobSource<'a> {
             start,
             end: now,
         });
-        *self.result.worker_busy.entry(worker).or_insert(0.0) += duration;
+        // Wall time actually occupied (equals the nominal duration unless
+        // a WorkerSlowdown fault stretched the unit mid-flight).
+        *self.result.worker_busy.entry(worker).or_insert(0.0) += (now - start).max(0.0);
         let e = self
             .result
             .job_makespans
@@ -480,7 +495,8 @@ impl<'a> JobSource<'a> {
                 continue;
             }
             self.worker_busy_now.insert(worker, true);
-            self.running.insert(head, now + unit.duration);
+            self.running
+                .insert(head, now + unit.duration * self.slow_of(worker));
             return;
         }
     }
@@ -633,6 +649,26 @@ impl WorkloadSource for JobSource<'_> {
         }
     }
 
+    /// Straggler injection: a [`FaultKind::WorkerSlowdown`] rescales the
+    /// remaining time of the unit running on that worker and the duration
+    /// of every unit it starts afterwards. Factors replace (not compose
+    /// with) the previous one, mirroring capacity factors scaling from
+    /// base capacity.
+    fn on_fault(&mut self, now: SimTime, fault: &FaultKind) {
+        let FaultKind::WorkerSlowdown { worker, factor } = fault else {
+            return;
+        };
+        let old = self.slow_of(*worker);
+        self.slow_factor.insert(*worker, *factor);
+        for (id, end) in self.running.iter_mut() {
+            let unit_worker = self.dags[self.comp_of[id]].comps[id].worker;
+            if unit_worker == *worker {
+                let left = (*end - now).max(0.0);
+                *end = now + left * (factor / old);
+            }
+        }
+    }
+
     fn deadlock_context(&self) -> String {
         let pending: Vec<String> = self
             .comm_state
@@ -727,6 +763,58 @@ pub fn run_jobs_every_event(
     let mut source = JobSource::new(dags, vec![SimTime::ZERO; dags.len()]);
     source.force_every_event = true;
     finish_run(drive(topo, &mut source, policy, mode), source)
+}
+
+/// [`run_jobs_with`] under an injected [`FaultPlan`]: link churn,
+/// coordinator outages, and worker slowdowns strike at their scheduled
+/// times while the jobs run (see [`echelon_simnet::fault`]).
+///
+/// # Panics
+///
+/// Panics for the same reasons as [`run_jobs_with`], plus the deadlock
+/// panic if the plan downs a link forever while unfinished flows depend
+/// on it.
+pub fn run_jobs_faulted(
+    topo: &Topology,
+    dags: &[&JobDag],
+    policy: &mut dyn RatePolicy,
+    mode: RecomputeMode,
+    plan: &FaultPlan,
+) -> RunResult {
+    let mut source = JobSource::new(dags, vec![SimTime::ZERO; dags.len()]);
+    finish_run(drive_faulted(topo, &mut source, policy, mode, plan), source)
+}
+
+/// [`run_jobs_faulted`] forcing a rate recomputation at every event — the
+/// naive full-recompute reference for the fault differential suite.
+pub fn run_jobs_faulted_every_event(
+    topo: &Topology,
+    dags: &[&JobDag],
+    policy: &mut dyn RatePolicy,
+    mode: RecomputeMode,
+    plan: &FaultPlan,
+) -> RunResult {
+    let mut source = JobSource::new(dags, vec![SimTime::ZERO; dags.len()]);
+    source.force_every_event = true;
+    finish_run(drive_faulted(topo, &mut source, policy, mode, plan), source)
+}
+
+/// [`run_jobs_arriving`] under an injected [`FaultPlan`].
+pub fn run_jobs_arriving_faulted(
+    topo: &Topology,
+    dags: &[&JobDag],
+    arrivals: &[SimTime],
+    policy: &mut dyn RatePolicy,
+    mode: RecomputeMode,
+    plan: &FaultPlan,
+) -> RunResult {
+    assert_eq!(
+        arrivals.len(),
+        dags.len(),
+        "one arrival time per job dag required"
+    );
+    let mut source = JobSource::new(dags, arrivals.to_vec());
+    finish_run(drive_faulted(topo, &mut source, policy, mode, plan), source)
 }
 
 fn run_jobs_impl(
@@ -949,6 +1037,58 @@ mod tests {
         let dag1 = relay_dag(&mut alloc);
         let topo = Topology::chain(2, 1.0);
         let _ = run_jobs(&topo, &[&dag0, &dag1], &mut MaxMinPolicy);
+    }
+
+    #[test]
+    fn worker_slowdown_stretches_running_and_future_comps() {
+        // relay_dag: comp(1s)@w0 → 2B flow → comp(1s)@w1, makespan 4.
+        // Slowing w0 by 2× at t=0.5 stretches the running unit's second
+        // half to 1s (F1 ends at 1.5); the flow and w1 are untouched:
+        // makespan 1.5 + 2 + 1 = 4.5.
+        let mut alloc = IdAlloc::new();
+        let dag = relay_dag(&mut alloc);
+        let topo = Topology::chain(2, 1.0);
+        let plan = FaultPlan::empty().with(
+            SimTime::new(0.5),
+            FaultKind::WorkerSlowdown {
+                worker: NodeId(0),
+                factor: 2.0,
+            },
+        );
+        let out = run_jobs_faulted(
+            &topo,
+            &[&dag],
+            &mut MaxMinPolicy,
+            RecomputeMode::Full,
+            &plan,
+        );
+        assert!(out.makespan.approx_eq(SimTime::new(4.5)));
+        // Busy accounting reflects the stretched wall time.
+        assert!((out.worker_busy[&NodeId(0)] - 1.5).abs() < 1e-9);
+        assert!((out.worker_busy[&NodeId(1)] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_churn_delays_relay_and_reports_stall() {
+        // The relay's only flow crosses the 0→1 link; downing it for a
+        // second mid-transfer shifts the makespan by exactly that second.
+        let mut alloc = IdAlloc::new();
+        let dag = relay_dag(&mut alloc);
+        let topo = Topology::chain(2, 1.0);
+        let r = echelon_simnet::ids::ResourceId(0);
+        let plan = FaultPlan::empty()
+            .with(SimTime::new(1.5), FaultKind::LinkDown(r))
+            .with(SimTime::new(2.5), FaultKind::LinkRestore(r));
+        let out = run_jobs_faulted(
+            &topo,
+            &[&dag],
+            &mut MaxMinPolicy,
+            RecomputeMode::Full,
+            &plan,
+        );
+        assert!(out.makespan.approx_eq(SimTime::new(5.0)));
+        assert!((out.stats.stall_flow_seconds - 1.0).abs() < 1e-9);
+        assert_eq!(out.stats.fault_events, 2);
     }
 
     #[test]

@@ -177,6 +177,20 @@ impl EchelonMadd {
         &self.book
     }
 
+    /// Binds reference times for any EchelonFlow whose head flow has just
+    /// become active, without computing an allocation.
+    ///
+    /// Reference binding is an *observation* of the data plane (the
+    /// paper's `r = s_0` — when the head flow started), not a scheduling
+    /// decision: callers that do not run the heuristic at every event
+    /// (e.g. a coordinator between interval decisions, or one serving a
+    /// fallback during an outage) must still observe each event, or a
+    /// head flow that finishes before the next heuristic run silently
+    /// binds the reference from a later member.
+    pub fn observe(&mut self, now: SimTime, flows: &[ActiveFlowView]) {
+        self.book.observe(now, flows);
+    }
+
     fn group_of(&self, flow: FlowId) -> GroupKey {
         match self.book.echelon_of(flow) {
             Some(h) => GroupKey::Echelon(h.id()),

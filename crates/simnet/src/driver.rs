@@ -27,6 +27,7 @@
 //! at the workspace root) holds uniformly across layers.
 
 use crate::alloc::AllocScratch;
+use crate::fault::{FaultKind, FaultPlan};
 use crate::flow::{ActiveFlowView, FlowCompletion};
 use crate::fluid::{FlowDelta, FluidNetwork};
 use crate::runner::{AllocHorizon, RatePolicy, RecomputeMode};
@@ -131,13 +132,22 @@ pub trait WorkloadSource {
     fn deadlock_context(&self) -> String {
         String::new()
     }
+
+    /// Notifies the source of an injected fault (see [`crate::fault`]).
+    /// Link capacity changes have already been applied to the network by
+    /// the driver; sources only need to react to faults that touch their
+    /// *internal* state — the DAG runtime stretches running computation
+    /// units on a [`FaultKind::WorkerSlowdown`]. Default: ignore.
+    fn on_fault(&mut self, now: SimTime, fault: &FaultKind) {
+        let _ = (now, fault);
+    }
 }
 
 /// Driver counters: how often rates were actually recomputed and how
 /// often the recompute-horizon let an event skip the allocation. Lets
 /// tests assert the skip logic fired (not vacuously enabled) and the
 /// steady state really is allocation-free.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct DriveStats {
     /// Rate allocations performed.
     pub allocations: usize,
@@ -145,6 +155,17 @@ pub struct DriveStats {
     /// the recompute because the flow set was unchanged and the policy's
     /// horizon still covered the current time.
     pub horizon_skips: usize,
+    /// Fault events applied from the [`FaultPlan`].
+    pub fault_events: usize,
+    /// Allocations forced by a fault instant (the flow set may have been
+    /// unchanged — these are recomputes the cadence alone would have
+    /// skipped, performed because capacities or component state changed).
+    pub fault_recomputes: usize,
+    /// Flow-seconds spent stalled on a downed link (each active flow
+    /// whose route crosses a zero-capacity resource contributes one
+    /// flow-second per second; see
+    /// [`FluidNetwork::stall_flow_seconds`]).
+    pub stall_flow_seconds: f64,
     /// Distinct links touched by a bitwise rate change, summed over rate
     /// applications (see [`FluidNetwork::link_stats`]).
     pub dirty_links: usize,
@@ -226,6 +247,35 @@ pub fn drive(
     policy: &mut dyn RatePolicy,
     mode: RecomputeMode,
 ) -> DriveOutcome {
+    drive_faulted(topo, source, policy, mode, &FaultPlan::empty())
+}
+
+/// [`drive`] with an injected [`FaultPlan`]: fault events are a third
+/// event source next to flow releases and completions.
+///
+/// At each fault instant the driver applies due events in plan order —
+/// link capacity changes mutate the network's authoritative topology
+/// copy, and every fault is forwarded to [`RatePolicy::on_fault`] and
+/// [`WorkloadSource::on_fault`] — then *unconditionally* recomputes
+/// rates (even when the flow set is unchanged) and discards any
+/// outstanding [`AllocHorizon`] certificate, since both were computed
+/// against pre-fault capacities. Allocations from that point on see the
+/// mutated topology, so flows crossing a downed link stall at rate 0
+/// until its restore event.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`drive`]. A plan that downs a
+/// link forever while flows depend on it ends in the deadlock panic —
+/// plans should restore what they break (or the workload must be able to
+/// finish without the downed resource).
+pub fn drive_faulted(
+    topo: &Topology,
+    source: &mut dyn WorkloadSource,
+    policy: &mut dyn RatePolicy,
+    mode: RecomputeMode,
+    plan: &FaultPlan,
+) -> DriveOutcome {
     let mut net = FluidNetwork::new(topo.clone());
     let mut trace = FlowTrace::new();
     // Driver-owned allocation workspace and dense rate buffer, reused for
@@ -235,21 +285,48 @@ pub fn drive(
     let mut horizon = AllocHorizon::NextEvent;
     let mut stats = DriveStats::default();
     let cadence = source.cadence();
+    let mut plan = plan.clone();
+    plan.reset();
 
     loop {
         let now = net.now();
+        // Apply due faults before releases, so a release coinciding with
+        // a fault already sees post-fault capacities and the single
+        // recompute below covers both.
+        let mut faulted = false;
+        while let Some(ev) = plan.pop_due(now) {
+            match ev.kind {
+                FaultKind::LinkDown(r) => net.apply_capacity_factor(r, 0.0),
+                FaultKind::LinkRestore(r) => net.apply_capacity_factor(r, 1.0),
+                FaultKind::LinkDegrade(r, f) => net.apply_capacity_factor(r, f),
+                FaultKind::CoordinatorDown
+                | FaultKind::CoordinatorUp
+                | FaultKind::WorkerSlowdown { .. } => {}
+            }
+            policy.on_fault(now, &ev.kind);
+            source.on_fault(now, &ev.kind);
+            stats.fault_events += 1;
+            faulted = true;
+        }
+        if faulted {
+            // Whatever the policy certified was against the old
+            // capacities/component state.
+            horizon = AllocHorizon::NextEvent;
+        }
         source.release_due(now, &mut net, &mut trace);
         if source.finished() {
             break;
         }
 
         if net.active_count() > 0 {
-            // A changed flow set always forces a recompute; otherwise the
-            // cadence decides. Under PolicyHorizon the previous answer is
-            // reused while the policy's certified window covers `now`
-            // (skipping is conservative: `Until(t)` recomputes at the
-            // first event with now >= t).
-            let recompute = net.has_pending_delta()
+            // A changed flow set or an applied fault always forces a
+            // recompute; otherwise the cadence decides. Under
+            // PolicyHorizon the previous answer is reused while the
+            // policy's certified window covers `now` (skipping is
+            // conservative: `Until(t)` recomputes at the first event with
+            // now >= t).
+            let recompute = faulted
+                || net.has_pending_delta()
                 || match cadence {
                     RecomputeCadence::OnFlowChange => false,
                     RecomputeCadence::EveryEvent => true,
@@ -267,12 +344,15 @@ pub fn drive(
                     now,
                     net.views(),
                     &delta,
-                    topo,
+                    net.topology(),
                     &mut ws,
                     &mut rates_buf,
                 );
                 net.set_rates_dense(&rates_buf);
                 stats.allocations += 1;
+                if faulted {
+                    stats.fault_recomputes += 1;
+                }
                 horizon = if cadence == RecomputeCadence::PolicyHorizon {
                     policy.horizon(now, net.views(), net.rates())
                 } else {
@@ -290,11 +370,14 @@ pub fn drive(
 
         let dt_source = source.next_event_in(now);
         let dt_flow = net.next_completion_in();
-        let dt = match (dt_source, dt_flow) {
-            (Some(a), Some(b)) => a.min(b),
-            (Some(a), None) => a,
-            (None, Some(b)) => b,
-            (None, None) => {
+        let dt_fault = plan.next_in(now);
+        let dt = [dt_source, dt_flow, dt_fault]
+            .into_iter()
+            .flatten()
+            .min_by(f64::total_cmp);
+        let dt = match dt {
+            Some(dt) => dt,
+            None => {
                 let context = source.deadlock_context();
                 let sep = if context.is_empty() { "" } else { "; " };
                 panic!(
@@ -312,7 +395,7 @@ pub fn drive(
         assert!(
             dt >= -EPS,
             "negative time step {dt} at t={:.6} (source event in {dt_source:?}, \
-             flow completion in {dt_flow:?})",
+             flow completion in {dt_flow:?}, fault in {dt_fault:?})",
             now.secs(),
         );
 
@@ -321,7 +404,10 @@ pub fn drive(
         // Zero-progress guard: an iteration must move time, finish a
         // flow, or be an internal source event due within epsilon.
         debug_assert!(
-            dt > 0.0 || !done.is_empty() || dt_source.is_some_and(|d| d <= 0.0),
+            dt > 0.0
+                || !done.is_empty()
+                || dt_source.is_some_and(|d| d <= 0.0)
+                || dt_fault.is_some_and(|d| d <= 0.0),
             "event loop made no progress at {now:?}"
         );
         if source.wants_trace() {
@@ -335,6 +421,7 @@ pub fn drive(
     let (dirty, occupied) = net.link_stats();
     stats.dirty_links = dirty;
     stats.occupied_links = occupied;
+    stats.stall_flow_seconds = net.stall_flow_seconds();
     DriveOutcome {
         end: net.now(),
         trace,

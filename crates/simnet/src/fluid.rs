@@ -22,7 +22,7 @@
 
 use crate::alloc::{check_feasible, check_feasible_dense, RateAlloc};
 use crate::flow::{ActiveFlowView, FlowCompletion, FlowDemand};
-use crate::ids::FlowId;
+use crate::ids::{FlowId, ResourceId};
 use crate::linkindex::LinkIndex;
 use crate::time::{SimTime, EPS};
 use crate::topology::Topology;
@@ -79,12 +79,23 @@ pub struct FluidNetwork {
     /// one rate application.
     dirty_stamp: Vec<u64>,
     dirty_mark: u64,
+    /// Construction-time capacities, the reference point fault factors
+    /// scale from (see [`Self::apply_capacity_factor`]).
+    base_caps: Vec<f64>,
+    /// Resources currently at (effectively) zero capacity.
+    down: Vec<bool>,
+    /// Number of `true` entries in `down` — gates the stall scan.
+    down_count: usize,
+    /// Accumulated flow-seconds spent stalled on a downed resource.
+    stall_seconds: f64,
 }
 
 impl FluidNetwork {
     /// Creates an empty network over `topology` at time zero.
     pub fn new(topology: Topology) -> FluidNetwork {
         let num_resources = topology.num_resources();
+        let mut base_caps = Vec::new();
+        topology.capacities_into(&mut base_caps);
         FluidNetwork {
             topology,
             views: Vec::new(),
@@ -99,7 +110,65 @@ impl FluidNetwork {
             links_occupied: 0,
             dirty_stamp: vec![0; num_resources],
             dirty_mark: 0,
+            base_caps,
+            down: vec![false; num_resources],
+            down_count: 0,
+            stall_seconds: 0.0,
         }
+    }
+
+    /// Scales resource `r` to `factor` × its construction-time capacity —
+    /// the fault-injection capacity path (`0.0` = link down, `1.0` = full
+    /// restore, anything between = degradation). Factors always compose
+    /// against the *base* capacity, so repeated degradations do not decay
+    /// multiplicatively and a restore is exact.
+    ///
+    /// Rates applied before the change are left untouched and may now be
+    /// infeasible for the shrunk capacity: the caller must recompute and
+    /// re-apply rates before the next [`Self::advance`] (the driver forces
+    /// exactly that at every fault instant). The next-completion cache is
+    /// derived from rates, not capacities, so it stays valid across this
+    /// call. The [`LinkIndex`] is adjacency, not capacity, and needs no
+    /// repair either — invalidation of *policy-side* caches happens via
+    /// [`crate::runner::RatePolicy::on_fault`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range or `factor` is negative or
+    /// non-finite.
+    pub fn apply_capacity_factor(&mut self, r: ResourceId, factor: f64) {
+        assert!(
+            factor >= 0.0 && factor.is_finite(),
+            "bad capacity factor {factor}"
+        );
+        let ri = r.0 as usize;
+        assert!(ri < self.base_caps.len(), "resource {r} out of range");
+        let cap = self.base_caps[ri] * factor;
+        self.topology.set_capacity(r, cap);
+        let is_down = cap <= EPS;
+        match (self.down[ri], is_down) {
+            (false, true) => self.down_count += 1,
+            (true, false) => self.down_count -= 1,
+            _ => {}
+        }
+        self.down[ri] = is_down;
+    }
+
+    /// True while resource `r` is at zero capacity from a fault.
+    pub fn is_down(&self, r: ResourceId) -> bool {
+        self.down[r.0 as usize]
+    }
+
+    /// Number of resources currently downed by faults.
+    pub fn down_count(&self) -> usize {
+        self.down_count
+    }
+
+    /// Accumulated flow-seconds spent stalled: each second a flow whose
+    /// route crosses a downed resource sits active contributes one
+    /// flow-second, summed over [`Self::advance`] calls.
+    pub fn stall_flow_seconds(&self) -> f64 {
+        self.stall_seconds
     }
 
     /// The underlying topology.
@@ -349,6 +418,15 @@ impl FluidNetwork {
                 "advance overshoots earliest completion: dt={dt} first={first}"
             );
         }
+        if self.down_count > 0 && dt > 0.0 {
+            // Stall accounting: every active flow whose route crosses a
+            // downed resource sits at rate 0 for this whole step.
+            for v in &self.views {
+                if v.route.iter().any(|r| self.down[r.0 as usize]) {
+                    self.stall_seconds += dt;
+                }
+            }
+        }
         self.now += dt;
         let now = self.now;
         let mut done = Vec::new();
@@ -588,6 +666,54 @@ mod tests {
         let rates: Vec<f64> = net.rates().to_vec();
         net.set_rates_dense(&rates);
         assert_eq!(net.link_stats(), (3, 5));
+    }
+
+    #[test]
+    fn capacity_factor_scales_from_base_and_tracks_down_set() {
+        let mut net = FluidNetwork::new(Topology::big_switch_uniform(2, 2.0));
+        let r = crate::ids::ResourceId(0);
+        net.apply_capacity_factor(r, 0.5);
+        assert_eq!(net.topology().capacity(r), 1.0);
+        assert!(!net.is_down(r));
+        // Degrade again: factors compose against the base, not the
+        // current value — 0.25 of 2.0, not 0.25 of 1.0.
+        net.apply_capacity_factor(r, 0.25);
+        assert_eq!(net.topology().capacity(r), 0.5);
+        net.apply_capacity_factor(r, 0.0);
+        assert!(net.is_down(r));
+        assert_eq!(net.down_count(), 1);
+        net.apply_capacity_factor(r, 1.0);
+        assert_eq!(net.topology().capacity(r), 2.0);
+        assert!(!net.is_down(r));
+        assert_eq!(net.down_count(), 0);
+    }
+
+    #[test]
+    fn stalled_flow_seconds_accumulate_on_downed_routes() {
+        let mut net = FluidNetwork::new(Topology::big_switch_uniform(3, 1.0));
+        net.release(&demand(0, 0, 1, 4.0, 0.0)); // crosses host0 egress
+        net.release(&demand(1, 2, 1, 4.0, 0.0)); // does not
+        net.apply_capacity_factor(crate::ids::ResourceId(0), 0.0);
+        let mut alloc = RateAlloc::new();
+        alloc.insert(FlowId(1), 0.5);
+        net.set_rates(&alloc);
+        net.advance(2.0);
+        // Only flow 0 crosses the downed egress: 2.0 flow-seconds.
+        assert!((net.stall_flow_seconds() - 2.0).abs() < 1e-9);
+        net.apply_capacity_factor(crate::ids::ResourceId(0), 1.0);
+        net.advance(2.0);
+        assert!((net.stall_flow_seconds() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn shrunk_capacity_rejects_stale_scale_rates() {
+        let mut net = FluidNetwork::new(Topology::big_switch_uniform(2, 1.0));
+        net.release(&demand(0, 0, 1, 2.0, 0.0));
+        net.apply_capacity_factor(crate::ids::ResourceId(0), 0.25);
+        let mut alloc = RateAlloc::new();
+        alloc.insert(FlowId(0), 1.0); // feasible pre-fault, not post
+        net.set_rates(&alloc);
     }
 
     #[test]

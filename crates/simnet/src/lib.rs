@@ -32,6 +32,9 @@
 //!   work-conserving backfill.
 //! - [`fluid`] — the active-flow table: applies a rate allocation, advances
 //!   time, and predicts the next flow completion.
+//! - [`fault`] — timed fault injection: link down/restore/degrade,
+//!   coordinator outage windows, and straggler compute slowdowns, driven
+//!   as a first-class event source by [`driver::drive_faulted`].
 //! - [`linkindex`] — link↔flow adjacency maintained incrementally from
 //!   flow deltas, plus the stamped dense per-link accumulator the MADD
 //!   schedulers allocate rates with.
@@ -71,6 +74,7 @@ pub mod alloc;
 pub mod driver;
 pub mod engine;
 pub mod fattree;
+pub mod fault;
 pub mod flow;
 pub mod fluid;
 pub mod ids;
@@ -85,9 +89,10 @@ pub mod trace;
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
     pub use crate::alloc::{max_min_rates, priority_fill, weighted_rates, RateAlloc};
-    pub use crate::driver::{drive, DriveOutcome, WorkloadSource};
+    pub use crate::driver::{drive, drive_faulted, DriveOutcome, WorkloadSource};
     pub use crate::engine::{EventId, EventQueue};
     pub use crate::fattree::FatTree;
+    pub use crate::fault::{FaultEvent, FaultKind, FaultPlan};
     pub use crate::flow::{ActiveFlowView, FlowDemand};
     pub use crate::fluid::{FlowDelta, FluidNetwork};
     pub use crate::ids::{FlowId, LinkId, NodeId, ResourceId};

@@ -23,7 +23,8 @@
 //! cluster arrivals) plug their own sources into the same driver.
 
 use crate::alloc::{alloc_to_dense, waterfill_dense, AllocScratch, RateAlloc};
-use crate::driver::{drive, DriveStats, WorkloadSource};
+use crate::driver::{drive_faulted, DriveStats, WorkloadSource};
+use crate::fault::{FaultKind, FaultPlan};
 use crate::flow::{ActiveFlowView, FlowCompletion, FlowDemand};
 use crate::fluid::{FlowDelta, FluidNetwork};
 use crate::ids::FlowId;
@@ -117,6 +118,18 @@ pub trait RatePolicy {
     fn horizon(&self, now: SimTime, flows: &[ActiveFlowView], rates: &[f64]) -> AllocHorizon {
         let _ = (now, flows, rates);
         AllocHorizon::NextEvent
+    }
+
+    /// Notifies the policy of an injected fault (see [`crate::fault`]).
+    /// Called by [`crate::driver::drive_faulted`] *after* link capacity
+    /// changes have been applied to the driver's network but *before* the
+    /// fault-forced reallocation. Policies holding caches whose validity
+    /// depends on capacities or coordinator availability must invalidate
+    /// them here — the fault differential suite fails bitwise against the
+    /// full-recompute reference if they don't. Default: ignore (correct
+    /// for policies that re-read capacities on every allocation).
+    fn on_fault(&mut self, now: SimTime, fault: &FaultKind) {
+        let _ = (now, fault);
     }
 
     /// Human-readable policy name for reports.
@@ -317,6 +330,25 @@ pub fn run_flows_with(
     policy: &mut dyn RatePolicy,
     mode: RecomputeMode,
 ) -> FlowOutcomes {
+    run_flows_faulted(topology, demands, policy, mode, &FaultPlan::empty())
+}
+
+/// [`run_flows_with`] under an injected [`FaultPlan`]: link churn and
+/// component outages strike at their scheduled times while the static
+/// demand set plays out (see [`crate::fault`]).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_flows_with`], plus the
+/// deadlock panic if the plan downs a link forever while unfinished flows
+/// depend on it.
+pub fn run_flows_faulted(
+    topology: &Topology,
+    demands: Vec<FlowDemand>,
+    policy: &mut dyn RatePolicy,
+    mode: RecomputeMode,
+    plan: &FaultPlan,
+) -> FlowOutcomes {
     let mut pending = demands;
     // Ascending release order, ties by id for determinism.
     pending.sort_by(|a, b| a.release.cmp(&b.release).then(a.id.cmp(&b.id)));
@@ -327,7 +359,7 @@ pub fn run_flows_with(
         completions: BTreeMap::new(),
         total,
     };
-    let outcome = drive(topology, &mut source, policy, mode);
+    let outcome = drive_faulted(topology, &mut source, policy, mode, plan);
 
     FlowOutcomes {
         completions: source.completions,
@@ -454,6 +486,85 @@ mod tests {
             RecomputeMode::Incremental,
         );
         assert_eq!(a.trace().events(), b.trace().events());
+    }
+
+    #[test]
+    fn downed_link_stalls_flow_until_restore() {
+        // One flow over a unit link; the link dies at t=1 and comes back
+        // at t=3. The flow moves 1 byte, stalls 2 s, then finishes: t=4.
+        let topo = Topology::big_switch_uniform(2, 1.0);
+        let r = crate::ids::ResourceId(0); // host0 egress
+        let plan = FaultPlan::empty()
+            .with(SimTime::new(1.0), FaultKind::LinkDown(r))
+            .with(SimTime::new(3.0), FaultKind::LinkRestore(r));
+        let out = run_flows_faulted(
+            &topo,
+            vec![demand(0, 0, 1, 2.0, 0.0)],
+            &mut MaxMinPolicy,
+            RecomputeMode::Full,
+            &plan,
+        );
+        assert!(out.finish(FlowId(0)).unwrap().approx_eq(SimTime::new(4.0)));
+        let stats = out.drive_stats();
+        assert_eq!(stats.fault_events, 2);
+        assert!(stats.fault_recomputes >= 2);
+        assert!((stats.stall_flow_seconds - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degraded_link_slows_flow_proportionally() {
+        // 2 bytes at rate 1, degraded to 0.25 from t=1: 1 byte done by
+        // t=1, the rest at 0.25 → finishes at 1 + 1/0.25 = 5.
+        let topo = Topology::big_switch_uniform(2, 1.0);
+        let r = crate::ids::ResourceId(0);
+        let plan = FaultPlan::empty().with(SimTime::new(1.0), FaultKind::LinkDegrade(r, 0.25));
+        let out = run_flows_faulted(
+            &topo,
+            vec![demand(0, 0, 1, 2.0, 0.0)],
+            &mut MaxMinPolicy,
+            RecomputeMode::Full,
+            &plan,
+        );
+        assert!(out.finish(FlowId(0)).unwrap().approx_eq(SimTime::new(5.0)));
+        assert_eq!(out.drive_stats().stall_flow_seconds, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn never_restored_link_deadlocks() {
+        let topo = Topology::big_switch_uniform(2, 1.0);
+        let plan = FaultPlan::empty().with(
+            SimTime::new(1.0),
+            FaultKind::LinkDown(crate::ids::ResourceId(0)),
+        );
+        let _ = run_flows_faulted(
+            &topo,
+            vec![demand(0, 0, 1, 2.0, 0.0)],
+            &mut MaxMinPolicy,
+            RecomputeMode::Full,
+            &plan,
+        );
+    }
+
+    #[test]
+    fn fault_breaks_until_flow_change_certificate() {
+        // MaxMin certifies UntilFlowChange; a degrade mid-flight must
+        // still be honoured (the driver resets the certificate), so the
+        // finish time reflects the new capacity.
+        let topo = Topology::big_switch_uniform(2, 1.0);
+        let r = crate::ids::ResourceId(0);
+        let plan = FaultPlan::empty().with(SimTime::new(1.0), FaultKind::LinkDegrade(r, 0.5));
+        for mode in [RecomputeMode::Full, RecomputeMode::Incremental] {
+            let out = run_flows_faulted(
+                &topo,
+                vec![demand(0, 0, 1, 2.0, 0.0)],
+                &mut MaxMinPolicy,
+                mode,
+                &plan,
+            );
+            // 1 byte by t=1, then 1 byte at 0.5 → t=3.
+            assert!(out.finish(FlowId(0)).unwrap().approx_eq(SimTime::new(3.0)));
+        }
     }
 
     /// A policy that (incorrectly) hands a rate to a flow id outside the

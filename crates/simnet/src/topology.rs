@@ -274,6 +274,39 @@ impl Topology {
         }
     }
 
+    /// Overwrites the capacity of a resource — the fault-injection
+    /// mutation path ([`crate::fault`]). Unlike construction, a zero
+    /// capacity is allowed here: it models a downed link (flows crossing
+    /// it stall at rate 0 until restored). Routes are unaffected — a
+    /// downed link keeps carrying its flows' routes, it just serves them
+    /// at zero rate (the fluid analogue of packets blackholing on a dead
+    /// interface rather than being rerouted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range or `cap` is negative or non-finite.
+    pub fn set_capacity(&mut self, r: ResourceId, cap: f64) {
+        assert!(
+            cap >= 0.0 && cap.is_finite(),
+            "capacity must be finite and non-negative: {cap}"
+        );
+        match self {
+            Topology::BigSwitch(bs) => {
+                let host = (r.0 / 2) as usize;
+                assert!(host < bs.hosts(), "resource {r} out of range");
+                if r.0.is_multiple_of(2) {
+                    bs.egress[host] = cap;
+                } else {
+                    bs.ingress[host] = cap;
+                }
+            }
+            Topology::LinkGraph(g) => {
+                assert!((r.0 as usize) < g.links.len(), "resource {r} out of range");
+                g.links[r.0 as usize].2 = cap;
+            }
+        }
+    }
+
     /// Writes every resource's capacity into `out` (indexed by resource
     /// id), reusing its storage. The dense mirror of [`Self::capacity`],
     /// used to seed residual buffers without a per-call allocation.
@@ -362,6 +395,30 @@ mod tests {
                 assert_eq!(c, t.capacity(ResourceId(r as u32)));
             }
         }
+    }
+
+    #[test]
+    fn set_capacity_mutates_both_models() {
+        let mut bs = Topology::big_switch_uniform(2, 2.0);
+        bs.set_capacity(ResourceId(1), 0.0); // host0 ingress down
+        assert_eq!(bs.capacity(ResourceId(1)), 0.0);
+        assert_eq!(bs.capacity(ResourceId(0)), 2.0);
+        bs.set_capacity(ResourceId(1), 0.5);
+        assert_eq!(bs.capacity(ResourceId(1)), 0.5);
+
+        let mut g = Topology::chain(3, 4.0);
+        g.set_capacity(ResourceId(2), 1.0);
+        assert_eq!(g.capacity(ResourceId(2)), 1.0);
+        let mut caps = Vec::new();
+        g.capacities_into(&mut caps);
+        assert_eq!(caps[2], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_capacity_mutation_rejected() {
+        let mut t = Topology::big_switch_uniform(2, 1.0);
+        t.set_capacity(ResourceId(0), -1.0);
     }
 
     #[test]
