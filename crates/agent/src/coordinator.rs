@@ -532,6 +532,7 @@ mod tests {
                 remaining: f.size,
                 release: SimTime::ZERO,
                 route: topo.route(f.src, f.dst),
+                slot: f.id.0 as u32,
             })
             .collect();
         v.sort_by_key(|x| x.id);

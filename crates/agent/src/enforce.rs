@@ -188,6 +188,7 @@ mod tests {
                 remaining: d.size,
                 release: d.release,
                 route: topo.route(d.src, d.dst),
+                slot: d.id.0 as u32,
             })
             .collect()
     }

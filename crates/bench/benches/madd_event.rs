@@ -52,6 +52,7 @@ fn make_views(n: usize, topo: &Topology) -> Vec<ActiveFlowView> {
                 remaining: 0.5 + (i % 3) as f64,
                 release: SimTime::new((i % 4) as f64 * 0.1),
                 route: topo.route(src, dst),
+                slot: i as u32,
             }
         })
         .collect()

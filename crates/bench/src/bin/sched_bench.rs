@@ -43,9 +43,14 @@ use echelon_paradigms::runtime::{
 use echelon_sched::baselines::SrptPolicy;
 use echelon_sched::echelon::EchelonMadd;
 use echelon_sched::varys::VarysMadd;
+use echelon_simnet::driver::DriveConfig;
+use echelon_simnet::fattree::FatTree;
 use echelon_simnet::flow::FlowDemand;
+use echelon_simnet::fluid::NextCompletionMode;
 use echelon_simnet::ids::{FlowId, NodeId};
-use echelon_simnet::runner::{run_flows_with, FlowOutcomes, RatePolicy, RecomputeMode};
+use echelon_simnet::runner::{
+    run_flows_configured, run_flows_with, FlowOutcomes, PodMaxMinPolicy, RatePolicy, RecomputeMode,
+};
 use echelon_simnet::sweep;
 use echelon_simnet::time::SimTime;
 use echelon_simnet::topology::Topology;
@@ -145,6 +150,11 @@ struct SchedResult {
     /// from the incremental run (MADD steady state is ~1.0 — see the
     /// dirty-link discussion in DESIGN.md §8).
     link_frac: f64,
+    /// Fraction of pods recomputed per allocation (0.0 when the policy
+    /// or topology has no pod decomposition — see DESIGN.md §10).
+    pod_frac: f64,
+    /// High-water mark of the flow arena (max concurrent flows).
+    arena_capacity: usize,
 }
 
 fn bench_scheduler(
@@ -169,6 +179,8 @@ fn bench_scheduler(
         inc_eps: events as f64 / inc_secs,
         speedup: full_secs / inc_secs,
         link_frac: inc.drive_stats().link_recompute_fraction(),
+        pod_frac: inc.drive_stats().pod_recompute_fraction(),
+        arena_capacity: inc.drive_stats().arena_capacity,
     }
 }
 
@@ -232,6 +244,8 @@ fn bench_dyn_scheduler(ds: &DynScenario, name: &'static str, grouping: Grouping)
         inc_eps: events as f64 / inc_secs,
         speedup: full_secs / inc_secs,
         link_frac: inc.stats.link_recompute_fraction(),
+        pod_frac: inc.stats.pod_recompute_fraction(),
+        arena_capacity: inc.stats.arena_capacity,
     }
 }
 
@@ -333,6 +347,8 @@ fn bench_dyn_faulted(ds: &DynScenario, name: &'static str, grouping: Grouping) -
         inc_eps: events as f64 / inc_secs,
         speedup: full_secs / inc_secs,
         link_frac: inc.stats.link_recompute_fraction(),
+        pod_frac: inc.stats.pod_recompute_fraction(),
+        arena_capacity: inc.stats.arena_capacity,
     }
 }
 
@@ -442,6 +458,14 @@ fn scheduler_json(json: &mut String, results: &[SchedResult]) {
             "          \"link_recompute_fraction\": {},\n",
             fmt_f64(r.link_frac)
         ));
+        json.push_str(&format!(
+            "          \"pod_recompute_fraction\": {},\n",
+            fmt_f64(r.pod_frac)
+        ));
+        json.push_str(&format!(
+            "          \"arena_capacity\": {},\n",
+            r.arena_capacity
+        ));
         json.push_str("          \"trace_identical\": true\n");
         json.push_str(if ri + 1 < results.len() {
             "        },\n"
@@ -496,8 +520,248 @@ fn sweep_gate(threads: usize, topo: &Topology, job_counts: &[usize]) -> (f64, f6
     (serial_secs, parallel_secs)
 }
 
+/// Parameters for one `--scale` row: a fat-tree fabric saturated with
+/// pod-local flows so the pod-decomposed waterfill carries the run.
+struct ScaleSpec {
+    k: usize,
+    flows_per_pod: usize,
+    /// All releases land uniformly in `[0, window)`.
+    window: f64,
+    size_lo: f64,
+    size_hi: f64,
+    /// Lower bound asserted on the peak concurrent flow count.
+    min_peak_active: usize,
+}
+
+struct ScaleRow {
+    k: usize,
+    hosts: usize,
+    pods: usize,
+    flows: usize,
+    events: usize,
+    eps: f64,
+    wall_secs: f64,
+    peak_active: usize,
+    arena_capacity: usize,
+    pod_frac: f64,
+}
+
+/// Pod-local demands on a fat-tree: every flow stays inside its pod, so
+/// the allocator's per-pod dirty sets are non-trivial and the
+/// whole-fabric fallback never triggers.
+fn scale_demands(spec: &ScaleSpec) -> Vec<FlowDemand> {
+    let mut rng = DetRng::seed_from_u64(0x5CA1E + spec.k as u64);
+    let half = spec.k / 2;
+    let hosts_per_pod = half * half;
+    let mut demands = Vec::with_capacity(spec.k * spec.flows_per_pod);
+    let mut next_id = 0u64;
+    for pod in 0..spec.k {
+        let base = pod * hosts_per_pod;
+        for _ in 0..spec.flows_per_pod {
+            let src = rng.usize_range_inclusive(0, hosts_per_pod - 1);
+            let dst_raw = rng.usize_range_inclusive(0, hosts_per_pod - 2);
+            let dst = if dst_raw >= src { dst_raw + 1 } else { dst_raw };
+            demands.push(FlowDemand {
+                id: FlowId(next_id),
+                src: NodeId((base + src) as u32),
+                dst: NodeId((base + dst) as u32),
+                size: rng.f64_range(spec.size_lo, spec.size_hi),
+                release: SimTime::new(rng.f64_range(0.0, spec.window)),
+            });
+            next_id += 1;
+        }
+    }
+    demands
+}
+
+/// The drive configuration the scale tier runs under: rate tracing and
+/// per-event feasibility checks are O(flows) per allocation — fine at
+/// hundreds of flows, ruinous at 10⁵ — so both are off; completion
+/// times, stats and the digest below are unaffected.
+fn scale_config() -> DriveConfig {
+    DriveConfig {
+        next_completion: NextCompletionMode::Calendar,
+        feasibility_checks: false,
+        trace: false,
+    }
+}
+
+/// FNV-style digest over the completion map (deterministic iteration
+/// order): the byte-identity witness for scale runs, where full rate
+/// traces are too large to keep.
+fn completion_digest(out: &FlowOutcomes) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for (id, c) in out.completions() {
+        for word in [id.0, c.finish.secs().to_bits(), c.size.to_bits()] {
+            h ^= word;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+fn run_scale(spec: &ScaleSpec) -> (ScaleRow, u64) {
+    let topo = FatTree::new(spec.k).build_fabric();
+    let demands = scale_demands(spec);
+    let flows = demands.len();
+    let mut policy = PodMaxMinPolicy::new();
+    let start = Instant::now();
+    let out = run_flows_configured(
+        &topo,
+        demands,
+        &mut policy,
+        RecomputeMode::Incremental,
+        scale_config(),
+    );
+    let wall_secs = start.elapsed().as_secs_f64();
+    let stats = out.drive_stats();
+    assert_eq!(out.completions().len(), flows, "k={}: flows lost", spec.k);
+    assert!(
+        stats.peak_active >= spec.min_peak_active,
+        "k={}: peak_active {} below the {} target",
+        spec.k,
+        stats.peak_active,
+        spec.min_peak_active
+    );
+    // Every event is one arrival or one completion; with tracing off this
+    // is the throughput denominator.
+    let events = 2 * flows;
+    let row = ScaleRow {
+        k: spec.k,
+        hosts: (spec.k * spec.k * spec.k) / 4,
+        pods: spec.k,
+        flows,
+        events,
+        eps: events as f64 / wall_secs,
+        wall_secs,
+        peak_active: stats.peak_active,
+        arena_capacity: stats.arena_capacity,
+        pod_frac: stats.pod_recompute_fraction(),
+    };
+    (row, completion_digest(&out))
+}
+
+fn print_scale_row(r: &ScaleRow) {
+    println!(
+        "fat-tree k={:<3} {:>6} hosts {:>4} pods {:>7} flows {:>8} events {:>12.0} ev/s peak {:>6} pod% {:>6.3} ({:.2}s)",
+        r.k, r.hosts, r.pods, r.flows, r.events, r.eps, r.peak_active, r.pod_frac, r.wall_secs
+    );
+}
+
+/// Byte-identity gate for the scale tier: the same scale scenario run
+/// serially and through the 2-thread sweep engine must produce the same
+/// completion digests.
+fn scale_sweep_gate(specs: &[ScaleSpec]) {
+    let digest = |threads: usize| -> String {
+        let combos: Vec<usize> = (0..specs.len()).collect();
+        sweep::sweep_with(threads, &combos, |_, &i| {
+            let (row, d) = run_scale(&specs[i]);
+            format!("k{}/{}: digest={d:016x}", row.k, row.flows)
+        })
+        .join("\n")
+    };
+    let serial = digest(1);
+    let parallel = digest(2);
+    assert_eq!(
+        serial, parallel,
+        "scale digest diverged between 1 and 2 threads"
+    );
+    println!("scale gate: 1-thread and 2-thread completion digests identical");
+}
+
+fn scale_json(rows: &[(ScaleRow, u64)]) -> String {
+    let mut json = String::new();
+    json.push_str("  \"scale_scenarios\": [\n");
+    for (i, (r, d)) in rows.iter().enumerate() {
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"k\": {},\n", r.k));
+        json.push_str(&format!("      \"hosts\": {},\n", r.hosts));
+        json.push_str(&format!("      \"pods\": {},\n", r.pods));
+        json.push_str(&format!("      \"flows\": {},\n", r.flows));
+        json.push_str(&format!("      \"events\": {},\n", r.events));
+        json.push_str(&format!("      \"events_per_sec\": {},\n", fmt_f64(r.eps)));
+        json.push_str(&format!("      \"wall_secs\": {},\n", fmt_f64(r.wall_secs)));
+        json.push_str(&format!("      \"peak_active\": {},\n", r.peak_active));
+        json.push_str(&format!(
+            "      \"arena_capacity\": {},\n",
+            r.arena_capacity
+        ));
+        json.push_str(&format!(
+            "      \"pod_recompute_fraction\": {},\n",
+            fmt_f64(r.pod_frac)
+        ));
+        json.push_str(&format!("      \"completion_digest\": \"{d:016x}\"\n"));
+        json.push_str(if i + 1 < rows.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    json.push_str("  ]\n");
+    json
+}
+
+/// The two published scale rows: k=16 saturated (the ≥10k-concurrent
+/// row) and k=32 streamed (10⁵ flows across 8192 hosts).
+fn scale_specs() -> [ScaleSpec; 2] {
+    [
+        ScaleSpec {
+            k: 16,
+            flows_per_pod: 800,
+            window: 1.0,
+            size_lo: 0.5,
+            size_hi: 1.5,
+            min_peak_active: 10_000,
+        },
+        ScaleSpec {
+            k: 32,
+            flows_per_pod: 3200,
+            window: 300.0,
+            size_lo: 0.2,
+            size_hi: 0.6,
+            min_peak_active: 64,
+        },
+    ]
+}
+
+/// Small fat-tree scenarios for the CI smoke gate: same code path, pod
+/// decomposition active, seconds not minutes.
+fn scale_smoke_specs() -> [ScaleSpec; 2] {
+    [
+        ScaleSpec {
+            k: 8,
+            flows_per_pod: 60,
+            window: 1.0,
+            size_lo: 0.5,
+            size_hi: 1.5,
+            min_peak_active: 64,
+        },
+        ScaleSpec {
+            k: 8,
+            flows_per_pod: 120,
+            window: 4.0,
+            size_lo: 0.3,
+            size_hi: 0.9,
+            min_peak_active: 32,
+        },
+    ]
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = std::env::args().any(|a| a == "--scale");
+    if scale && smoke {
+        // CI gate: small fat-trees through the identical scale path, with
+        // the 2-thread byte-identity digest assertion. Writes nothing.
+        let specs = scale_smoke_specs();
+        for spec in &specs {
+            let (row, _) = run_scale(spec);
+            print_scale_row(&row);
+        }
+        scale_sweep_gate(&specs);
+        println!("\nscale smoke ok");
+        return;
+    }
     let topo = Topology::big_switch_uniform(HOSTS, 2.0);
     let threads = sweep::configured_threads();
 
@@ -662,7 +926,29 @@ fn main() {
         fmt_f64(parallel_secs)
     ));
     json.push_str("    \"identical\": true\n");
-    json.push_str("  }\n}\n");
+    json.push_str("  }");
+
+    // Scale tier: fat-tree fabrics under the pod-decomposed waterfill,
+    // traced-off drive config, completion digests as the identity
+    // witness. Only run when asked — the k=16 row alone is ~10⁴
+    // concurrent flows.
+    if scale {
+        println!();
+        let rows: Vec<(ScaleRow, u64)> = scale_specs()
+            .iter()
+            .map(|spec| {
+                let r = run_scale(spec);
+                print_scale_row(&r.0);
+                r
+            })
+            .collect();
+        json.push_str(",\n");
+        json.push_str(&scale_json(&rows));
+        json.push('}');
+        json.push('\n');
+    } else {
+        json.push_str("\n}\n");
+    }
 
     std::fs::write("BENCH_sched.json", &json).expect("write BENCH_sched.json");
     println!("\nwrote BENCH_sched.json");

@@ -224,6 +224,7 @@ mod tests {
             remaining,
             release: SimTime::new(release),
             route: topo.route(NodeId(0), NodeId(1)),
+            slot: id as u32,
         }
     }
 

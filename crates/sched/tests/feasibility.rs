@@ -61,6 +61,7 @@ fn views(raw: &[RawFlow], topo: &Topology) -> Vec<ActiveFlowView> {
                 remaining: (r.size * r.progress).max(1e-6),
                 release: SimTime::new(r.release),
                 route: topo.route(NodeId(r.src), NodeId(dst)),
+                slot: i as u32,
             }
         })
         .collect()

@@ -312,6 +312,108 @@ pub fn waterfill_dense(
     }
 }
 
+/// Unweighted, uncapped max-min filling restricted to `subset` (indices
+/// into the id-sorted `flows` slice): the per-pod core of the
+/// pod-decomposed waterfill (see [`crate::runner::PodMaxMinPolicy`]).
+///
+/// Only `rates[i]` for `i ∈ subset` are written (zeroed, then filled);
+/// other entries are untouched. Residuals are seeded from capacity on
+/// exactly the links the subset's routes cross — callers guarantee no
+/// flow outside the subset crosses those links (the pod partition), so
+/// seeding from raw capacity is exact. For `subset == 0..flows.len()`
+/// this performs bit-for-bit the same arithmetic as an unweighted,
+/// uncapped, zero-floor [`waterfill_dense`] (multiplying by the implicit
+/// weight 1.0 is exact), which the unit tests pin.
+pub fn waterfill_subset_dense(
+    topo: &Topology,
+    flows: &[ActiveFlowView],
+    subset: &[usize],
+    rates: &mut [f64],
+    ws: &mut AllocScratch,
+) {
+    debug_assert_eq!(rates.len(), flows.len());
+    let AllocScratch {
+        residual,
+        mass,
+        unfrozen,
+        links,
+        link_seen,
+        ..
+    } = ws;
+    unfrozen.clear();
+    unfrozen.extend_from_slice(subset);
+    for &i in unfrozen.iter() {
+        rates[i] = 0.0;
+    }
+    if link_seen.len() < topo.num_resources() {
+        link_seen.resize(topo.num_resources(), false);
+    }
+    if residual.len() < topo.num_resources() {
+        residual.resize(topo.num_resources(), 0.0);
+    }
+    if mass.len() < topo.num_resources() {
+        mass.resize(topo.num_resources(), 0.0);
+    }
+    // Union of the subset's routes, ascending (see waterfill_dense).
+    links.clear();
+    for &i in unfrozen.iter() {
+        for r in &flows[i].route {
+            let ri = r.0 as usize;
+            if !link_seen[ri] {
+                link_seen[ri] = true;
+                links.push(r.0);
+            }
+        }
+    }
+    links.sort_unstable();
+    for &r in links.iter() {
+        link_seen[r as usize] = false; // restore the all-false invariant
+        residual[r as usize] = topo.capacity(ResourceId(r));
+    }
+
+    while !unfrozen.is_empty() {
+        for &r in links.iter() {
+            mass[r as usize] = 0.0;
+        }
+        for &i in unfrozen.iter() {
+            for r in &flows[i].route {
+                mass[r.0 as usize] += 1.0;
+            }
+        }
+        let mut inc = f64::INFINITY;
+        for &r in links.iter() {
+            let m = mass[r as usize];
+            if m > EPS {
+                inc = inc.min((residual[r as usize].max(0.0)) / m);
+            }
+        }
+        if !inc.is_finite() {
+            break;
+        }
+        // waterfill_dense applies `w_of(i) * inc` with implicit weight
+        // 1.0; multiplying by 1.0 is exact, so adding `inc` directly is
+        // the bit-identical specialization.
+        for &i in unfrozen.iter() {
+            rates[i] += inc;
+            for r in &flows[i].route {
+                residual[r.0 as usize] -= inc;
+            }
+        }
+        let before = unfrozen.len();
+        unfrozen.retain(|&i| {
+            for r in &flows[i].route {
+                if residual[r.0 as usize] <= EPS {
+                    return false;
+                }
+            }
+            true
+        });
+        if unfrozen.len() == before {
+            break;
+        }
+    }
+}
+
 /// Weighted max-min fairness with optional per-flow rate caps, by
 /// progressive filling.
 ///
@@ -462,6 +564,7 @@ mod tests {
             remaining: d.size,
             release: d.release,
             route: topo.route(d.src, d.dst),
+            slot: d.id.0 as u32,
         }
     }
 
@@ -827,6 +930,53 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The full-set subset waterfill must be bit-identical to the plain
+    /// unweighted, uncapped, zero-floor dense waterfill, and disjoint
+    /// subsets must fill independently of the order they are computed in
+    /// (each seeds residuals from capacity on its own links only).
+    #[test]
+    fn subset_waterfill_matches_dense_bitwise() {
+        let topo = Topology::big_switch_uniform(6, 1.0);
+        // Two "pods": flows among hosts {0,1,2} and among hosts {3,4,5}
+        // (big-switch routes touch only src egress + dst ingress, so the
+        // two groups cross disjoint resources).
+        let demands = [
+            FlowDemand::new(FlowId(0), NodeId(0), NodeId(1), 1.0, SimTime::ZERO),
+            FlowDemand::new(FlowId(1), NodeId(0), NodeId(2), 1.0, SimTime::ZERO),
+            FlowDemand::new(FlowId(2), NodeId(2), NodeId(1), 1.0, SimTime::ZERO),
+            FlowDemand::new(FlowId(3), NodeId(3), NodeId(4), 1.0, SimTime::ZERO),
+            FlowDemand::new(FlowId(4), NodeId(5), NodeId(4), 1.0, SimTime::ZERO),
+        ];
+        let flows: Vec<_> = demands.iter().map(|d| view(&topo, d)).collect();
+        let mut ws = AllocScratch::new();
+
+        let mut reference = vec![0.0; flows.len()];
+        waterfill_dense(&topo, &flows, None, None, &mut reference, &mut ws);
+
+        // Whole set through the subset entry point.
+        let all: Vec<usize> = (0..flows.len()).collect();
+        let mut via_subset = vec![f64::NAN; flows.len()];
+        waterfill_subset_dense(&topo, &flows, &all, &mut via_subset, &mut ws);
+        for (a, b) in via_subset.iter().zip(&reference) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // Disjoint subsets, computed in either order: identical rates —
+        // each subset's filling reads only its own links.
+        let mut ab = vec![f64::NAN; flows.len()];
+        waterfill_subset_dense(&topo, &flows, &[0, 1, 2], &mut ab, &mut ws);
+        waterfill_subset_dense(&topo, &flows, &[3, 4], &mut ab, &mut ws);
+        let mut ba = vec![f64::NAN; flows.len()];
+        waterfill_subset_dense(&topo, &flows, &[3, 4], &mut ba, &mut ws);
+        waterfill_subset_dense(&topo, &flows, &[0, 1, 2], &mut ba, &mut ws);
+        for (a, b) in ab.iter().zip(&ba) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Feasibility of the pod-by-pod fill on the shared topology.
+        let mut residual = Vec::new();
+        check_feasible_dense(&topo, &flows, &ab, &mut residual).unwrap();
     }
 
     #[test]

@@ -29,11 +29,41 @@
 use crate::alloc::AllocScratch;
 use crate::fault::{FaultKind, FaultPlan};
 use crate::flow::{ActiveFlowView, FlowCompletion};
-use crate::fluid::{FlowDelta, FluidNetwork};
+use crate::fluid::{FlowDelta, FluidNetwork, NextCompletionMode};
 use crate::runner::{AllocHorizon, RatePolicy, RecomputeMode};
 use crate::time::{SimTime, EPS};
 use crate::topology::Topology;
 use crate::trace::{FlowTrace, TraceEventKind};
+
+/// Engine knobs for a drive: which next-completion backend the network
+/// uses and whether per-allocation feasibility checks run. All paths are
+/// bit-identical across every combination — the differential suites pin
+/// this — so the config only trades debuggability against throughput.
+/// Defaults match [`drive_faulted`]: calendar queue, checks on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriveConfig {
+    /// Next-completion backend (linear scan vs calendar queue) for the
+    /// driver's [`FluidNetwork`].
+    pub next_completion: NextCompletionMode,
+    /// Per-allocation feasibility verification
+    /// ([`FluidNetwork::set_feasibility_checks`]); `false` for scale
+    /// benchmarks where the O(flows · route) audit dominates.
+    pub feasibility_checks: bool,
+    /// Whether the driver records rate/finish trace events at all
+    /// (AND-ed with [`WorkloadSource::wants_trace`]). Rate recording is
+    /// O(active flows) per allocation, so scale benchmarks turn it off.
+    pub trace: bool,
+}
+
+impl Default for DriveConfig {
+    fn default() -> DriveConfig {
+        DriveConfig {
+            next_completion: NextCompletionMode::default(),
+            feasibility_checks: true,
+            trace: true,
+        }
+    }
+}
 
 /// When the driver recomputes rates for a workload (beyond the always-on
 /// trigger of a changed flow set).
@@ -176,6 +206,18 @@ pub struct DriveStats {
     /// proportional rates move every event), lower means the dirty-link
     /// tracking actually narrowed the recompute.
     pub occupied_links: usize,
+    /// Pods actually recomputed by a pod-decomposed policy, summed over
+    /// allocations (see [`RatePolicy::pod_stats`]). Zero for policies
+    /// without pod decomposition.
+    pub pods_recomputed: usize,
+    /// Pods in scope at each allocation by a pod-decomposed policy,
+    /// summed likewise. Zero for policies without pod decomposition.
+    pub pods_total: usize,
+    /// High-water mark of concurrently active flows over the run.
+    pub peak_active: usize,
+    /// Flow-arena capacity at exit: the high-water mark of concurrently
+    /// live slots in the driver's [`FluidNetwork`].
+    pub arena_capacity: usize,
 }
 
 impl DriveStats {
@@ -185,6 +227,16 @@ impl DriveStats {
             0.0
         } else {
             self.dirty_links as f64 / self.occupied_links as f64
+        }
+    }
+
+    /// `pods_recomputed / pods_total` (0.0 when the policy never reported
+    /// pod work — e.g. a non-pod policy, or a run with no allocations).
+    pub fn pod_recompute_fraction(&self) -> f64 {
+        if self.pods_total == 0 {
+            0.0
+        } else {
+            self.pods_recomputed as f64 / self.pods_total as f64
         }
     }
 }
@@ -276,7 +328,22 @@ pub fn drive_faulted(
     mode: RecomputeMode,
     plan: &FaultPlan,
 ) -> DriveOutcome {
-    let mut net = FluidNetwork::new(topo.clone());
+    drive_faulted_configured(topo, source, policy, mode, plan, DriveConfig::default())
+}
+
+/// [`drive_faulted`] with explicit [`DriveConfig`] engine knobs. The
+/// differential suites run the same workloads through every config
+/// combination and require bit-identical traces.
+pub fn drive_faulted_configured(
+    topo: &Topology,
+    source: &mut dyn WorkloadSource,
+    policy: &mut dyn RatePolicy,
+    mode: RecomputeMode,
+    plan: &FaultPlan,
+    config: DriveConfig,
+) -> DriveOutcome {
+    let mut net = FluidNetwork::with_next_completion(topo.clone(), config.next_completion);
+    net.set_feasibility_checks(config.feasibility_checks);
     let mut trace = FlowTrace::new();
     // Driver-owned allocation workspace and dense rate buffer, reused for
     // the whole run: the steady-state loop performs no heap allocation.
@@ -314,6 +381,7 @@ pub fn drive_faulted(
             horizon = AllocHorizon::NextEvent;
         }
         source.release_due(now, &mut net, &mut trace);
+        stats.peak_active = stats.peak_active.max(net.active_count());
         if source.finished() {
             break;
         }
@@ -358,7 +426,7 @@ pub fn drive_faulted(
                 } else {
                     AllocHorizon::NextEvent
                 };
-                if source.wants_trace() {
+                if config.trace && source.wants_trace() {
                     for (v, rate) in net.flows_with_rates() {
                         trace.record_rate(now, v.id, rate);
                     }
@@ -410,7 +478,7 @@ pub fn drive_faulted(
                 || dt_fault.is_some_and(|d| d <= 0.0),
             "event loop made no progress at {now:?}"
         );
-        if source.wants_trace() {
+        if config.trace && source.wants_trace() {
             for c in &done {
                 trace.record(now, c.id, TraceEventKind::Finished);
             }
@@ -422,6 +490,11 @@ pub fn drive_faulted(
     stats.dirty_links = dirty;
     stats.occupied_links = occupied;
     stats.stall_flow_seconds = net.stall_flow_seconds();
+    stats.arena_capacity = net.arena_capacity();
+    if let Some((recomputed, total)) = policy.pod_stats() {
+        stats.pods_recomputed = recomputed;
+        stats.pods_total = total;
+    }
     DriveOutcome {
         end: net.now(),
         trace,
@@ -535,6 +608,58 @@ mod tests {
         ) -> RateAlloc {
             RateAlloc::new()
         }
+    }
+
+    #[test]
+    fn recompute_fractions_are_zero_when_nothing_ran() {
+        // 0/0 must report 0.0, not NaN: an empty run (or a non-pod
+        // policy) has no occupied links and no pod work.
+        let stats = DriveStats::default();
+        assert_eq!(stats.occupied_links, 0);
+        assert_eq!(stats.link_recompute_fraction(), 0.0);
+        assert_eq!(stats.pods_total, 0);
+        assert_eq!(stats.pod_recompute_fraction(), 0.0);
+    }
+
+    #[test]
+    fn stats_track_peak_active_and_arena_capacity() {
+        let topo = Topology::big_switch_uniform(2, 1.0);
+        let mut source = OneShot {
+            released: false,
+            done: false,
+        };
+        let out = drive(&topo, &mut source, &mut MaxMinPolicy, RecomputeMode::Full);
+        assert_eq!(out.stats.peak_active, 1);
+        assert_eq!(out.stats.arena_capacity, 1);
+        // MaxMin is not pod-decomposed: no pod work reported.
+        assert_eq!(out.stats.pods_total, 0);
+        assert_eq!(out.stats.pod_recompute_fraction(), 0.0);
+    }
+
+    #[test]
+    fn scan_and_calendar_configs_drive_identically() {
+        let topo = Topology::big_switch_uniform(2, 1.0);
+        let mut ends = Vec::new();
+        for mode in [NextCompletionMode::Scan, NextCompletionMode::Calendar] {
+            let mut source = OneShot {
+                released: false,
+                done: false,
+            };
+            let cfg = DriveConfig {
+                next_completion: mode,
+                ..DriveConfig::default()
+            };
+            let out = drive_faulted_configured(
+                &topo,
+                &mut source,
+                &mut MaxMinPolicy,
+                RecomputeMode::Full,
+                &FaultPlan::empty(),
+                cfg,
+            );
+            ends.push(out.end.secs().to_bits());
+        }
+        assert_eq!(ends[0], ends[1]);
     }
 
     #[test]

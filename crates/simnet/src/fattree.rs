@@ -14,7 +14,7 @@
 //! datacenter where cross-pod coflows actually contend — the regime where
 //! scheduling policy matters most.
 
-use crate::ids::NodeId;
+use crate::ids::{NodeId, ResourceId};
 use crate::topology::{LinkGraph, Topology};
 
 /// Builder for k-ary fat-trees.
@@ -112,6 +112,212 @@ impl FatTree {
         let total_nodes = hosts + edges + aggs + cores;
         Topology::LinkGraph(LinkGraph::new(total_nodes, links))
     }
+
+    /// Builds the formulaic fabric form of the same tree: closed-form
+    /// O(1) routing (no all-pairs BFS precompute, which is O(hosts²) and
+    /// the scale blocker past a few hundred hosts) plus a pod partition
+    /// over every link. Resource numbering differs from [`Self::build`];
+    /// capacities and hop counts agree (see the cross-check test).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is odd or < 2.
+    pub fn build_fabric(&self) -> Topology {
+        Topology::FatTree(FatTreeFabric::new(
+            self.k,
+            self.host_capacity,
+            self.oversubscription,
+        ))
+    }
+}
+
+/// Formulaic k-ary fat-tree: routes and pod tags computed in closed form
+/// from the host indices, capacities held in one dense vector.
+///
+/// Resource numbering (directed links; `half = k/2`, `hosts = k·half²`):
+/// - host `h`: up (host→edge) `2h`, down (edge→host) `2h+1`;
+/// - edge↔agg, base `B1 = 2·hosts`: pod `p`, edge `e`, agg `a` →
+///   up `B1 + 2·((p·half + e)·half + a)`, down `+1`;
+/// - agg↔core, base `B2 = B1 + 2·k·half²`: pod `p`, agg `a`, core slot
+///   `i` (core switch `a·half + i`) → up `B2 + 2·((p·half + a)·half + i)`,
+///   down `+1`.
+///
+/// Every resource belongs to exactly one pod (agg↔core links count as
+/// the aggregation side's pod), so the pods partition the link set: a
+/// flow whose endpoints share a pod touches only that pod's links, which
+/// is what makes pod-decomposed allocation exact.
+///
+/// Routing is deterministic up-down: the aggregation switch is
+/// `dst % half` and the core slot `(dst / half) % half`, a static ECMP
+/// stand-in keyed by the destination so a host pair always uses one path.
+#[derive(Debug, Clone)]
+pub struct FatTreeFabric {
+    k: u32,
+    half: u32,
+    hosts: u32,
+    /// Dense capacity per resource (mutable: the fault-injection path).
+    caps: Vec<f64>,
+    /// Pod id per resource.
+    pod_of_resource: Vec<u32>,
+}
+
+impl FatTreeFabric {
+    /// Builds the fabric. Uplinks (edge↔agg, agg↔core) get
+    /// `host_capacity / oversubscription`, host links `host_capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is odd or < 2.
+    pub fn new(k: usize, host_capacity: f64, oversubscription: f64) -> FatTreeFabric {
+        assert!(
+            k >= 2 && k.is_multiple_of(2),
+            "fat-tree needs even k >= 2, got {k}"
+        );
+        let half = k / 2;
+        let hosts = k * half * half;
+        let up_links = 2 * k * half * half; // per tier, both directions
+        let total = 2 * hosts + 2 * up_links;
+        let edge_cap = host_capacity;
+        let up_cap = host_capacity / oversubscription;
+
+        let mut caps = Vec::with_capacity(total);
+        let mut pods = Vec::with_capacity(total);
+        for h in 0..hosts {
+            let pod = (h / (half * half)) as u32;
+            caps.push(edge_cap); // up
+            caps.push(edge_cap); // down
+            pods.push(pod);
+            pods.push(pod);
+        }
+        for tier in 0..2 {
+            let _ = tier; // edge↔agg then agg↔core: same shape and caps
+            for p in 0..k {
+                for _pair in 0..(half * half) {
+                    caps.push(up_cap);
+                    caps.push(up_cap);
+                    pods.push(p as u32);
+                    pods.push(p as u32);
+                }
+            }
+        }
+        debug_assert_eq!(caps.len(), total);
+        FatTreeFabric {
+            k: k as u32,
+            half: half as u32,
+            hosts: hosts as u32,
+            caps,
+            pod_of_resource: pods,
+        }
+    }
+
+    /// Pod count (= k).
+    pub fn pods(&self) -> u32 {
+        self.k
+    }
+
+    /// Number of hosts: `k³/4`.
+    pub fn hosts(&self) -> usize {
+        self.hosts as usize
+    }
+
+    /// Hosts + edge + aggregation + core switches.
+    pub fn num_nodes(&self) -> usize {
+        (self.hosts + 2 * self.k * self.half + self.half * self.half) as usize
+    }
+
+    /// Total directed links: `6·k·(k/2)²`.
+    pub fn num_resources(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// Dense capacity vector, indexed by resource id.
+    pub fn caps(&self) -> &[f64] {
+        &self.caps
+    }
+
+    /// Pod id per resource.
+    pub fn pod_of_resource(&self) -> &[u32] {
+        &self.pod_of_resource
+    }
+
+    /// The pod host `n` lives in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a host.
+    pub fn host_pod(&self, n: NodeId) -> u32 {
+        assert!(
+            n.0 < self.hosts,
+            "node {n} is not a host (hosts={})",
+            self.hosts
+        );
+        n.0 / (self.half * self.half)
+    }
+
+    /// Capacity of a resource.
+    pub fn capacity(&self, r: ResourceId) -> f64 {
+        self.caps[r.0 as usize]
+    }
+
+    /// Overwrites a resource's capacity (zero allowed: downed link).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range or `cap` is negative or non-finite.
+    pub fn set_capacity(&mut self, r: ResourceId, cap: f64) {
+        assert!(
+            cap >= 0.0 && cap.is_finite(),
+            "capacity must be finite and non-negative: {cap}"
+        );
+        assert!(
+            (r.0 as usize) < self.caps.len(),
+            "resource {r} out of range"
+        );
+        self.caps[r.0 as usize] = cap;
+    }
+
+    fn edge_agg(&self, pod: u32, edge: u32, agg: u32, down: bool) -> ResourceId {
+        let b1 = 2 * self.hosts;
+        ResourceId(b1 + 2 * ((pod * self.half + edge) * self.half + agg) + down as u32)
+    }
+
+    fn agg_core(&self, pod: u32, agg: u32, slot: u32, down: bool) -> ResourceId {
+        let b2 = 2 * self.hosts + 2 * self.k * self.half * self.half;
+        ResourceId(b2 + 2 * ((pod * self.half + agg) * self.half + slot) + down as u32)
+    }
+
+    /// Closed-form up-down route, appended into `out` (cleared first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoints coincide or either is not a host.
+    pub fn route_into(&self, src: NodeId, dst: NodeId, out: &mut Vec<ResourceId>) {
+        assert!(src != dst, "flow endpoints coincide: {src}");
+        assert!(src.0 < self.hosts, "node {src} is not a host");
+        assert!(dst.0 < self.hosts, "node {dst} is not a host");
+        out.clear();
+        let half = self.half;
+        let (s, d) = (src.0, dst.0);
+        let (ps, pd) = (s / (half * half), d / (half * half));
+        let (es, ed) = ((s / half) % half, (d / half) % half);
+        out.push(ResourceId(2 * s)); // host up
+        if ps == pd && es == ed {
+            // Same edge switch: two hops.
+        } else {
+            let a = d % half; // destination-keyed ECMP
+            if ps == pd {
+                out.push(self.edge_agg(ps, es, a, false));
+                out.push(self.edge_agg(pd, ed, a, true));
+            } else {
+                let i = (d / half) % half;
+                out.push(self.edge_agg(ps, es, a, false));
+                out.push(self.agg_core(ps, a, i, false));
+                out.push(self.agg_core(pd, a, i, true));
+                out.push(self.edge_agg(pd, ed, a, true));
+            }
+        }
+        out.push(ResourceId(2 * d + 1)); // host down
+    }
 }
 
 #[cfg(test)]
@@ -176,5 +382,109 @@ mod tests {
     #[should_panic(expected = "even k")]
     fn odd_k_rejected() {
         let _ = FatTree::new(3).build();
+    }
+
+    #[test]
+    fn fabric_counts_and_pods_partition_all_links() {
+        let topo = FatTree::new(4).build_fabric();
+        assert_eq!(topo.num_nodes(), 36);
+        assert_eq!(topo.num_resources(), 6 * 4 * 4); // 6·k·(k/2)²
+        let (pods, tags) = topo.pod_partition().expect("fabric has pods");
+        assert_eq!(pods, 4);
+        assert_eq!(tags.len(), topo.num_resources());
+        assert!(tags.iter().all(|&p| p < pods));
+        // Every pod owns the same number of links.
+        let mut counts = vec![0usize; pods as usize];
+        for &p in tags {
+            counts[p as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == tags.len() / pods as usize));
+    }
+
+    #[test]
+    fn fabric_routes_match_linkgraph_hop_counts_and_bottlenecks() {
+        let spec = FatTree::new(4).with_oversubscription(4.0);
+        let graph = spec.build();
+        let fabric = spec.build_fabric();
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                if a == b {
+                    continue;
+                }
+                let (src, dst) = (NodeId(a), NodeId(b));
+                assert_eq!(
+                    fabric.route(src, dst).len(),
+                    graph.route(src, dst).len(),
+                    "hop count mismatch {a}->{b}"
+                );
+                assert!(
+                    (fabric.bottleneck_capacity(src, dst) - graph.bottleneck_capacity(src, dst))
+                        .abs()
+                        < 1e-12,
+                    "bottleneck mismatch {a}->{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fabric_pod_local_routes_stay_in_pod() {
+        let topo = FatTree::new(4).build_fabric();
+        let (_, tags) = topo.pod_partition().unwrap();
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                if a == b {
+                    continue;
+                }
+                let (pa, pb) = (
+                    topo.host_pod(NodeId(a)).unwrap(),
+                    topo.host_pod(NodeId(b)).unwrap(),
+                );
+                let route = topo.route(NodeId(a), NodeId(b));
+                if pa == pb {
+                    assert!(
+                        route.iter().all(|r| tags[r.0 as usize] == pa),
+                        "pod-local route {a}->{b} escaped its pod"
+                    );
+                } else {
+                    // Cross-pod: exactly the two endpoint pods appear.
+                    assert!(route
+                        .iter()
+                        .all(|r| tags[r.0 as usize] == pa || tags[r.0 as usize] == pb));
+                    assert!(route.iter().any(|r| tags[r.0 as usize] == pa));
+                    assert!(route.iter().any(|r| tags[r.0 as usize] == pb));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fabric_route_into_recycles_and_routes_are_duplicate_free() {
+        let topo = FatTree::new(4).build_fabric();
+        let mut buf = vec![ResourceId(99)];
+        topo.route_into(NodeId(0), NodeId(15), &mut buf);
+        assert_eq!(buf.len(), 6);
+        let mut sorted = buf.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), buf.len(), "route has duplicate resources");
+        assert!(buf.iter().all(|r| (r.0 as usize) < topo.num_resources()));
+        // Mutating a fabric capacity flows through the dense mirror.
+        let mut topo = topo;
+        topo.set_capacity(buf[2], 0.0);
+        let mut caps = Vec::new();
+        topo.capacities_into(&mut caps);
+        assert_eq!(caps[buf[2].0 as usize], 0.0);
+    }
+
+    #[test]
+    fn fabric_scales_without_quadratic_precompute() {
+        // k=16: 1024 hosts, 6144 links — builds instantly because there
+        // is no all-pairs BFS.
+        let topo = FatTree::new(16).build_fabric();
+        assert_eq!(topo.num_nodes(), 1024 + 256 + 64);
+        assert_eq!(topo.num_resources(), 6144);
+        let route = topo.route(NodeId(0), NodeId(1023));
+        assert_eq!(route.len(), 6);
     }
 }

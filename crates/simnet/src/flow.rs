@@ -51,6 +51,11 @@ impl FlowDemand {
 pub struct ActiveFlowView {
     /// Flow identifier.
     pub id: FlowId,
+    /// Arena slot ([`FlowArena`]) backing this flow. Stable for the
+    /// flow's whole lifetime; recycled (with a generation bump) after it
+    /// completes. Dense per-slot side tables (due times, pod tags) index
+    /// by this, not by the unbounded flow id.
+    pub slot: u32,
     /// Sending host.
     pub src: NodeId,
     /// Receiving host.
@@ -92,6 +97,87 @@ impl FlowCompletion {
     }
 }
 
+/// Flat generational arena of flow slots.
+///
+/// Every live flow owns one slot; slots are recycled LIFO when flows
+/// complete, so the slot space stays as dense as the peak concurrent
+/// flow count (not the total flow count). Dense per-slot side tables —
+/// predicted due times, pod tags — index by slot and therefore stay
+/// contiguous no matter how many flows have churned through. Each
+/// release bumps the slot's generation so a stale slot reference can be
+/// detected in debug assertions.
+///
+/// The arena also pools route buffers: a completing flow's `Vec` of
+/// resource ids is handed back via [`FlowArena::release`] and reissued
+/// (cleared, capacity intact) by the next [`FlowArena::acquire`], so the
+/// steady-state hot loop performs no route allocations at all.
+#[derive(Debug, Clone, Default)]
+pub struct FlowArena {
+    /// Generation per slot, bumped on release.
+    generation: Vec<u32>,
+    /// Free slots, reused LIFO for cache locality and determinism.
+    free: Vec<u32>,
+    /// Recycled route buffers (cleared, capacity preserved).
+    spare_routes: Vec<Vec<ResourceId>>,
+    /// Live slot count.
+    live: usize,
+}
+
+impl FlowArena {
+    /// Creates an empty arena.
+    pub fn new() -> FlowArena {
+        FlowArena::default()
+    }
+
+    /// High-water slot count: the peak number of concurrently live flows
+    /// observed so far (dense side tables size to this).
+    pub fn capacity(&self) -> usize {
+        self.generation.len()
+    }
+
+    /// Currently live slot count.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Generation of `slot` (bumped every time the slot is recycled).
+    pub fn generation_of(&self, slot: u32) -> u32 {
+        self.generation[slot as usize]
+    }
+
+    /// Acquires a slot plus a recycled (empty, capacity-preserving)
+    /// route buffer. Slots are reused LIFO; a fresh slot is minted only
+    /// when no freed slot exists.
+    pub fn acquire(&mut self) -> (u32, Vec<ResourceId>) {
+        self.live += 1;
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                let s = self.generation.len() as u32;
+                self.generation.push(0);
+                s
+            }
+        };
+        let route = self.spare_routes.pop().unwrap_or_default();
+        debug_assert!(route.is_empty());
+        (slot, route)
+    }
+
+    /// Releases a slot (bumping its generation) and returns its route
+    /// buffer to the recycling pool.
+    pub fn release(&mut self, slot: u32, mut route: Vec<ResourceId>) {
+        debug_assert!(
+            (slot as usize) < self.generation.len(),
+            "slot {slot} out of range"
+        );
+        self.live -= 1;
+        self.generation[slot as usize] = self.generation[slot as usize].wrapping_add(1);
+        route.clear();
+        self.spare_routes.push(route);
+        self.free.push(slot);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,6 +205,7 @@ mod tests {
     fn progress_and_fct() {
         let v = ActiveFlowView {
             id: FlowId(0),
+            slot: 0,
             src: NodeId(0),
             dst: NodeId(1),
             size: 4.0,
@@ -134,5 +221,41 @@ mod tests {
             size: 4.0,
         };
         assert!((c.fct() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arena_recycles_slots_lifo_with_generation_bumps() {
+        let mut arena = FlowArena::new();
+        let (s0, r0) = arena.acquire();
+        let (s1, r1) = arena.acquire();
+        assert_eq!((s0, s1), (0, 1));
+        assert_eq!(arena.capacity(), 2);
+        assert_eq!(arena.live(), 2);
+        assert_eq!(arena.generation_of(s0), 0);
+        arena.release(s0, r0);
+        assert_eq!(arena.generation_of(s0), 1);
+        // LIFO reuse: the freed slot comes back before a fresh one.
+        let (s2, r2) = arena.acquire();
+        assert_eq!(s2, s0);
+        assert_eq!(arena.capacity(), 2); // high-water unchanged
+        arena.release(s1, r1);
+        arena.release(s2, r2);
+        assert_eq!(arena.live(), 0);
+        assert_eq!(arena.capacity(), 2);
+    }
+
+    #[test]
+    fn arena_recycles_route_buffers() {
+        let mut arena = FlowArena::new();
+        let (s, mut route) = arena.acquire();
+        route.extend([ResourceId(3), ResourceId(7)]);
+        let cap = route.capacity();
+        arena.release(s, route);
+        let (_, recycled) = arena.acquire();
+        assert!(recycled.is_empty());
+        assert!(
+            recycled.capacity() >= cap,
+            "route buffer capacity was dropped"
+        );
     }
 }

@@ -21,11 +21,29 @@
 //! re-deriving it from the full flow set at every event.
 
 use crate::alloc::{check_feasible, check_feasible_dense, RateAlloc};
-use crate::flow::{ActiveFlowView, FlowCompletion, FlowDemand};
+use crate::calendar::CalendarQueue;
+use crate::flow::{ActiveFlowView, FlowArena, FlowCompletion, FlowDemand};
 use crate::ids::{FlowId, ResourceId};
 use crate::linkindex::LinkIndex;
 use crate::time::{SimTime, EPS};
 use crate::topology::Topology;
+
+/// How [`FluidNetwork::next_completion_in`] finds the earliest due flow.
+///
+/// Both backends read the same per-slot absolute due table, which is
+/// rewritten only when a flow's rate changes bitwise — so they return
+/// bit-identical `(flow, dt)` answers and whole simulations evolve
+/// identically under either (pinned by `tests/calendar_queue.rs` and the
+/// differential suites).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NextCompletionMode {
+    /// O(F) id-order scan of the due table — the naive reference.
+    Scan,
+    /// Bucketed calendar queue ([`CalendarQueue`]) — O(1)-ish queries
+    /// and per-flow updates; the default.
+    #[default]
+    Calendar,
+}
 
 /// The set of flows that arrived and departed since the last
 /// [`FluidNetwork::take_delta`], in event order.
@@ -59,11 +77,25 @@ pub struct FluidNetwork {
     now: SimTime,
     completions: Vec<FlowCompletion>,
     delta: FlowDelta,
-    /// Cached [`Self::next_completion_in`] value, maintained incrementally:
-    /// rescanned when rates actually change or flows complete, decremented
-    /// by `dt` on plain advances. `None` = stale (must rescan);
-    /// `Some(None)` = no flow is progressing.
-    next_due: Option<Option<f64>>,
+    /// Slot identity + route-buffer recycling for the active set.
+    arena: FlowArena,
+    /// Absolute predicted completion time per arena slot (`INFINITY` for
+    /// a non-progressing or absent flow). Rewritten *only* when the
+    /// flow's rate changes bitwise — a bit-identical rate reapplication
+    /// leaves it untouched, which is what keeps horizon-skipped and
+    /// every-event runs evolving identically. This replaces the old
+    /// decrement-on-advance `next_due` scalar cache, whose fault-path
+    /// validity rested on a comment instead of a mechanism.
+    due: Vec<f64>,
+    /// Calendar mirror of the finite entries of `due`, maintained when
+    /// `mode` is [`NextCompletionMode::Calendar`].
+    calendar: CalendarQueue,
+    mode: NextCompletionMode,
+    /// When false, [`Self::set_rates_dense`] skips the infeasibility
+    /// panic (an O(F·route + R) safety scan with no arithmetic effect) —
+    /// the scale benches disable it after the differential suites have
+    /// pinned the allocator.
+    feasibility_checks: bool,
     /// Reused per-resource buffer for dense feasibility checks.
     feas_residual: Vec<f64>,
     /// Link↔flow adjacency, maintained on every release/completion — the
@@ -91,8 +123,15 @@ pub struct FluidNetwork {
 }
 
 impl FluidNetwork {
-    /// Creates an empty network over `topology` at time zero.
+    /// Creates an empty network over `topology` at time zero, with the
+    /// calendar-backed next-completion queue.
     pub fn new(topology: Topology) -> FluidNetwork {
+        FluidNetwork::with_next_completion(topology, NextCompletionMode::default())
+    }
+
+    /// Creates an empty network with an explicit next-completion backend
+    /// (the differential suites run both and require bitwise agreement).
+    pub fn with_next_completion(topology: Topology, mode: NextCompletionMode) -> FluidNetwork {
         let num_resources = topology.num_resources();
         let mut base_caps = Vec::new();
         topology.capacities_into(&mut base_caps);
@@ -103,7 +142,11 @@ impl FluidNetwork {
             now: SimTime::ZERO,
             completions: Vec::new(),
             delta: FlowDelta::default(),
-            next_due: Some(None),
+            arena: FlowArena::new(),
+            due: Vec::new(),
+            calendar: CalendarQueue::new(),
+            mode,
+            feasibility_checks: true,
             feas_residual: Vec::new(),
             links: LinkIndex::new(num_resources),
             links_dirty: 0,
@@ -126,11 +169,14 @@ impl FluidNetwork {
     /// Rates applied before the change are left untouched and may now be
     /// infeasible for the shrunk capacity: the caller must recompute and
     /// re-apply rates before the next [`Self::advance`] (the driver forces
-    /// exactly that at every fault instant). The next-completion cache is
-    /// derived from rates, not capacities, so it stays valid across this
-    /// call. The [`LinkIndex`] is adjacency, not capacity, and needs no
-    /// repair either — invalidation of *policy-side* caches happens via
-    /// [`crate::runner::RatePolicy::on_fault`].
+    /// exactly that at every fault instant). The due table is derived
+    /// from rates, not capacities — but the calendar's memoized minimum
+    /// is still force-invalidated here, so every capacity mutation
+    /// re-derives the next completion from the buckets instead of
+    /// trusting that reasoning (the fault-differential suite pins the
+    /// two paths bit-identical). The [`LinkIndex`] is adjacency, not
+    /// capacity, and needs no repair — invalidation of *policy-side*
+    /// caches happens via [`crate::runner::RatePolicy::on_fault`].
     ///
     /// # Panics
     ///
@@ -145,6 +191,7 @@ impl FluidNetwork {
         assert!(ri < self.base_caps.len(), "resource {r} out of range");
         let cap = self.base_caps[ri] * factor;
         self.topology.set_capacity(r, cap);
+        self.calendar.invalidate_min();
         let is_down = cap <= EPS;
         match (self.down[ri], is_down) {
             (false, true) => self.down_count += 1,
@@ -206,15 +253,22 @@ impl FluidNetwork {
             self.now,
             demand.release
         );
-        let route = self.topology.route(demand.src, demand.dst);
         let pos = match self.views.binary_search_by(|v| v.id.cmp(&demand.id)) {
             Ok(_) => panic!("duplicate flow id {}", demand.id),
             Err(pos) => pos,
         };
+        let (slot, mut route) = self.arena.acquire();
+        self.topology.route_into(demand.src, demand.dst, &mut route);
+        let si = slot as usize;
+        if si >= self.due.len() {
+            self.due.resize(si + 1, f64::INFINITY);
+        }
+        self.due[si] = f64::INFINITY; // recycled slot: no predicted completion yet
         self.views.insert(
             pos,
             ActiveFlowView {
                 id: demand.id,
+                slot,
                 src: demand.src,
                 dst: demand.dst,
                 size: demand.size,
@@ -224,8 +278,27 @@ impl FluidNetwork {
             },
         );
         self.rates.insert(pos, 0.0);
-        self.links.insert(demand.id, &self.views[pos].route);
+        self.links.insert(demand.id, slot, &self.views[pos].route);
         self.delta.arrived.push(demand.id);
+    }
+
+    /// High-water arena slot count: the peak number of concurrently
+    /// active flows so far (the size of the dense per-slot side tables).
+    pub fn arena_capacity(&self) -> usize {
+        self.arena.capacity()
+    }
+
+    /// The configured next-completion backend.
+    pub fn next_completion_mode(&self) -> NextCompletionMode {
+        self.mode
+    }
+
+    /// Enables/disables the dense-allocation feasibility panic (on by
+    /// default). Disabling skips only a safety scan — no arithmetic
+    /// depends on it, so traces are unaffected; the scale benches turn
+    /// it off after the differential suites have pinned the allocator.
+    pub fn set_feasibility_checks(&mut self, on: bool) {
+        self.feasibility_checks = on;
     }
 
     /// The link↔flow adjacency over the active set, maintained on every
@@ -283,7 +356,6 @@ impl FluidNetwork {
         if let Err(msg) = check_feasible(&self.topology, &self.views, alloc) {
             panic!("infeasible rate allocation: {msg}");
         }
-        let mut changed = false;
         self.dirty_mark += 1;
         for i in 0..self.views.len() {
             let new = alloc
@@ -293,13 +365,26 @@ impl FluidNetwork {
                 .max(0.0);
             if new.to_bits() != self.rates[i].to_bits() {
                 self.rates[i] = new;
-                changed = true;
                 self.mark_route_dirty(i);
+                self.update_due(i);
             }
         }
         self.links_occupied += self.links.occupied_count();
-        if changed {
-            self.rescan_next_due();
+    }
+
+    /// Re-derives flow `i`'s absolute due time from its (just-changed)
+    /// rate and current remaining bytes, mirroring it into the calendar.
+    fn update_due(&mut self, i: usize) {
+        let v = &self.views[i];
+        let rate = self.rates[i];
+        let due = if rate > EPS {
+            self.now.secs() + v.remaining / rate
+        } else {
+            f64::INFINITY
+        };
+        self.due[v.slot as usize] = due;
+        if self.mode == NextCompletionMode::Calendar {
+            self.calendar.set(v.slot, v.id, due);
         }
     }
 
@@ -335,25 +420,23 @@ impl FluidNetwork {
             rates.len(),
             self.views.len()
         );
-        if let Err(msg) =
-            check_feasible_dense(&self.topology, &self.views, rates, &mut self.feas_residual)
-        {
-            panic!("infeasible rate allocation: {msg}");
+        if self.feasibility_checks {
+            if let Err(msg) =
+                check_feasible_dense(&self.topology, &self.views, rates, &mut self.feas_residual)
+            {
+                panic!("infeasible rate allocation: {msg}");
+            }
         }
-        let mut changed = false;
         self.dirty_mark += 1;
         for (i, &r) in rates.iter().enumerate() {
             let new = r.max(0.0);
             if new.to_bits() != self.rates[i].to_bits() {
                 self.rates[i] = new;
-                changed = true;
                 self.mark_route_dirty(i);
+                self.update_due(i);
             }
         }
         self.links_occupied += self.links.occupied_count();
-        if changed {
-            self.rescan_next_due();
-        }
     }
 
     /// Current rate of a flow (zero if inactive).
@@ -367,35 +450,44 @@ impl FluidNetwork {
         &self.rates
     }
 
-    /// O(F) rescan of the earliest completion, refreshing the cache.
-    fn rescan_next_due(&mut self) {
-        self.next_due = Some(
-            self.views
-                .iter()
-                .zip(self.rates.iter())
-                .filter(|(_, &rate)| rate > EPS)
-                .map(|(v, &rate)| v.remaining / rate)
-                .min_by(|a, b| a.total_cmp(b)),
-        );
+    /// The earliest `(flow, absolute due)` pair under the configured
+    /// backend, ties broken by smallest flow id in both.
+    fn earliest(&mut self) -> Option<(FlowId, f64)> {
+        match self.mode {
+            NextCompletionMode::Scan => {
+                let mut best: Option<(FlowId, f64)> = None;
+                for v in &self.views {
+                    let due = self.due[v.slot as usize];
+                    if due.is_finite() && best.is_none_or(|(_, b)| due < b) {
+                        best = Some((v.id, due));
+                    }
+                }
+                best
+            }
+            NextCompletionMode::Calendar => self.calendar.min(),
+        }
+    }
+
+    /// The earliest-finishing flow and the seconds until it completes at
+    /// current rates, or `None` if no flow is making progress. Both
+    /// backends answer from the same due table, so Scan and Calendar
+    /// modes agree bitwise (flow id *and* dt).
+    pub fn next_completion(&mut self) -> Option<(FlowId, f64)> {
+        let now = self.now.secs();
+        self.earliest().map(|(id, due)| (id, (due - now).max(0.0)))
     }
 
     /// Seconds until the earliest flow completion at current rates, or
     /// `None` if no flow is making progress.
     ///
-    /// Maintained incrementally: the O(F) rescan happens only when rates
-    /// actually change or a flow completes; advances without completions
-    /// just subtract the elapsed time from the cached value.
-    pub fn next_completion_in(&self) -> Option<f64> {
-        match self.next_due {
-            Some(cached) => cached,
-            None => self
-                .views
-                .iter()
-                .zip(self.rates.iter())
-                .filter(|(_, &rate)| rate > EPS)
-                .map(|(v, &rate)| v.remaining / rate)
-                .min_by(|a, b| a.total_cmp(b)),
-        }
+    /// Flows carry absolute predicted due times that change only when
+    /// their rate bits change, so an advance — with or without
+    /// completions — never triggers a rescan: survivors' dues are simply
+    /// still valid. The old implementation rescanned all F flows after
+    /// every completion, the dominant cost at high flow counts.
+    pub fn next_completion_in(&mut self) -> Option<f64> {
+        let now = self.now.secs();
+        self.earliest().map(|(_, due)| (due - now).max(0.0))
     }
 
     /// Advances the clock by `dt` seconds at current rates, transferring
@@ -429,13 +521,23 @@ impl FluidNetwork {
         }
         self.now += dt;
         let now = self.now;
+        let now_secs = now.secs();
         let mut done = Vec::new();
         let mut keep = 0;
         for i in 0..self.views.len() {
             let rate = self.rates[i];
-            let v = &mut self.views[i];
-            v.remaining -= rate * dt;
-            if v.remaining <= EPS.max(v.size * 1e-12) {
+            let slot = self.views[i].slot as usize;
+            // Clamped subtraction: FP drift across many tiny steps must
+            // never push remaining negative (tests/invariants.rs).
+            let remaining = (self.views[i].remaining - rate * dt).max(0.0);
+            self.views[i].remaining = remaining;
+            let v = &self.views[i];
+            // A flow finishes when its bytes run out *or* its predicted
+            // due time arrives — the due re-derives the completion
+            // instant from the rate-change point, so accumulated
+            // per-step subtraction drift cannot strand a flow with an
+            // epsilon of phantom bytes past its due.
+            if remaining <= EPS.max(v.size * 1e-12) || self.due[slot] <= now_secs {
                 done.push(FlowCompletion {
                     id: v.id,
                     release: v.release,
@@ -450,21 +552,22 @@ impl FluidNetwork {
                 keep += 1;
             }
         }
+        // Completed flows sit in the tail after compaction: unwind their
+        // slots, dues, calendar entries, and recycle their route buffers.
+        // Survivors' dues are untouched and still valid — no rescan.
+        for i in keep..self.views.len() {
+            let slot = self.views[i].slot;
+            let route = std::mem::take(&mut self.views[i].route);
+            self.due[slot as usize] = f64::INFINITY;
+            if self.mode == NextCompletionMode::Calendar {
+                self.calendar.remove(slot);
+            }
+            self.arena.release(slot, route);
+        }
         self.views.truncate(keep);
         self.rates.truncate(keep);
         for c in &done {
             self.links.remove(c.id);
-        }
-        if done.is_empty() {
-            // Remaining and rates shrank in lockstep: the earliest due time
-            // just moved `dt` closer (sub-ulp drift is absorbed by the
-            // completion epsilon). A non-progressing network stays `None`.
-            self.next_due = self
-                .next_due
-                .map(|cached| cached.map(|t| (t - dt).max(0.0)));
-        } else {
-            // The survivor set changed: rescan.
-            self.rescan_next_due();
         }
         self.delta.departed.extend(done.iter().map(|c| c.id));
         self.completions.extend(done.iter().copied());
@@ -643,10 +746,21 @@ mod tests {
         net.release(&demand(0, 0, 1, 1.0, 0.0));
         net.release(&demand(1, 2, 1, 4.0, 0.0));
         assert!(net.link_index().consistent(net.views()));
-        // Both flows land on host 1's ingress port (ResourceId 3).
+        // Both flows land on host 1's ingress port (ResourceId 3); slots
+        // are assigned in release order.
+        use crate::linkindex::LinkFlow;
         assert_eq!(
             net.link_index().flows_on(crate::ids::ResourceId(3)),
-            &[FlowId(0), FlowId(1)]
+            &[
+                LinkFlow {
+                    id: FlowId(0),
+                    slot: 0
+                },
+                LinkFlow {
+                    id: FlowId(1),
+                    slot: 1
+                }
+            ]
         );
         assert_eq!(net.link_index().occupied_count(), 3);
 

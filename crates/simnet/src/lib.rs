@@ -31,7 +31,10 @@
 //!   waterfilling, weighted fairness, and priority filling with
 //!   work-conserving backfill.
 //! - [`fluid`] — the active-flow table: applies a rate allocation, advances
-//!   time, and predicts the next flow completion.
+//!   time, and predicts the next flow completion via per-slot absolute due
+//!   times (linear scan or calendar queue, bit-identical by construction).
+//! - [`calendar`] — the bucketed calendar queue over predicted completion
+//!   times backing the fluid layer's next-completion query.
 //! - [`fault`] — timed fault injection: link down/restore/degrade,
 //!   coordinator outage windows, and straggler compute slowdowns, driven
 //!   as a first-class event source by [`driver::drive_faulted`].
@@ -71,6 +74,7 @@
 //! ```
 
 pub mod alloc;
+pub mod calendar;
 pub mod driver;
 pub mod engine;
 pub mod fattree;
@@ -89,16 +93,19 @@ pub mod trace;
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
     pub use crate::alloc::{max_min_rates, priority_fill, weighted_rates, RateAlloc};
+    pub use crate::calendar::CalendarQueue;
     pub use crate::driver::{drive, drive_faulted, DriveOutcome, WorkloadSource};
     pub use crate::engine::{EventId, EventQueue};
-    pub use crate::fattree::FatTree;
+    pub use crate::fattree::{FatTree, FatTreeFabric};
     pub use crate::fault::{FaultEvent, FaultKind, FaultPlan};
-    pub use crate::flow::{ActiveFlowView, FlowDemand};
-    pub use crate::fluid::{FlowDelta, FluidNetwork};
+    pub use crate::flow::{ActiveFlowView, FlowArena, FlowDemand};
+    pub use crate::fluid::{FlowDelta, FluidNetwork, NextCompletionMode};
     pub use crate::ids::{FlowId, LinkId, NodeId, ResourceId};
-    pub use crate::linkindex::{LinkIndex, LinkLoad};
+    pub use crate::linkindex::{LinkFlow, LinkIndex, LinkLoad};
     pub use crate::quantized::{run_flows_quantized, QuantizedOutcome};
-    pub use crate::runner::{run_flows, FlowOutcomes, MaxMinPolicy, RatePolicy, RecomputeMode};
+    pub use crate::runner::{
+        run_flows, FlowOutcomes, MaxMinPolicy, PodMaxMinPolicy, RatePolicy, RecomputeMode,
+    };
     pub use crate::time::SimTime;
     pub use crate::topology::Topology;
     pub use crate::trace::{FlowTrace, TraceEvent, TraceEventKind};

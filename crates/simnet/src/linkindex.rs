@@ -28,6 +28,17 @@ use crate::flow::ActiveFlowView;
 use crate::fluid::FlowDelta;
 use crate::ids::{FlowId, ResourceId};
 
+/// One resident-flow entry in a CSR row: the flow's id (the ordering and
+/// identity key) plus its arena slot (the dense index into per-slot side
+/// tables, so row walkers touch contiguous arrays instead of id maps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkFlow {
+    /// Flow identifier (rows stay ascending in this).
+    pub id: FlowId,
+    /// Arena slot of the flow ([`crate::flow::FlowArena`]).
+    pub slot: u32,
+}
+
 /// CSR-style link→flows / flow→links adjacency over the active-flow set.
 ///
 /// Invariants (checked by `debug_assert`s and the property suite):
@@ -37,12 +48,16 @@ use crate::ids::{FlowId, ResourceId};
 ///   resources with at least one resident flow.
 #[derive(Debug, Clone, Default)]
 pub struct LinkIndex {
-    /// `per_link[r]` = ascending flow ids routed over resource `r`.
-    per_link: Vec<Vec<FlowId>>,
-    /// Indexed flows in ascending id order, each with its route copy.
-    flows: Vec<(FlowId, Vec<ResourceId>)>,
+    /// `per_link[r]` = id-ascending [`LinkFlow`] entries routed over
+    /// resource `r` (arena slots ride along with the ids).
+    per_link: Vec<Vec<LinkFlow>>,
+    /// Indexed flows in ascending id order, each with its slot and route
+    /// copy (the route buffer is recycled across insert/remove cycles).
+    flows: Vec<(LinkFlow, Vec<ResourceId>)>,
     /// Ascending resource ids with at least one resident flow.
     occupied: Vec<ResourceId>,
+    /// Recycled route buffers from removed flows.
+    spare_routes: Vec<Vec<ResourceId>>,
 }
 
 impl LinkIndex {
@@ -52,6 +67,7 @@ impl LinkIndex {
             per_link: vec![Vec::new(); num_resources],
             flows: Vec::new(),
             occupied: Vec::new(),
+            spare_routes: Vec::new(),
         }
     }
 
@@ -70,9 +86,10 @@ impl LinkIndex {
         self.flows.is_empty()
     }
 
-    /// Ascending flow ids resident on resource `r` (empty for resources
-    /// the index has not grown to yet).
-    pub fn flows_on(&self, r: ResourceId) -> &[FlowId] {
+    /// Id-ascending resident flows on resource `r` (empty for resources
+    /// the index has not grown to yet). Each entry carries the flow's
+    /// arena slot alongside its id.
+    pub fn flows_on(&self, r: ResourceId) -> &[LinkFlow] {
         self.per_link
             .get(r.0 as usize)
             .map_or(&[][..], |v| v.as_slice())
@@ -94,21 +111,25 @@ impl LinkIndex {
     }
 
     fn flow_pos(&self, id: FlowId) -> Option<usize> {
-        self.flows.binary_search_by(|(f, _)| f.cmp(&id)).ok()
+        self.flows.binary_search_by(|(f, _)| f.id.cmp(&id)).ok()
     }
 
-    /// Indexes a flow under its route, growing the per-link table on
-    /// demand (a default-constructed index spans no resources yet).
+    /// Indexes a flow under its route and arena slot, growing the
+    /// per-link table on demand (a default-constructed index spans no
+    /// resources yet).
     ///
     /// # Panics
     ///
     /// Panics if `id` is already indexed.
-    pub fn insert(&mut self, id: FlowId, route: &[ResourceId]) {
-        let pos = match self.flows.binary_search_by(|(f, _)| f.cmp(&id)) {
+    pub fn insert(&mut self, id: FlowId, slot: u32, route: &[ResourceId]) {
+        let pos = match self.flows.binary_search_by(|(f, _)| f.id.cmp(&id)) {
             Ok(_) => panic!("flow {id} already indexed"),
             Err(pos) => pos,
         };
-        self.flows.insert(pos, (id, route.to_vec()));
+        let entry = LinkFlow { id, slot };
+        let mut copy = self.spare_routes.pop().unwrap_or_default();
+        copy.extend_from_slice(route);
+        self.flows.insert(pos, (entry, copy));
         for &r in route {
             let ri = r.0 as usize;
             if ri >= self.per_link.len() {
@@ -120,9 +141,12 @@ impl LinkIndex {
                 debug_assert!(self.occupied.get(at) != Some(&r));
                 self.occupied.insert(at, r);
             }
-            let at = bucket.partition_point(|&f| f < id);
-            debug_assert!(bucket.get(at) != Some(&id), "flow {id} already on {r}");
-            bucket.insert(at, id);
+            let at = bucket.partition_point(|f| f.id < id);
+            debug_assert!(
+                bucket.get(at).map(|f| f.id) != Some(id),
+                "flow {id} already on {r}"
+            );
+            bucket.insert(at, entry);
         }
     }
 
@@ -133,11 +157,15 @@ impl LinkIndex {
         let Some(pos) = self.flow_pos(id) else {
             return false;
         };
-        let (_, route) = self.flows.remove(pos);
-        for r in route {
+        let (_, mut route) = self.flows.remove(pos);
+        for &r in route.iter() {
             let bucket = &mut self.per_link[r.0 as usize];
-            let at = bucket.partition_point(|&f| f < id);
-            debug_assert_eq!(bucket.get(at), Some(&id), "flow {id} missing from {r}");
+            let at = bucket.partition_point(|f| f.id < id);
+            debug_assert_eq!(
+                bucket.get(at).map(|f| f.id),
+                Some(id),
+                "flow {id} missing from {r}"
+            );
             bucket.remove(at);
             if bucket.is_empty() {
                 let at = self.occupied.partition_point(|&o| o < r);
@@ -145,17 +173,20 @@ impl LinkIndex {
                 self.occupied.remove(at);
             }
         }
+        route.clear();
+        self.spare_routes.push(route);
         true
     }
 
     /// Applies one drained [`FlowDelta`] against the *post-delta* flow
-    /// table: arrivals are looked up in `flows` for their routes (an
-    /// arrival that already departed again is skipped — its departure is
-    /// then a tolerated no-op), departures unwind via the stored route.
+    /// table: arrivals are looked up in `flows` for their routes and
+    /// slots (an arrival that already departed again is skipped — its
+    /// departure is then a tolerated no-op), departures unwind via the
+    /// stored route.
     pub fn apply_delta(&mut self, flows: &[ActiveFlowView], delta: &FlowDelta) {
         for &id in &delta.arrived {
             if let Ok(i) = flows.binary_search_by(|v| v.id.cmp(&id)) {
-                self.insert(id, &flows[i].route);
+                self.insert(id, flows[i].slot, &flows[i].route);
             }
         }
         for &id in &delta.departed {
@@ -168,10 +199,13 @@ impl LinkIndex {
         for bucket in &mut self.per_link {
             bucket.clear();
         }
-        self.flows.clear();
+        while let Some((_, mut route)) = self.flows.pop() {
+            route.clear();
+            self.spare_routes.push(route);
+        }
         self.occupied.clear();
         for v in flows {
-            self.insert(v.id, &v.route);
+            self.insert(v.id, v.slot, &v.route);
         }
     }
 
@@ -180,7 +214,11 @@ impl LinkIndex {
     /// id-set equality implies the whole adjacency is current.
     pub fn consistent(&self, flows: &[ActiveFlowView]) -> bool {
         self.flows.len() == flows.len()
-            && self.flows.iter().zip(flows).all(|((id, _), v)| *id == v.id)
+            && self
+                .flows
+                .iter()
+                .zip(flows)
+                .all(|((f, _), v)| f.id == v.id && f.slot == v.slot)
     }
 
     /// Conservative fallback: rebuild unless [`Self::consistent`]; returns
@@ -273,6 +311,7 @@ mod tests {
     fn view(id: u64, route: &[u32]) -> ActiveFlowView {
         ActiveFlowView {
             id: FlowId(id),
+            slot: id as u32,
             src: NodeId(0),
             dst: NodeId(1),
             size: 1.0,
@@ -282,13 +321,20 @@ mod tests {
         }
     }
 
+    fn lf(id: u64) -> LinkFlow {
+        LinkFlow {
+            id: FlowId(id),
+            slot: id as u32,
+        }
+    }
+
     #[test]
     fn insert_remove_roundtrip() {
         let mut idx = LinkIndex::new(4);
-        idx.insert(FlowId(2), &[ResourceId(0), ResourceId(3)]);
-        idx.insert(FlowId(1), &[ResourceId(3)]);
-        assert_eq!(idx.flows_on(ResourceId(3)), &[FlowId(1), FlowId(2)]);
-        assert_eq!(idx.flows_on(ResourceId(0)), &[FlowId(2)]);
+        idx.insert(FlowId(2), 2, &[ResourceId(0), ResourceId(3)]);
+        idx.insert(FlowId(1), 1, &[ResourceId(3)]);
+        assert_eq!(idx.flows_on(ResourceId(3)), &[lf(1), lf(2)]);
+        assert_eq!(idx.flows_on(ResourceId(0)), &[lf(2)]);
         assert_eq!(idx.occupied_links(), &[ResourceId(0), ResourceId(3)]);
         assert_eq!(
             idx.links_of(FlowId(2)),
@@ -306,16 +352,16 @@ mod tests {
     #[should_panic(expected = "already indexed")]
     fn duplicate_insert_rejected() {
         let mut idx = LinkIndex::new(2);
-        idx.insert(FlowId(0), &[ResourceId(0)]);
-        idx.insert(FlowId(0), &[ResourceId(1)]);
+        idx.insert(FlowId(0), 0, &[ResourceId(0)]);
+        idx.insert(FlowId(0), 1, &[ResourceId(1)]);
     }
 
     #[test]
     fn apply_delta_matches_rebuild() {
         let flows = vec![view(0, &[0, 1]), view(2, &[1, 2]), view(5, &[0])];
         let mut inc = LinkIndex::new(3);
-        inc.insert(FlowId(1), &[ResourceId(2)]); // departs below
-        inc.insert(FlowId(0), &[ResourceId(0), ResourceId(1)]);
+        inc.insert(FlowId(1), 1, &[ResourceId(2)]); // departs below
+        inc.insert(FlowId(0), 0, &[ResourceId(0), ResourceId(1)]);
         let delta = FlowDelta {
             arrived: vec![FlowId(2), FlowId(5), FlowId(9)], // 9 already gone
             departed: vec![FlowId(1), FlowId(9)],
@@ -336,7 +382,7 @@ mod tests {
         let mut idx = LinkIndex::new(2);
         assert!(idx.ensure(&flows)); // stale: rebuilt
         assert!(!idx.ensure(&flows)); // now consistent
-        assert_eq!(idx.flows_on(ResourceId(1)), &[FlowId(1)]);
+        assert_eq!(idx.flows_on(ResourceId(1)), &[lf(1)]);
     }
 
     #[test]

@@ -22,8 +22,10 @@
 //! *dynamic* demands (compute units emitting flows, chunked transport,
 //! cluster arrivals) plug their own sources into the same driver.
 
-use crate::alloc::{alloc_to_dense, waterfill_dense, AllocScratch, RateAlloc};
-use crate::driver::{drive_faulted, DriveStats, WorkloadSource};
+use crate::alloc::{
+    alloc_to_dense, waterfill_dense, waterfill_subset_dense, AllocScratch, RateAlloc,
+};
+use crate::driver::{drive_faulted_configured, DriveConfig, DriveStats, WorkloadSource};
 use crate::fault::{FaultKind, FaultPlan};
 use crate::flow::{ActiveFlowView, FlowCompletion, FlowDemand};
 use crate::fluid::{FlowDelta, FluidNetwork};
@@ -136,6 +138,15 @@ pub trait RatePolicy {
     fn name(&self) -> &'static str {
         "policy"
     }
+
+    /// Pod-decomposition counters as `(pods recomputed, pods in scope)`,
+    /// summed over this policy's allocations, for
+    /// [`DriveStats::pod_recompute_fraction`]. `None` (the default) means
+    /// the policy does not decompose by pod; the driver leaves the
+    /// counters at zero.
+    fn pod_stats(&self) -> Option<(usize, usize)> {
+        None
+    }
 }
 
 /// A policy's self-certified validity window for its latest allocation
@@ -206,6 +217,246 @@ impl RatePolicy for MaxMinPolicy {
 
     fn name(&self) -> &'static str {
         "fair-sharing"
+    }
+}
+
+/// Sentinel pod id for flows whose route crosses the core (src and dst
+/// live in different pods) — their presence couples pods, so the policy
+/// falls back to the whole-fabric waterfill.
+const CROSS_POD: u32 = u32::MAX;
+
+/// Pod-decomposed max-min fair sharing for fat-tree fabrics.
+///
+/// On a [`Topology::FatTree`], every resource belongs to exactly one pod
+/// and a pod-local flow's route stays inside its pod, so the fabric-wide
+/// max-min filling decomposes into independent per-pod fillings over
+/// disjoint link sets. The canonical arithmetic is *pod-sequential*:
+/// pods are filled in ascending pod order via
+/// [`waterfill_subset_dense`], each seeding residuals from its own links
+/// only. (This is the policy's own reference arithmetic — it is max-min
+/// fair per pod, but not bit-identical to [`MaxMinPolicy`]'s whole-fabric
+/// round structure.)
+///
+/// With `caching` enabled, the incremental path recomputes only pods
+/// whose flow set changed since the previous allocation (dirty pods from
+/// the [`FlowDelta`]) and replays cached rates for the rest — exact,
+/// because a pod's rates are a pure function of its flow set and link
+/// capacities. Any fault invalidates every pod's cache
+/// ([`RatePolicy::on_fault`]), and any live core-crossing flow forces
+/// the conservative whole-fabric fallback until it drains. The
+/// differential suites pin caching on/off (and Full vs Incremental)
+/// bit-identical.
+///
+/// On topologies without pods the policy always uses the whole-fabric
+/// waterfill and reports no pod work.
+#[derive(Debug, Default, Clone)]
+pub struct PodMaxMinPolicy {
+    caching: bool,
+    /// Pod of each live flow ([`CROSS_POD`] for core-crossing flows);
+    /// needed to dirty the right pod on departures, whose views are gone
+    /// from the flow slice by allocation time.
+    pod_of_flow: BTreeMap<FlowId, u32>,
+    /// Live core-crossing flows; nonzero forces the global fallback.
+    cross_pod_live: usize,
+    /// Per-pod cached `(id, rate)` rows (id-ascending), valid iff
+    /// `cache_valid[pod]`.
+    cached: Vec<Vec<(FlowId, f64)>>,
+    cache_valid: Vec<bool>,
+    pods_recomputed: usize,
+    pods_total: usize,
+    /// Scratch: member indices per pod, rebuilt each allocation.
+    members: Vec<Vec<usize>>,
+}
+
+impl PodMaxMinPolicy {
+    /// A caching pod-decomposed policy (the intended configuration).
+    pub fn new() -> PodMaxMinPolicy {
+        PodMaxMinPolicy {
+            caching: true,
+            ..PodMaxMinPolicy::default()
+        }
+    }
+
+    /// Caching disabled: every allocation recomputes every pod through
+    /// the same pod-sequential arithmetic. The differential reference
+    /// for [`PodMaxMinPolicy::new`].
+    pub fn without_caching() -> PodMaxMinPolicy {
+        PodMaxMinPolicy::default()
+    }
+
+    /// The pod of a flow, or [`CROSS_POD`] when its endpoints differ.
+    fn classify(topo: &Topology, src: crate::ids::NodeId, dst: crate::ids::NodeId) -> u32 {
+        match (topo.host_pod(src), topo.host_pod(dst)) {
+            (Some(a), Some(b)) if a == b => a,
+            _ => CROSS_POD,
+        }
+    }
+
+    /// Recomputes + caches (or replays) every pod into `out`; shared by
+    /// the full and incremental dense paths once dirtiness is decided.
+    /// `dirty(pod)` says whether the pod must be recomputed.
+    fn fill_pods(
+        &mut self,
+        npods: usize,
+        flows: &[ActiveFlowView],
+        topo: &Topology,
+        ws: &mut AllocScratch,
+        out: &mut Vec<f64>,
+        all_dirty: bool,
+    ) {
+        self.members.resize(npods, Vec::new());
+        for m in self.members.iter_mut() {
+            m.clear();
+        }
+        for (i, v) in flows.iter().enumerate() {
+            let pod = Self::classify(topo, v.src, v.dst);
+            debug_assert_ne!(pod, CROSS_POD, "fill_pods requires pod-local flows only");
+            self.members[pod as usize].push(i);
+        }
+        out.clear();
+        out.resize(flows.len(), 0.0);
+        for pod in 0..npods {
+            self.pods_total += 1;
+            let fresh = all_dirty || !self.caching || !self.cache_valid[pod];
+            if fresh {
+                waterfill_subset_dense(topo, flows, &self.members[pod], out, ws);
+                self.pods_recomputed += 1;
+                if self.caching {
+                    let row = &mut self.cached[pod];
+                    row.clear();
+                    row.extend(self.members[pod].iter().map(|&i| (flows[i].id, out[i])));
+                    self.cache_valid[pod] = true;
+                }
+            } else {
+                for &(id, rate) in &self.cached[pod] {
+                    let i = flows
+                        .binary_search_by(|v| v.id.cmp(&id))
+                        .expect("cached pod rate for a flow not in the active set");
+                    out[i] = rate;
+                }
+            }
+        }
+    }
+
+    /// Grows the per-pod bookkeeping to `npods` entries.
+    fn ensure_pods(&mut self, npods: usize) {
+        if self.cached.len() < npods {
+            self.cached.resize(npods, Vec::new());
+            self.cache_valid.resize(npods, false);
+        }
+    }
+}
+
+impl RatePolicy for PodMaxMinPolicy {
+    fn allocate(&mut self, now: SimTime, flows: &[ActiveFlowView], topo: &Topology) -> RateAlloc {
+        let mut ws = AllocScratch::new();
+        let mut out = Vec::new();
+        self.allocate_dense(now, flows, topo, &mut ws, &mut out);
+        crate::alloc::dense_to_alloc(flows, &out)
+    }
+
+    fn allocate_dense(
+        &mut self,
+        _now: SimTime,
+        flows: &[ActiveFlowView],
+        topo: &Topology,
+        ws: &mut AllocScratch,
+        out: &mut Vec<f64>,
+    ) {
+        let Some((npods, _)) = topo.pod_partition() else {
+            out.clear();
+            out.resize(flows.len(), 0.0);
+            waterfill_dense(topo, flows, None, None, out, ws);
+            return;
+        };
+        let npods = npods as usize;
+        self.ensure_pods(npods);
+        // The full path re-derives everything: if any live flow crosses
+        // the core, fall back to the whole fabric, else refill each pod.
+        let crossing = flows
+            .iter()
+            .any(|v| Self::classify(topo, v.src, v.dst) == CROSS_POD);
+        if crossing {
+            self.pods_total += npods;
+            self.pods_recomputed += npods;
+            out.clear();
+            out.resize(flows.len(), 0.0);
+            waterfill_dense(topo, flows, None, None, out, ws);
+        } else {
+            self.fill_pods(npods, flows, topo, ws, out, true);
+        }
+    }
+
+    fn allocate_dense_incremental(
+        &mut self,
+        now: SimTime,
+        flows: &[ActiveFlowView],
+        delta: &FlowDelta,
+        topo: &Topology,
+        ws: &mut AllocScratch,
+        out: &mut Vec<f64>,
+    ) {
+        let Some((npods, _)) = topo.pod_partition() else {
+            self.allocate_dense(now, flows, topo, ws, out);
+            return;
+        };
+        let npods = npods as usize;
+        self.ensure_pods(npods);
+        // Dirty exactly the pods the delta touched. An arrival missing
+        // from the flow slice arrived *and* departed within this delta:
+        // it was never allocated, the pod's set is net-unchanged, and it
+        // is skipped here and in the departure loop below.
+        for &id in &delta.arrived {
+            let Ok(i) = flows.binary_search_by(|v| v.id.cmp(&id)) else {
+                continue;
+            };
+            let pod = Self::classify(topo, flows[i].src, flows[i].dst);
+            self.pod_of_flow.insert(id, pod);
+            if pod == CROSS_POD {
+                self.cross_pod_live += 1;
+            } else {
+                self.cache_valid[pod as usize] = false;
+            }
+        }
+        for id in &delta.departed {
+            match self.pod_of_flow.remove(id) {
+                Some(CROSS_POD) => self.cross_pod_live -= 1,
+                Some(pod) => self.cache_valid[pod as usize] = false,
+                None => {} // arrived+departed within this delta
+            }
+        }
+        if self.cross_pod_live > 0 {
+            // A core-crossing flow couples pods: conservative fallback.
+            // Per-pod caches were already invalidated above for every
+            // touched pod, so pod mode resumes exactly when it drains.
+            self.pods_total += npods;
+            self.pods_recomputed += npods;
+            out.clear();
+            out.resize(flows.len(), 0.0);
+            waterfill_dense(topo, flows, None, None, out, ws);
+        } else {
+            self.fill_pods(npods, flows, topo, ws, out, false);
+        }
+    }
+
+    /// Pod rates depend only on routes and capacities: bit-identical
+    /// until the flow set changes.
+    fn horizon(&self, _now: SimTime, _flows: &[ActiveFlowView], _rates: &[f64]) -> AllocHorizon {
+        AllocHorizon::UntilFlowChange
+    }
+
+    /// Any fault may change link capacities, and a pod's cached rates
+    /// bake those in: drop every pod's cache.
+    fn on_fault(&mut self, _now: SimTime, _fault: &FaultKind) {
+        self.cache_valid.fill(false);
+    }
+
+    fn name(&self) -> &'static str {
+        "pod-fair-sharing"
+    }
+
+    fn pod_stats(&self) -> Option<(usize, usize)> {
+        Some((self.pods_recomputed, self.pods_total))
     }
 }
 
@@ -349,6 +600,40 @@ pub fn run_flows_faulted(
     mode: RecomputeMode,
     plan: &FaultPlan,
 ) -> FlowOutcomes {
+    run_flows_faulted_configured(
+        topology,
+        demands,
+        policy,
+        mode,
+        plan,
+        DriveConfig::default(),
+    )
+}
+
+/// [`run_flows_with`] with explicit [`DriveConfig`] engine knobs and no
+/// faults.
+pub fn run_flows_configured(
+    topology: &Topology,
+    demands: Vec<FlowDemand>,
+    policy: &mut dyn RatePolicy,
+    mode: RecomputeMode,
+    config: DriveConfig,
+) -> FlowOutcomes {
+    run_flows_faulted_configured(topology, demands, policy, mode, &FaultPlan::empty(), config)
+}
+
+/// [`run_flows_faulted`] with explicit [`DriveConfig`] engine knobs
+/// (next-completion backend, feasibility checks, trace recording). All
+/// config combinations are bit-identical on the trace-visible outcomes;
+/// the differential suites pin this.
+pub fn run_flows_faulted_configured(
+    topology: &Topology,
+    demands: Vec<FlowDemand>,
+    policy: &mut dyn RatePolicy,
+    mode: RecomputeMode,
+    plan: &FaultPlan,
+    config: DriveConfig,
+) -> FlowOutcomes {
     let mut pending = demands;
     // Ascending release order, ties by id for determinism.
     pending.sort_by(|a, b| a.release.cmp(&b.release).then(a.id.cmp(&b.id)));
@@ -359,7 +644,7 @@ pub fn run_flows_faulted(
         completions: BTreeMap::new(),
         total,
     };
-    let outcome = drive_faulted(topology, &mut source, policy, mode, plan);
+    let outcome = drive_faulted_configured(topology, &mut source, policy, mode, plan, config);
 
     FlowOutcomes {
         completions: source.completions,
@@ -565,6 +850,132 @@ mod tests {
             // 1 byte by t=1, then 1 byte at 0.5 → t=3.
             assert!(out.finish(FlowId(0)).unwrap().approx_eq(SimTime::new(3.0)));
         }
+    }
+
+    /// Pod-local demands on a k=4 fat tree: hosts 0..4 are pod 0,
+    /// hosts 4..8 pod 1.
+    fn pod_local_demands() -> Vec<FlowDemand> {
+        vec![
+            demand(0, 0, 1, 2.0, 0.0),
+            demand(1, 0, 2, 2.0, 0.0),
+            demand(2, 3, 1, 1.5, 0.5),
+            demand(3, 4, 5, 2.0, 0.0),
+            demand(4, 6, 5, 1.0, 1.0),
+            demand(5, 7, 4, 0.5, 1.5),
+        ]
+    }
+
+    #[test]
+    fn pod_policy_caching_is_bit_identical_to_recompute() {
+        let topo = crate::fattree::FatTree::new(4).build_fabric();
+        let cached = run_flows_with(
+            &topo,
+            pod_local_demands(),
+            &mut PodMaxMinPolicy::new(),
+            RecomputeMode::Incremental,
+        );
+        let plain = run_flows_with(
+            &topo,
+            pod_local_demands(),
+            &mut PodMaxMinPolicy::without_caching(),
+            RecomputeMode::Incremental,
+        );
+        let full = run_flows_with(
+            &topo,
+            pod_local_demands(),
+            &mut PodMaxMinPolicy::new(),
+            RecomputeMode::Full,
+        );
+        assert_eq!(cached.trace().events(), plain.trace().events());
+        assert_eq!(cached.trace().events(), full.trace().events());
+        // Caching must actually have skipped pod recomputes: releases in
+        // one pod leave the other pod's cache valid.
+        let stats = cached.drive_stats();
+        assert!(stats.pods_total > 0);
+        assert!(
+            stats.pods_recomputed < stats.pods_total,
+            "caching never skipped a pod: {}/{}",
+            stats.pods_recomputed,
+            stats.pods_total
+        );
+        assert!(stats.pod_recompute_fraction() < 1.0);
+        let plain_stats = plain.drive_stats();
+        assert_eq!(plain_stats.pods_recomputed, plain_stats.pods_total);
+    }
+
+    #[test]
+    fn pod_policy_core_crossing_flow_forces_fallback() {
+        let topo = crate::fattree::FatTree::new(4).build_fabric();
+        let mut demands = pod_local_demands();
+        demands.push(demand(6, 0, 7, 2.0, 0.25)); // pod 0 → pod 1
+        let cached = run_flows_with(
+            &topo,
+            demands.clone(),
+            &mut PodMaxMinPolicy::new(),
+            RecomputeMode::Incremental,
+        );
+        let plain = run_flows_with(
+            &topo,
+            demands,
+            &mut PodMaxMinPolicy::without_caching(),
+            RecomputeMode::Incremental,
+        );
+        assert_eq!(cached.trace().events(), plain.trace().events());
+        assert_eq!(cached.completions().len(), 7);
+    }
+
+    #[test]
+    fn pod_policy_matches_maxmin_on_podless_topology() {
+        // Without pods the policy *is* the whole-fabric waterfill.
+        let topo = Topology::big_switch_uniform(4, 1.0);
+        let demands = || {
+            vec![
+                demand(0, 0, 1, 2.0, 0.0),
+                demand(1, 2, 1, 1.0, 0.5),
+                demand(2, 0, 3, 3.0, 1.0),
+            ]
+        };
+        let pod = run_flows_with(
+            &topo,
+            demands(),
+            &mut PodMaxMinPolicy::new(),
+            RecomputeMode::Incremental,
+        );
+        let maxmin = run_flows(&topo, demands(), &mut MaxMinPolicy);
+        for id in [FlowId(0), FlowId(1), FlowId(2)] {
+            assert_eq!(
+                pod.finish(id).unwrap().secs().to_bits(),
+                maxmin.finish(id).unwrap().secs().to_bits()
+            );
+        }
+        assert_eq!(pod.drive_stats().pods_total, 0);
+        assert_eq!(pod.drive_stats().pod_recompute_fraction(), 0.0);
+    }
+
+    #[test]
+    fn pod_policy_survives_faults_with_cache_invalidation() {
+        // Degrade a pod-0 edge link mid-run: the cached pod rates must be
+        // dropped, keeping caching bitwise-equal to plain recompute.
+        let topo = crate::fattree::FatTree::new(4).build_fabric();
+        let r = crate::ids::ResourceId(0); // host 0 up-link (pod 0)
+        let plan = FaultPlan::empty()
+            .with(SimTime::new(0.75), FaultKind::LinkDegrade(r, 0.25))
+            .with(SimTime::new(2.0), FaultKind::LinkRestore(r));
+        let cached = run_flows_faulted(
+            &topo,
+            pod_local_demands(),
+            &mut PodMaxMinPolicy::new(),
+            RecomputeMode::Incremental,
+            &plan,
+        );
+        let plain = run_flows_faulted(
+            &topo,
+            pod_local_demands(),
+            &mut PodMaxMinPolicy::without_caching(),
+            RecomputeMode::Incremental,
+            &plan,
+        );
+        assert_eq!(cached.trace().events(), plain.trace().events());
     }
 
     /// A policy that (incorrectly) hands a rate to a flow id outside the

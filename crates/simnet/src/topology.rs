@@ -16,6 +16,7 @@
 //! the allocators work purely on resources and never inspect the topology
 //! kind.
 
+use crate::fattree::FatTreeFabric;
 use crate::ids::{LinkId, NodeId, ResourceId};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -188,13 +189,18 @@ impl LinkGraph {
     }
 }
 
-/// A network topology: either model, reduced to capacitated resources.
+/// A network topology: any model, reduced to capacitated resources.
 #[derive(Debug, Clone)]
 pub enum Topology {
     /// Non-blocking fabric with per-host NIC ports.
     BigSwitch(BigSwitch),
     /// Explicit link graph with static shortest-path routing.
     LinkGraph(LinkGraph),
+    /// Formulaic k-ary fat-tree fabric: O(1) closed-form routing and a
+    /// pod partition over all links, with no O(n²) route precompute —
+    /// the scale model for 10k-host experiments
+    /// ([`crate::fattree::FatTree::build_fabric`]).
+    FatTree(FatTreeFabric),
 }
 
 impl Topology {
@@ -244,6 +250,7 @@ impl Topology {
         match self {
             Topology::BigSwitch(bs) => bs.hosts(),
             Topology::LinkGraph(g) => g.nodes(),
+            Topology::FatTree(f) => f.num_nodes(),
         }
     }
 
@@ -252,6 +259,28 @@ impl Topology {
         match self {
             Topology::BigSwitch(bs) => 2 * bs.hosts(),
             Topology::LinkGraph(g) => g.links(),
+            Topology::FatTree(f) => f.num_resources(),
+        }
+    }
+
+    /// Pod partition metadata: `Some((pod_count, pod_of_resource))` when
+    /// every resource of this topology belongs to exactly one pod (the
+    /// fat-tree fabric: host and edge↔agg links carry their pod's id,
+    /// agg↔core links the aggregation side's pod). `None` for topologies
+    /// without a pod structure — consumers must then fall back to
+    /// whole-fabric allocation.
+    pub fn pod_partition(&self) -> Option<(u32, &[u32])> {
+        match self {
+            Topology::FatTree(f) => Some((f.pods(), f.pod_of_resource())),
+            _ => None,
+        }
+    }
+
+    /// The pod a host lives in, when the topology has pods.
+    pub fn host_pod(&self, n: NodeId) -> Option<u32> {
+        match self {
+            Topology::FatTree(f) => Some(f.host_pod(n)),
+            _ => None,
         }
     }
 
@@ -271,6 +300,7 @@ impl Topology {
                 }
             }
             Topology::LinkGraph(g) => g.links[r.0 as usize].2,
+            Topology::FatTree(f) => f.capacity(r),
         }
     }
 
@@ -304,6 +334,7 @@ impl Topology {
                 assert!((r.0 as usize) < g.links.len(), "resource {r} out of range");
                 g.links[r.0 as usize].2 = cap;
             }
+            Topology::FatTree(f) => f.set_capacity(r, cap),
         }
     }
 
@@ -323,6 +354,7 @@ impl Topology {
             Topology::LinkGraph(g) => {
                 out.extend(g.links.iter().map(|&(_, _, cap)| cap));
             }
+            Topology::FatTree(f) => out.extend_from_slice(f.caps()),
         }
     }
 
@@ -332,17 +364,33 @@ impl Topology {
     ///
     /// Panics if the endpoints coincide or no route exists.
     pub fn route(&self, src: NodeId, dst: NodeId) -> Vec<ResourceId> {
+        let mut out = Vec::new();
+        self.route_into(src, dst, &mut out);
+        out
+    }
+
+    /// Appends the `src → dst` route into `out` (cleared first), reusing
+    /// its storage — the allocation-free form of [`Self::route`] used by
+    /// the flow arena's recycled route buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoints coincide or no route exists.
+    pub fn route_into(&self, src: NodeId, dst: NodeId, out: &mut Vec<ResourceId>) {
         assert!(src != dst, "flow endpoints coincide: {src}");
+        out.clear();
         match self {
             Topology::BigSwitch(bs) => {
-                vec![bs.egress_port(src), bs.ingress_port(dst)]
+                out.push(bs.egress_port(src));
+                out.push(bs.ingress_port(dst));
             }
             Topology::LinkGraph(g) => {
                 let path = g
                     .path(src, dst)
                     .unwrap_or_else(|| panic!("no route from {src} to {dst}"));
-                path.iter().map(|l| ResourceId(l.0)).collect()
+                out.extend(path.iter().map(|l| ResourceId(l.0)));
             }
+            Topology::FatTree(f) => f.route_into(src, dst, out),
         }
     }
 

@@ -30,10 +30,15 @@ use echelonflow::paradigms::runtime::{
 use echelonflow::sched::baselines::{FifoPolicy, SrptPolicy};
 use echelonflow::sched::echelon::{EchelonMadd, InterOrder, IntraMode};
 use echelonflow::sched::varys::{CoflowOrder, VarysMadd};
+use echelonflow::simnet::driver::DriveConfig;
+use echelonflow::simnet::fattree::FatTree;
 use echelonflow::simnet::flow::FlowDemand;
+use echelonflow::simnet::fluid::NextCompletionMode;
 use echelonflow::simnet::ids::{FlowId, NodeId};
 use echelonflow::simnet::quantized::{run_flows_quantized_with, ChunkVisibility};
-use echelonflow::simnet::runner::{run_flows_with, MaxMinPolicy, RatePolicy, RecomputeMode};
+use echelonflow::simnet::runner::{
+    run_flows_configured, run_flows_with, MaxMinPolicy, PodMaxMinPolicy, RatePolicy, RecomputeMode,
+};
 use echelonflow::simnet::time::SimTime;
 use echelonflow::simnet::topology::Topology;
 
@@ -579,6 +584,159 @@ fn coordinator_horizon_matches_every_event_for_all_triggers() {
                 );
             } else {
                 assert_eq!(horizon.stats.horizon_skips, 0, "{cfg:?} skipped");
+            }
+        }
+    }
+}
+
+/// The next-completion backend axis: the calendar queue and the linear
+/// scan read the same per-slot due table and must pick the identical
+/// next completion (flow *and* dt), so every scheduler's trace is
+/// bit-identical across backends, with feasibility checks on or off.
+#[test]
+fn calendar_and_scan_backends_are_bit_identical() {
+    type Mk = fn(&Workload) -> Box<dyn RatePolicy>;
+    let kinds: [(&str, Mk); 4] = [
+        ("MaxMin", |_| Box::new(MaxMinPolicy)),
+        ("Srpt", |_| Box::new(SrptPolicy)),
+        ("EchelonMadd", |w| {
+            Box::new(EchelonMadd::new(w.echelons.clone()))
+        }),
+        ("VarysMadd", |w| Box::new(VarysMadd::new(w.coflows.clone()))),
+    ];
+    let topo = Topology::big_switch_uniform(HOSTS, 1.5);
+    for seed in 0..4u64 {
+        let w = workload(seed);
+        for mode in [RecomputeMode::Full, RecomputeMode::Incremental] {
+            for (label, mk) in kinds {
+                let run = |nc: NextCompletionMode, checks: bool| {
+                    let mut policy = mk(&w);
+                    run_flows_configured(
+                        &topo,
+                        w.demands.clone(),
+                        policy.as_mut(),
+                        mode,
+                        DriveConfig {
+                            next_completion: nc,
+                            feasibility_checks: checks,
+                            ..DriveConfig::default()
+                        },
+                    )
+                };
+                let scan = run(NextCompletionMode::Scan, true);
+                let calendar = run(NextCompletionMode::Calendar, true);
+                let unchecked = run(NextCompletionMode::Calendar, false);
+                assert_eq!(
+                    scan.trace().events(),
+                    calendar.trace().events(),
+                    "scan vs calendar diverged for {label} ({mode:?}), seed {seed}"
+                );
+                assert_eq!(
+                    scan.completions(),
+                    calendar.completions(),
+                    "completions diverged for {label} ({mode:?}), seed {seed}"
+                );
+                assert_eq!(
+                    calendar.trace().events(),
+                    unchecked.trace().events(),
+                    "feasibility checks changed the trace for {label}, seed {seed}"
+                );
+            }
+        }
+    }
+}
+
+/// A seeded fat-tree workload: mostly pod-local flows, with an optional
+/// sprinkle of core-crossing ones to exercise the fallback.
+fn fattree_demands(seed: u64, cross_pod: bool) -> Vec<FlowDemand> {
+    let mut rng = DetRng::seed_from_u64(seed);
+    let hosts = 16; // k = 4
+    let per_pod = 4;
+    let n = rng.usize_range_inclusive(10, 20);
+    let mut demands = Vec::new();
+    for i in 0..n {
+        let (src, dst) = if cross_pod && rng.next_f64() < 0.2 {
+            let src = rng.usize_range_inclusive(0, hosts - 1);
+            let mut dst = rng.usize_range_inclusive(0, hosts - 2);
+            if dst >= src {
+                dst += 1;
+            }
+            (src, dst)
+        } else {
+            let pod = rng.usize_range_inclusive(0, hosts / per_pod - 1);
+            let src = rng.usize_range_inclusive(0, per_pod - 1);
+            let mut dst = rng.usize_range_inclusive(0, per_pod - 2);
+            if dst >= src {
+                dst += 1;
+            }
+            (pod * per_pod + src, pod * per_pod + dst)
+        };
+        demands.push(FlowDemand {
+            id: FlowId(i as u64),
+            src: NodeId(src as u32),
+            dst: NodeId(dst as u32),
+            size: rng.f64_range(0.5, 4.0),
+            release: SimTime::new(rng.f64_range(0.0, 3.0)),
+        });
+    }
+    demands
+}
+
+/// The pod-decomposition axis: with caching enabled the policy replays
+/// cached per-pod rates for untouched pods; that must be bit-identical
+/// to recomputing every pod, across recompute modes and next-completion
+/// backends, with and without core-crossing flows in the mix.
+#[test]
+fn pod_decomposition_caching_is_bit_identical() {
+    let topo = FatTree::new(4).build_fabric();
+    for seed in 20..24u64 {
+        for cross_pod in [false, true] {
+            let demands = fattree_demands(seed, cross_pod);
+            let mut traces = Vec::new();
+            for caching in [true, false] {
+                for mode in [RecomputeMode::Full, RecomputeMode::Incremental] {
+                    for nc in [NextCompletionMode::Scan, NextCompletionMode::Calendar] {
+                        let mut policy = if caching {
+                            PodMaxMinPolicy::new()
+                        } else {
+                            PodMaxMinPolicy::without_caching()
+                        };
+                        let out = run_flows_configured(
+                            &topo,
+                            demands.clone(),
+                            &mut policy,
+                            mode,
+                            DriveConfig {
+                                next_completion: nc,
+                                ..DriveConfig::default()
+                            },
+                        );
+                        traces.push((format!("{caching}/{mode:?}/{nc:?}"), out));
+                    }
+                }
+            }
+            let (ref_label, reference) = &traces[0];
+            for (label, out) in &traces[1..] {
+                assert_eq!(
+                    reference.trace().events(),
+                    out.trace().events(),
+                    "pod axis diverged: {ref_label} vs {label}, seed {seed}, \
+                     cross_pod {cross_pod}"
+                );
+                assert_eq!(reference.completions(), out.completions());
+            }
+            // The caching incremental run must actually skip pods on the
+            // pod-local workloads (non-vacuous).
+            if !cross_pod {
+                // Index 2 = caching=true, Incremental, Scan (loop order).
+                let stats = traces[2].1.drive_stats();
+                assert!(stats.pods_total > 0, "seed {seed}: no pod work reported");
+                assert!(
+                    stats.pods_recomputed < stats.pods_total,
+                    "seed {seed}: caching never skipped a pod ({}/{})",
+                    stats.pods_recomputed,
+                    stats.pods_total
+                );
             }
         }
     }

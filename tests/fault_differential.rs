@@ -37,10 +37,14 @@ use echelonflow::paradigms::runtime::{
 use echelonflow::sched::baselines::{FifoPolicy, SrptPolicy};
 use echelonflow::sched::echelon::{EchelonMadd, InterOrder};
 use echelonflow::sched::varys::{CoflowOrder, VarysMadd};
+use echelonflow::simnet::driver::DriveConfig;
 use echelonflow::simnet::fault::{FaultKind, FaultPlan};
 use echelonflow::simnet::flow::FlowDemand;
+use echelonflow::simnet::fluid::NextCompletionMode;
 use echelonflow::simnet::ids::{FlowId, NodeId, ResourceId};
-use echelonflow::simnet::runner::{run_flows_faulted, MaxMinPolicy, RatePolicy, RecomputeMode};
+use echelonflow::simnet::runner::{
+    run_flows_faulted, run_flows_faulted_configured, MaxMinPolicy, RatePolicy, RecomputeMode,
+};
 use echelonflow::simnet::time::SimTime;
 use echelonflow::simnet::topology::Topology;
 
@@ -410,6 +414,105 @@ fn cluster_scenarios_survive_random_churn() {
             assert_eq!(full.flow_finishes, inc.flow_finishes);
             assert_eq!(full.job_makespans, inc.job_makespans);
         }
+    }
+}
+
+/// The stale-cache sweep: capacity mutations (degrade/down/restore) must
+/// never leave the network's predicted-completion state stale, whichever
+/// next-completion backend is live. The calendar-backed run and the
+/// scan-backed reference are driven through seeded churn plans — the
+/// exact sequence where a cached completion time computed against
+/// pre-fault rates would, if kept, fire the wrong event or fire it at
+/// the wrong time — and must stay bit-identical in traces, completions,
+/// and fault accounting.
+#[test]
+fn next_completion_cache_survives_capacity_churn_bit_identically() {
+    type Mk = fn(&Workload) -> Box<dyn RatePolicy>;
+    let kinds: [(&str, Mk); 3] = [
+        ("MaxMin", |_| Box::new(MaxMinPolicy)),
+        ("EchelonMadd", |w| {
+            Box::new(EchelonMadd::new(w.echelons.clone()))
+        }),
+        ("VarysMadd", |w| Box::new(VarysMadd::new(w.coflows.clone()))),
+    ];
+    let topo = Topology::big_switch_uniform(HOSTS, 1.5);
+    for seed in 0..4u64 {
+        let w = workload(seed);
+        let plan = flow_level_plan(seed, &topo);
+        for mode in [RecomputeMode::Full, RecomputeMode::Incremental] {
+            for (label, mk) in kinds {
+                let run = |nc: NextCompletionMode| {
+                    let mut policy = mk(&w);
+                    run_flows_faulted_configured(
+                        &topo,
+                        w.demands.clone(),
+                        policy.as_mut(),
+                        mode,
+                        &plan,
+                        DriveConfig {
+                            next_completion: nc,
+                            ..DriveConfig::default()
+                        },
+                    )
+                };
+                let scan = run(NextCompletionMode::Scan);
+                let calendar = run(NextCompletionMode::Calendar);
+                assert_eq!(
+                    scan.trace().events(),
+                    calendar.trace().events(),
+                    "calendar diverged from scan under churn: {label} ({mode:?}), seed {seed}"
+                );
+                assert_eq!(scan.completions(), calendar.completions());
+                assert_eq!(
+                    scan.drive_stats().fault_events,
+                    calendar.drive_stats().fault_events
+                );
+                assert!(
+                    scan.drive_stats().fault_events > 0,
+                    "no fault fired for {label}, seed {seed} — the test is vacuous"
+                );
+            }
+        }
+    }
+}
+
+/// A degrade *between* completions is the sharpest stale-cache shape: the
+/// flow's due time moves later mid-flight, and a backend that kept the
+/// pre-fault prediction would complete it early. Pin the exact finish
+/// time under both backends.
+#[test]
+fn degrade_mid_flight_moves_the_cached_completion() {
+    let topo = Topology::big_switch_uniform(2, 1.0);
+    let r = ResourceId(0);
+    let plan = FaultPlan::empty()
+        .with(SimTime::new(1.0), FaultKind::LinkDegrade(r, 0.25))
+        .with(SimTime::new(3.0), FaultKind::LinkRestore(r));
+    for nc in [NextCompletionMode::Scan, NextCompletionMode::Calendar] {
+        let out = run_flows_faulted_configured(
+            &topo,
+            vec![FlowDemand {
+                id: FlowId(0),
+                src: NodeId(0),
+                dst: NodeId(1),
+                size: 2.0,
+                release: SimTime::ZERO,
+            }],
+            &mut MaxMinPolicy,
+            RecomputeMode::Full,
+            &plan,
+            DriveConfig {
+                next_completion: nc,
+                ..DriveConfig::default()
+            },
+        );
+        // 1 byte by t=1 (rate 1), 0.5 byte over t=1..3 (rate 0.25), the
+        // last 0.5 byte at rate 1: finish at t=3.5 — NOT the t=2 a stale
+        // pre-degrade prediction would claim.
+        let finish = out.finish(FlowId(0)).unwrap();
+        assert!(
+            finish.approx_eq(SimTime::new(3.5)),
+            "{nc:?}: finish {finish:?}"
+        );
     }
 }
 

@@ -16,6 +16,7 @@ use echelonflow::sched::baselines::{FifoPolicy, SrptPolicy};
 use echelonflow::sched::echelon::EchelonMadd;
 use echelonflow::sched::varys::VarysMadd;
 use echelonflow::simnet::flow::FlowDemand;
+use echelonflow::simnet::fluid::{FluidNetwork, NextCompletionMode};
 use echelonflow::simnet::ids::{FlowId, NodeId};
 use echelonflow::simnet::runner::{run_flows, FlowOutcomes, MaxMinPolicy, RatePolicy};
 use echelonflow::simnet::time::SimTime;
@@ -172,6 +173,87 @@ fn coflow_embedding_preserves_cct() {
             cct(&via_varys),
             cct(&via_echelon)
         );
+    }
+}
+
+/// FP drift: remaining bytes never go negative, no matter how many tiny
+/// advance steps chip away at a flow.  The network re-derives completion
+/// from the due table instead of trusting accumulated subtractions, and
+/// clamps `remaining` at zero; this drives that path hard under both
+/// next-completion backends.
+#[test]
+fn remaining_bytes_never_negative_under_tiny_steps() {
+    for mode in [NextCompletionMode::Scan, NextCompletionMode::Calendar] {
+        for seed in 0..CASES {
+            let mut rng = DetRng::seed_from_u64(seed);
+            let demands = random_demands(&mut rng);
+            let topo = Topology::big_switch_uniform(HOSTS as usize, 1.0);
+            let mut net = FluidNetwork::with_next_completion(topo, mode);
+            let mut pending = demands.clone();
+            pending.sort_by(|a, b| a.release.partial_cmp(&b.release).unwrap());
+            let mut released = 0usize;
+            let mut finished = 0usize;
+
+            for _step in 0..10_000 {
+                while released < pending.len() && pending[released].release.at_or_before(net.now())
+                {
+                    net.release(&pending[released]);
+                    released += 1;
+                }
+                if net.active_count() == 0 && released == pending.len() {
+                    break;
+                }
+                // Equal split of unit capacity, deliberately irrational
+                // fractions so remainders drift through many step sizes.
+                let n = net.active_count().max(1) as f64;
+                let rates: Vec<f64> = net.views().iter().map(|_| 1.0 / n).collect();
+                net.set_rates_dense(&rates);
+                let _ = net.take_delta();
+
+                // Advance by a ragged fraction of the next event (or a
+                // small hop toward the next release), often landing right
+                // on the completion instant where drift would surface.
+                let to_event = net.next_completion_in().unwrap_or(f64::INFINITY);
+                let to_release = if released < pending.len() {
+                    (pending[released].release.secs() - net.now().secs()).max(1e-6)
+                } else {
+                    f64::INFINITY
+                };
+                let horizon = to_event.min(to_release).min(0.5);
+                let frac = rng.f64_range(0.05, 1.1);
+                let dt = (horizon * frac).max(1e-9).min(to_event);
+                let done = net.advance(dt);
+                finished += done.len();
+
+                for c in &done {
+                    assert!(
+                        c.release.at_or_before(c.finish),
+                        "seed {seed} {mode:?}: {} finished before release",
+                        c.id
+                    );
+                }
+                for v in net.views() {
+                    assert!(
+                        v.remaining >= 0.0,
+                        "seed {seed} {mode:?}: flow {} remaining {} < 0",
+                        v.id,
+                        v.remaining
+                    );
+                    assert!(
+                        v.remaining <= v.size + 1e-9,
+                        "seed {seed} {mode:?}: flow {} remaining {} above size {}",
+                        v.id,
+                        v.remaining,
+                        v.size
+                    );
+                }
+            }
+            assert_eq!(
+                finished,
+                demands.len(),
+                "seed {seed} {mode:?}: not all flows drained"
+            );
+        }
     }
 }
 

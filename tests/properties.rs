@@ -247,6 +247,7 @@ mod dense_allocation {
                     remaining: size * rng.f64_range(0.1, 1.0),
                     release: SimTime::new(rng.f64_range(0.0, 2.0)),
                     route: topo.route(NodeId(src as u32), NodeId(dst as u32)),
+                    slot: i as u32,
                 }
             })
             .collect()
@@ -399,6 +400,7 @@ mod link_index {
             remaining: size,
             release: SimTime::new(0.0),
             route: topo.route(NodeId(src as u32), NodeId(dst as u32)),
+            slot: id as u32,
         }
     }
 
