@@ -58,7 +58,7 @@ impl EchelonAgent {
     /// Panics if called twice.
     pub fn report_to(&mut self, coordinator: &mut Coordinator) {
         assert!(!self.reported, "agent for {} already reported", self.job);
-        coordinator.submit_all(self.requests.clone());
+        coordinator.submit_all(self.requests.iter().cloned());
         self.reported = true;
     }
 

@@ -62,6 +62,12 @@ pub struct CoordinatorConfig {
     pub inter: InterOrder,
     /// Intra-EchelonFlow discipline used by the heuristic.
     pub intra: IntraMode,
+    /// Admission gate for open-loop operation: the most requests the
+    /// coordinator will hold pending (pre-policy) or queue for live
+    /// registration (post-policy) at once. Requests beyond it are
+    /// rejected and counted, never silently dropped. The default is
+    /// effectively unbounded, preserving closed-loop behaviour.
+    pub pending_limit: usize,
 }
 
 impl Default for CoordinatorConfig {
@@ -71,6 +77,7 @@ impl Default for CoordinatorConfig {
             control_latency: 0.0,
             inter: InterOrder::EarliestDeadline,
             intra: IntraMode::FinishEarly,
+            pending_limit: usize::MAX,
         }
     }
 }
@@ -80,6 +87,7 @@ impl Default for CoordinatorConfig {
 pub struct Coordinator {
     config: CoordinatorConfig,
     registered: Vec<EchelonFlow>,
+    rejected: usize,
     decisions_computed: usize,
 }
 
@@ -89,17 +97,39 @@ impl Coordinator {
         Coordinator {
             config,
             registered: Vec::new(),
+            rejected: 0,
             decisions_computed: 0,
         }
     }
 
     /// Registers one EchelonFlow request (agents call this).
+    ///
+    /// Unconditional: closed-loop callers pre-register a known job set
+    /// and a silent drop would corrupt the experiment. Open-loop callers
+    /// use [`Self::try_submit`].
     pub fn submit(&mut self, request: EchelonRequest) {
         self.registered.push(request.echelon);
     }
 
-    /// Registers a batch of requests.
-    pub fn submit_all(&mut self, requests: Vec<EchelonRequest>) {
+    /// Gated registration: refuses (returning `false` and counting the
+    /// rejection) once [`CoordinatorConfig::pending_limit`] requests are
+    /// already held.
+    pub fn try_submit(&mut self, request: EchelonRequest) -> bool {
+        if self.registered.len() >= self.config.pending_limit {
+            self.rejected += 1;
+            return false;
+        }
+        self.submit(request);
+        true
+    }
+
+    /// Registers a batch of requests from any iterable source — a `Vec`,
+    /// a draining iterator, or a borrowed slice via `.iter().cloned()` —
+    /// without forcing callers to materialize an intermediate vector.
+    pub fn submit_all<I>(&mut self, requests: I)
+    where
+        I: IntoIterator<Item = EchelonRequest>,
+    {
         for r in requests {
             self.submit(r);
         }
@@ -110,15 +140,21 @@ impl Coordinator {
         self.registered.len()
     }
 
+    /// Requests refused by [`Self::try_submit`]'s admission gate.
+    pub fn rejected_count(&self) -> usize {
+        self.rejected
+    }
+
     /// How many times the decision engine ran (the scalability metric the
     /// interval knob trades against).
     pub fn decisions_computed(&self) -> usize {
         self.decisions_computed
     }
 
-    /// Finalizes registration into a live scheduling policy.
+    /// Finalizes registration into a live scheduling policy. Moves the
+    /// registered requests into the engine — no copy of the registry.
     pub fn into_policy(self) -> CoordinatedPolicy {
-        let engine = EchelonMadd::new(self.registered.clone())
+        let engine = EchelonMadd::new(self.registered)
             .with_inter(self.config.inter)
             .with_intra(self.config.intra);
         CoordinatedPolicy {
@@ -133,6 +169,8 @@ impl Coordinator {
             counts_valid: false,
             cached_between: None,
             outage: false,
+            pending_register: Vec::new(),
+            rejected_registrations: 0,
         }
     }
 }
@@ -172,12 +210,89 @@ pub struct CoordinatedPolicy {
     /// a stale priority order must not be enforced forever while the
     /// coordinator cannot refresh it).
     outage: bool,
+    /// Live registrations queued since the last allocation: under
+    /// backlog, any number of [`Self::register`] calls are absorbed in
+    /// one batch at the next allocation instead of perturbing the
+    /// decision cadence per request. Registration is allocation-neutral
+    /// until the group's first flow releases, so batching cannot change
+    /// any decision.
+    pending_register: Vec<EchelonFlow>,
+    /// Registrations refused at the full pending queue.
+    rejected_registrations: usize,
 }
 
 impl CoordinatedPolicy {
     /// How many times the full heuristic ran.
     pub fn decisions_computed(&self) -> usize {
         self.decisions_computed
+    }
+
+    /// Queues a live EchelonFlow registration (open-loop admission after
+    /// [`Coordinator::into_policy`]). Bounded by
+    /// [`CoordinatorConfig::pending_limit`]: returns `false` and counts
+    /// the rejection when the queue is full.
+    pub fn register(&mut self, echelon: EchelonFlow) -> bool {
+        if self.pending_register.len() >= self.config.pending_limit {
+            self.rejected_registrations += 1;
+            return false;
+        }
+        self.pending_register.push(echelon);
+        true
+    }
+
+    /// Queues a batch of live registrations; returns how many were
+    /// accepted before the pending queue filled.
+    pub fn register_batch<I>(&mut self, echelons: I) -> usize
+    where
+        I: IntoIterator<Item = EchelonFlow>,
+    {
+        echelons
+            .into_iter()
+            .filter(|h| self.register(h.clone()))
+            .count()
+    }
+
+    /// Registrations refused by the bounded pending queue.
+    pub fn rejected_registrations(&self) -> usize {
+        self.rejected_registrations
+    }
+
+    /// Evicts a completed EchelonFlow from the live engine, refusing
+    /// (`false`) while any member flow is still active. On success the
+    /// group's per-flow bookkeeping (`first_seen` aging stamps) is
+    /// dropped too, keeping coordinator memory proportional to *live*
+    /// jobs on an unbounded stream.
+    pub fn evict(&mut self, id: EchelonId, active: &[ActiveFlowView]) -> bool {
+        self.flush_pending();
+        let member_ids: Vec<FlowId> = match self.engine.book().get(id) {
+            Some(h) => h.flows().map(|f| f.id).collect(),
+            None => return false,
+        };
+        if !self.engine.evict(id, active) {
+            return false;
+        }
+        for f in member_ids {
+            self.first_seen.remove(&f);
+        }
+        self.group_counts.remove(&id);
+        true
+    }
+
+    /// Current and peak engine-book occupancy (see
+    /// [`RatePolicy::book_stats`]).
+    pub fn book_occupancy(&self) -> (usize, usize) {
+        (
+            self.engine.book().occupancy(),
+            self.engine.book().peak_occupancy(),
+        )
+    }
+
+    /// Absorbs every queued live registration into the engine — one
+    /// batch per allocation, whatever the backlog.
+    fn flush_pending(&mut self) {
+        for h in self.pending_register.drain(..) {
+            self.engine.register(h);
+        }
     }
 
     fn decision_due(&self, now: SimTime, active_groups: &[EchelonId]) -> bool {
@@ -339,6 +454,10 @@ impl CoordinatedPolicy {
 
 impl RatePolicy for CoordinatedPolicy {
     fn allocate(&mut self, now: SimTime, flows: &[ActiveFlowView], topo: &Topology) -> RateAlloc {
+        // Queued live registrations land before the observation pass so
+        // a head flow releasing this very event still binds its group's
+        // reference.
+        self.flush_pending();
         // Reference binding tracks the data plane, not the decision
         // cadence: a head flow that starts and finishes between two
         // interval decisions (or during an outage) must still bind its
@@ -374,6 +493,7 @@ impl RatePolicy for CoordinatedPolicy {
         delta: &FlowDelta,
         topo: &Topology,
     ) -> RateAlloc {
+        self.flush_pending();
         self.update_group_counts(flows, delta);
         let groups: Vec<EchelonId> = self.group_counts.keys().copied().collect();
 
@@ -499,6 +619,10 @@ impl RatePolicy for CoordinatedPolicy {
 
     fn name(&self) -> &'static str {
         "coordinated-echelon"
+    }
+
+    fn book_stats(&self) -> Option<(usize, usize)> {
+        Some(self.book_occupancy())
     }
 }
 
@@ -807,6 +931,113 @@ mod tests {
             policy.decisions_computed(),
             2,
             "recovery must force a fresh decision"
+        );
+    }
+
+    /// The pre-policy admission gate: submissions beyond `pending_limit`
+    /// are refused and counted, never silently dropped.
+    #[test]
+    fn try_submit_respects_pending_limit() {
+        let dag = fig2_dag();
+        let mut coord = Coordinator::new(CoordinatorConfig {
+            pending_limit: 1,
+            ..CoordinatorConfig::default()
+        });
+        let requests = requests_from_dag(&dag);
+        assert!(requests.len() >= 2);
+        let mut accepted = 0;
+        for r in requests {
+            if coord.try_submit(r) {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, 1);
+        assert_eq!(coord.registered_count(), 1);
+        assert_eq!(coord.rejected_count(), 1);
+    }
+
+    /// `submit_all` accepts any iterable — borrowed requests included —
+    /// and registers them all.
+    #[test]
+    fn submit_all_takes_any_iterator() {
+        let dag = fig2_dag();
+        let requests = requests_from_dag(&dag);
+        let mut coord = Coordinator::new(CoordinatorConfig::default());
+        coord.submit_all(requests.iter().cloned());
+        assert_eq!(coord.registered_count(), requests.len());
+        let mut coord2 = Coordinator::new(CoordinatorConfig::default());
+        coord2.submit_all(requests);
+        assert_eq!(coord2.registered_count(), coord.registered_count());
+    }
+
+    /// Live registration is batched (absorbed at the next allocation)
+    /// and bounded; eviction of a completed group succeeds, frees its
+    /// aging stamps, and is refused while a member flow is active.
+    #[test]
+    fn live_register_evict_lifecycle() {
+        let dag = fig2_dag();
+        let topo = Topology::chain(2, 1.0);
+        let views = views_of(&dag, &topo);
+        let first_group = dag.echelons[0].id();
+
+        // Start empty; register the whole job live.
+        let mut policy = Coordinator::new(CoordinatorConfig::default()).into_policy();
+        assert_eq!(policy.book_occupancy(), (0, 0));
+        let accepted = policy.register_batch(dag.echelons.iter().cloned());
+        assert_eq!(accepted, dag.echelons.len());
+        // Still queued: nothing in the book until an allocation flushes.
+        assert_eq!(policy.book_occupancy().0, 0);
+        let _ = policy.allocate(SimTime::ZERO, &views, &topo);
+        assert_eq!(policy.book_occupancy().0, dag.echelons.len());
+
+        // Eviction is refused while the group's flows are active…
+        assert!(!policy.evict(first_group, &views));
+        // …succeeds once they are gone, and unknown ids are refused.
+        assert!(policy.evict(first_group, &[]));
+        assert!(!policy.evict(first_group, &[]));
+        assert_eq!(policy.book_occupancy().0, dag.echelons.len() - 1);
+        // Peak keeps the high-water mark.
+        assert_eq!(policy.book_occupancy().1, dag.echelons.len());
+    }
+
+    /// The live-registration queue honours the pending limit.
+    #[test]
+    fn live_register_bounded_queue_rejects() {
+        let dag = fig2_dag();
+        let mut policy = Coordinator::new(CoordinatorConfig {
+            pending_limit: 1,
+            ..CoordinatorConfig::default()
+        })
+        .into_policy();
+        let accepted = policy.register_batch(dag.echelons.iter().cloned());
+        assert_eq!(accepted, 1);
+        assert_eq!(policy.rejected_registrations(), dag.echelons.len() - 1);
+    }
+
+    /// Registering a group before its flows release, and evicting it
+    /// after they complete, must not change any allocation: the decision
+    /// trace with lifecycle management matches the pre-registered run.
+    #[test]
+    fn lifecycle_management_is_allocation_neutral() {
+        let dag = fig2_dag();
+        let topo = Topology::chain(2, 1.0);
+        let views = views_of(&dag, &topo);
+
+        // Reference: everything pre-registered, nothing evicted.
+        let mut reference = policy_with(CoordinatorConfig::default(), &dag);
+        let want = reference.allocate(SimTime::ZERO, &views, &topo);
+
+        // Lifecycle path: the same groups registered live (batched, so
+        // they land in one flush at the first allocation).
+        let mut live = Coordinator::new(CoordinatorConfig::default()).into_policy();
+        live.register_batch(dag.echelons.iter().cloned());
+        let got0 = live.allocate(SimTime::ZERO, &views, &topo);
+        assert_eq!(got0, want, "live registration changed the allocation");
+        let got1 = live.allocate(SimTime::new(0.5), &views, &topo);
+        let want1 = reference.allocate(SimTime::new(0.5), &views, &topo);
+        assert_eq!(
+            got1, want1,
+            "lifecycle policy diverged on the second decision"
         );
     }
 

@@ -26,9 +26,19 @@
 //!
 //! `--smoke` runs one small scenario per family with the same
 //! trace-identity assertions and writes nothing — a cheap CI gate.
+//! `--open-loop --smoke` gates the open-loop service tier instead:
+//! streaming Poisson arrivals at three offered loads under fair share,
+//! Varys-style coflows, and echelon formation, with every streamed run
+//! asserted bit-identical to a materialized closed-loop replay and the
+//! scheduler book's high-water mark asserted sublinear on a 2k-job
+//! stream. The full (non-smoke) run always includes the open-loop tier
+//! in `BENCH_sched.json`.
 
 use echelon_cluster::churn::{random_fault_plan, ChurnConfig};
-use echelon_cluster::workload::{generate_workload, WorkloadConfig};
+use echelon_cluster::metrics::steady_state_metrics;
+use echelon_cluster::scenario::SchedulerKind;
+use echelon_cluster::service::{run_service, ServiceConfig, ServiceMode};
+use echelon_cluster::workload::{generate_workload, OpenLoopConfig, WorkloadConfig};
 use echelon_core::arrangement::ArrangementFn;
 use echelon_core::coflow::Coflow;
 use echelon_core::echelon::{EchelonFlow, FlowRef};
@@ -747,9 +757,303 @@ fn scale_smoke_specs() -> [ScaleSpec; 2] {
     ]
 }
 
+// ------------------------------------------------------------ open loop
+
+/// Offered loads for the open-loop service tier: light, loaded, and
+/// near-saturation.
+const OPEN_LOOP_LOADS: [f64; 3] = [0.5, 0.8, 0.95];
+/// Mean inter-arrival gap at load 1.0; a scenario at load `ρ` uses
+/// `OPEN_LOOP_BASE_IA / ρ`.
+const OPEN_LOOP_BASE_IA: f64 = 1.2;
+const OPEN_LOOP_HOSTS: usize = 16;
+const OPEN_LOOP_JOBS: usize = 120;
+const OPEN_LOOP_SMOKE_JOBS: usize = 24;
+/// Stream length for the bounded-memory witness.
+const OPEN_LOOP_OCCUPANCY_JOBS: usize = 2000;
+const OPEN_LOOP_SEED: u64 = 0x0BE7;
+/// Schedulers the service tier compares: fair share, Varys-style
+/// coflows, and echelon formation.
+const OPEN_LOOP_SCHEDULERS: [SchedulerKind; 3] = [
+    SchedulerKind::Fair,
+    SchedulerKind::Coflow,
+    SchedulerKind::Echelon,
+];
+
+struct OpenLoopRow {
+    load: f64,
+    mean_ia: f64,
+    jobs: usize,
+    scheduler: &'static str,
+    wall_secs: f64,
+    throughput: f64,
+    p50_jct: f64,
+    p99_jct: f64,
+    p99_tardiness: f64,
+    /// `(tier name, SLO violation rate)` per tenant tier.
+    slo: Vec<(String, f64)>,
+    rejected: usize,
+    peak_book: usize,
+}
+
+fn open_loop_cfg(jobs: usize, load: f64) -> OpenLoopConfig {
+    OpenLoopConfig::default_tiers(
+        OPEN_LOOP_SEED,
+        jobs,
+        OPEN_LOOP_HOSTS,
+        OPEN_LOOP_BASE_IA / load,
+    )
+}
+
+/// Runs one open-loop scenario streamed, replays it materialized,
+/// asserts the completion digests are bit-identical (admission gating
+/// and book eviction change no allocation decision), and folds the
+/// steady-state metrics into a report row.
+fn run_open_loop(jobs: usize, load: f64, kind: SchedulerKind) -> OpenLoopRow {
+    let topo = Topology::big_switch_uniform(OPEN_LOOP_HOSTS, 1.0);
+    let cfg = open_loop_cfg(jobs, load);
+    let svc = ServiceConfig::default();
+    let plan = echelon_simnet::fault::FaultPlan::empty();
+    let wall = Instant::now();
+    let open = run_service(
+        &topo,
+        &cfg,
+        &svc,
+        kind,
+        RecomputeMode::Incremental,
+        &plan,
+        ServiceMode::Streaming,
+    );
+    let closed = run_service(
+        &topo,
+        &cfg,
+        &svc,
+        kind,
+        RecomputeMode::Incremental,
+        &plan,
+        ServiceMode::Materialized,
+    );
+    let wall_secs = wall.elapsed().as_secs_f64();
+    assert_eq!(
+        open.digest,
+        closed.digest,
+        "{} load {load}: open-loop stream and closed-loop replay diverged",
+        kind.name()
+    );
+    // Warmup: the expected span of the first tenth of arrivals.
+    let mean_ia = OPEN_LOOP_BASE_IA / load;
+    let warmup = mean_ia * jobs as f64 * 0.1;
+    let m = steady_state_metrics(&open.records, &open.result, &cfg.tenants, warmup);
+    OpenLoopRow {
+        load,
+        mean_ia,
+        jobs,
+        scheduler: kind.name(),
+        wall_secs,
+        throughput: m.throughput,
+        p50_jct: m.p50_jct,
+        p99_jct: m.p99_jct,
+        p99_tardiness: m.p99_tardiness,
+        slo: m
+            .tenants
+            .iter()
+            .map(|t| (t.name.clone(), t.violation_rate))
+            .collect(),
+        rejected: open.rejected_per_tenant.iter().sum(),
+        peak_book: open.peak_book_occupancy,
+    }
+}
+
+fn print_open_loop_row(r: &OpenLoopRow) {
+    let slo: Vec<String> = r.slo.iter().map(|(n, v)| format!("{n} {v:.3}")).collect();
+    println!(
+        "open-loop {:<8} load {:.2} thru {:>7.3} p50 {:>7.3} p99 {:>8.3} p99T {:>8.3} peak {:>4} rej {:>3} slo[{}] ({:.2}s)",
+        r.scheduler,
+        r.load,
+        r.throughput,
+        r.p50_jct,
+        r.p99_jct,
+        r.p99_tardiness,
+        r.peak_book,
+        r.rejected,
+        slo.join(", "),
+        r.wall_secs
+    );
+}
+
+/// The bounded-memory witness at stream scale: a long Poisson stream
+/// under the echelon scheduler must keep the book high-water mark far
+/// below the total number of groups offered (completed-job eviction is
+/// what makes the coordinator open-loop-safe). Returns
+/// `(groups offered, peak book occupancy)`.
+fn open_loop_occupancy(jobs: usize) -> (usize, usize) {
+    let topo = Topology::big_switch_uniform(OPEN_LOOP_HOSTS, 1.0);
+    let cfg = open_loop_cfg(jobs, 0.8);
+    let out = run_service(
+        &topo,
+        &cfg,
+        &ServiceConfig::default(),
+        SchedulerKind::Echelon,
+        RecomputeMode::Incremental,
+        &echelon_simnet::fault::FaultPlan::empty(),
+        ServiceMode::Streaming,
+    );
+    let groups: usize = out.records.iter().map(|r| r.echelons.len()).sum();
+    assert!(out.peak_book_occupancy > 0, "book never held a group");
+    assert!(
+        out.peak_book_occupancy * 4 < groups,
+        "peak book occupancy {} not sublinear in {} offered groups",
+        out.peak_book_occupancy,
+        groups
+    );
+    (groups, out.peak_book_occupancy)
+}
+
+/// Byte-identity gate for the open-loop tier: the (load × scheduler)
+/// grid run serially and through the 2-thread sweep engine must merge
+/// to identical digests, and inside every task the streamed incremental
+/// run must match a full-recompute materialized replay — the strongest
+/// cross-check the service layer offers.
+fn open_loop_sweep_gate(jobs: usize) {
+    let mut combos = Vec::new();
+    for &load in &OPEN_LOOP_LOADS {
+        for kind in OPEN_LOOP_SCHEDULERS {
+            combos.push((load, kind));
+        }
+    }
+    let digest = |threads: usize| -> String {
+        sweep::sweep_with(threads, &combos, |_, &(load, kind)| {
+            let topo = Topology::big_switch_uniform(OPEN_LOOP_HOSTS, 1.0);
+            let cfg = open_loop_cfg(jobs, load);
+            let svc = ServiceConfig::default();
+            let plan = echelon_simnet::fault::FaultPlan::empty();
+            let open = run_service(
+                &topo,
+                &cfg,
+                &svc,
+                kind,
+                RecomputeMode::Incremental,
+                &plan,
+                ServiceMode::Streaming,
+            );
+            let closed = run_service(
+                &topo,
+                &cfg,
+                &svc,
+                kind,
+                RecomputeMode::Full,
+                &plan,
+                ServiceMode::Materialized,
+            );
+            assert_eq!(
+                open.digest,
+                closed.digest,
+                "{} load {load}: streamed/incremental vs materialized/full diverged",
+                kind.name()
+            );
+            format!("{}@{load}: digest={:016x}", kind.name(), open.digest)
+        })
+        .join("\n")
+    };
+    let serial = digest(1);
+    let parallel = digest(2);
+    assert_eq!(
+        serial, parallel,
+        "open-loop digest diverged between 1 and 2 threads"
+    );
+    println!("open-loop gate: 1-thread and 2-thread completion digests identical");
+}
+
+fn open_loop_json(rows: &[OpenLoopRow], occupancy: (usize, usize, usize)) -> String {
+    let mut json = String::new();
+    json.push_str("  \"open_loop_scenarios\": [\n");
+    let per_load = OPEN_LOOP_SCHEDULERS.len();
+    for (li, chunk) in rows.chunks(per_load).enumerate() {
+        let first = &chunk[0];
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"load\": {},\n", fmt_f64(first.load)));
+        json.push_str(&format!(
+            "      \"mean_interarrival\": {},\n",
+            fmt_f64(first.mean_ia)
+        ));
+        json.push_str(&format!("      \"jobs\": {},\n", first.jobs));
+        json.push_str("      \"schedulers\": [\n");
+        for (i, r) in chunk.iter().enumerate() {
+            json.push_str("        {\n");
+            json.push_str(&format!("          \"name\": \"{}\",\n", r.scheduler));
+            json.push_str(&format!(
+                "          \"throughput\": {},\n",
+                fmt_f64(r.throughput)
+            ));
+            json.push_str(&format!("          \"p50_jct\": {},\n", fmt_f64(r.p50_jct)));
+            json.push_str(&format!("          \"p99_jct\": {},\n", fmt_f64(r.p99_jct)));
+            json.push_str(&format!(
+                "          \"p99_tardiness\": {},\n",
+                fmt_f64(r.p99_tardiness)
+            ));
+            json.push_str("          \"slo_violation_rates\": {");
+            for (ti, (name, v)) in r.slo.iter().enumerate() {
+                json.push_str(&format!("\"{name}\": {}", fmt_f64(*v)));
+                if ti + 1 < r.slo.len() {
+                    json.push_str(", ");
+                }
+            }
+            json.push_str("},\n");
+            json.push_str(&format!("          \"rejected\": {},\n", r.rejected));
+            json.push_str(&format!(
+                "          \"peak_book_occupancy\": {},\n",
+                r.peak_book
+            ));
+            json.push_str(&format!(
+                "          \"wall_secs\": {},\n",
+                fmt_f64(r.wall_secs)
+            ));
+            json.push_str("          \"open_closed_identical\": true\n");
+            json.push_str(if i + 1 < chunk.len() {
+                "        },\n"
+            } else {
+                "        }\n"
+            });
+        }
+        json.push_str("      ]\n");
+        json.push_str(if (li + 1) * per_load < rows.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    json.push_str("  ],\n");
+    let (jobs, groups, peak) = occupancy;
+    json.push_str("  \"open_loop_occupancy\": {\n");
+    json.push_str(&format!("    \"jobs\": {jobs},\n"));
+    json.push_str(&format!("    \"groups\": {groups},\n"));
+    json.push_str(&format!("    \"peak_book_occupancy\": {peak},\n"));
+    json.push_str("    \"sublinear\": true\n");
+    json.push_str("  }");
+    json
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let scale = std::env::args().any(|a| a == "--scale");
+    let open_loop = std::env::args().any(|a| a == "--open-loop");
+    if open_loop && smoke {
+        // CI gate: the full load × scheduler grid streamed and replayed
+        // on a short stream, the 2-thread sweep identity, and the
+        // bounded-occupancy witness on a 2k-job stream. Writes nothing.
+        for &load in &OPEN_LOOP_LOADS {
+            for kind in OPEN_LOOP_SCHEDULERS {
+                let r = run_open_loop(OPEN_LOOP_SMOKE_JOBS, load, kind);
+                print_open_loop_row(&r);
+            }
+        }
+        open_loop_sweep_gate(OPEN_LOOP_SMOKE_JOBS);
+        let (groups, peak) = open_loop_occupancy(OPEN_LOOP_OCCUPANCY_JOBS);
+        println!(
+            "open-loop occupancy: {OPEN_LOOP_OCCUPANCY_JOBS} jobs, {groups} groups offered, peak book {peak}"
+        );
+        println!("\nopen-loop smoke ok (open and closed loops bit-identical)");
+        return;
+    }
     if scale && smoke {
         // CI gate: small fat-trees through the identical scale path, with
         // the 2-thread byte-identity digest assertion. Writes nothing.
@@ -927,6 +1231,29 @@ fn main() {
     ));
     json.push_str("    \"identical\": true\n");
     json.push_str("  }");
+
+    // Open-loop service tier: streaming Poisson arrivals through the
+    // admission gate at three offered loads, every row double-run as a
+    // materialized replay with the digests asserted identical, plus the
+    // bounded-memory witness on a 2k-job stream.
+    println!();
+    let mut ol_rows = Vec::new();
+    for &load in &OPEN_LOOP_LOADS {
+        for kind in OPEN_LOOP_SCHEDULERS {
+            let r = run_open_loop(OPEN_LOOP_JOBS, load, kind);
+            print_open_loop_row(&r);
+            ol_rows.push(r);
+        }
+    }
+    let (groups, peak) = open_loop_occupancy(OPEN_LOOP_OCCUPANCY_JOBS);
+    println!(
+        "open-loop occupancy: {OPEN_LOOP_OCCUPANCY_JOBS} jobs, {groups} groups offered, peak book {peak}"
+    );
+    json.push_str(",\n");
+    json.push_str(&open_loop_json(
+        &ol_rows,
+        (OPEN_LOOP_OCCUPANCY_JOBS, groups, peak),
+    ));
 
     // Scale tier: fat-tree fabrics under the pod-decomposed waterfill,
     // traced-off drive config, completion digests as the identity

@@ -77,6 +77,20 @@ impl ChurnConfig {
 /// Panics if `cfg.horizon` or `cfg.max_repair` is not positive, or if the
 /// topology has no resources while link events were requested.
 pub fn random_fault_plan(seed: u64, topo: &Topology, cfg: &ChurnConfig) -> FaultPlan {
+    let mut plan = FaultPlan::empty();
+    for ((s, onset), (e, repair)) in random_incidents(seed, topo, cfg) {
+        plan = plan.with(s, onset).with(e, repair);
+    }
+    plan
+}
+
+/// One paired incident: the onset event and its guaranteed repair.
+type Incident = ((SimTime, FaultKind), (SimTime, FaultKind));
+
+/// The draw engine behind [`random_fault_plan`] and
+/// [`continuous_fault_plan`]: emits onset/repair *pairs*, preserving the
+/// pairing that a time-sorted [`FaultPlan`] flattens away.
+fn random_incidents(seed: u64, topo: &Topology, cfg: &ChurnConfig) -> Vec<Incident> {
     assert!(cfg.horizon > 0.0, "non-positive churn horizon");
     assert!(cfg.max_repair > 0.0, "non-positive repair bound");
     let resources = topo.num_resources();
@@ -86,7 +100,7 @@ pub fn random_fault_plan(seed: u64, topo: &Topology, cfg: &ChurnConfig) -> Fault
     );
     let hosts = topo.num_nodes();
     let mut rng = DetRng::seed_from_u64(seed);
-    let mut plan = FaultPlan::empty();
+    let mut incidents = Vec::new();
 
     let window = |rng: &mut DetRng| {
         let start = rng.f64_range(0.0, cfg.horizon);
@@ -97,37 +111,84 @@ pub fn random_fault_plan(seed: u64, topo: &Topology, cfg: &ChurnConfig) -> Fault
     for _ in 0..cfg.link_downs {
         let r = ResourceId(rng.u64_range_inclusive(0, resources as u64 - 1) as u32);
         let (s, e) = window(&mut rng);
-        plan = plan
-            .with(s, FaultKind::LinkDown(r))
-            .with(e, FaultKind::LinkRestore(r));
+        incidents.push(((s, FaultKind::LinkDown(r)), (e, FaultKind::LinkRestore(r))));
     }
     for _ in 0..cfg.degrades {
         let r = ResourceId(rng.u64_range_inclusive(0, resources as u64 - 1) as u32);
         let factor = rng.f64_range(0.25, 0.75);
         let (s, e) = window(&mut rng);
-        plan = plan
-            .with(s, FaultKind::LinkDegrade(r, factor))
-            .with(e, FaultKind::LinkRestore(r));
+        incidents.push((
+            (s, FaultKind::LinkDegrade(r, factor)),
+            (e, FaultKind::LinkRestore(r)),
+        ));
     }
     for _ in 0..cfg.outages {
         let (s, e) = window(&mut rng);
-        plan = plan
-            .with(s, FaultKind::CoordinatorDown)
-            .with(e, FaultKind::CoordinatorUp);
+        incidents.push((
+            (s, FaultKind::CoordinatorDown),
+            (e, FaultKind::CoordinatorUp),
+        ));
     }
     for _ in 0..cfg.slowdowns {
         let worker = NodeId(rng.u64_range_inclusive(0, hosts as u64 - 1) as u32);
         let factor = rng.f64_range(1.5, 4.0);
         let (s, e) = window(&mut rng);
-        plan = plan
-            .with(s, FaultKind::WorkerSlowdown { worker, factor })
-            .with(
+        incidents.push((
+            (s, FaultKind::WorkerSlowdown { worker, factor }),
+            (
                 e,
                 FaultKind::WorkerSlowdown {
                     worker,
                     factor: 1.0,
                 },
-            );
+            ),
+        ));
+    }
+    incidents
+}
+
+/// Continuous churn for open-loop drives: repeats `cfg`'s incident mix
+/// epoch after epoch (each [`ChurnConfig::horizon`] long) until `until`,
+/// instead of front-loading every fault into one window.
+///
+/// Guarantees, on top of [`random_fault_plan`]'s:
+///
+/// - **Restore-guaranteed at the cut**: an incident whose repair would
+///   land after `until` is dropped entirely — the tail of the plan never
+///   leaves a link down, a coordinator out, or a worker slowed, no
+///   matter where the horizon cuts.
+/// - **Deterministic and prefix-stable**: each epoch is seeded from
+///   `(seed, epoch)`, so extending `until` appends epochs without
+///   changing the ones already generated.
+///
+/// # Panics
+///
+/// Panics on a non-positive `until` or wherever [`random_fault_plan`]
+/// panics.
+pub fn continuous_fault_plan(
+    seed: u64,
+    topo: &Topology,
+    cfg: &ChurnConfig,
+    until: SimTime,
+) -> FaultPlan {
+    assert!(until.secs() > 0.0, "non-positive churn horizon cut");
+    let mut plan = FaultPlan::empty();
+    let epochs = (until.secs() / cfg.horizon).ceil() as u64;
+    for epoch in 0..epochs {
+        let shift = epoch as f64 * cfg.horizon;
+        // Each epoch is an independent seeded draw: extending `until`
+        // appends epochs without disturbing earlier ones.
+        let epoch_seed = seed ^ epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        for ((s, onset), (e, repair)) in random_incidents(epoch_seed, topo, cfg) {
+            let (s, e) = (s.secs() + shift, e.secs() + shift);
+            // Restore-guaranteed: an incident whose repair misses the
+            // cut is dropped whole, onset included.
+            if e <= until.secs() {
+                plan = plan
+                    .with(SimTime::new(s), onset)
+                    .with(SimTime::new(e), repair);
+            }
+        }
     }
     plan
 }
@@ -186,5 +247,95 @@ mod tests {
     fn none_config_is_empty() {
         let topo = Topology::chain(2, 1.0);
         assert!(random_fault_plan(1, &topo, &ChurnConfig::none()).is_empty());
+    }
+
+    #[test]
+    fn continuous_plan_is_deterministic_and_prefix_stable() {
+        let topo = Topology::big_switch_uniform(8, 1.0);
+        let cfg = ChurnConfig::default();
+        let a = continuous_fault_plan(7, &topo, &cfg, SimTime::new(50.0));
+        let b = continuous_fault_plan(7, &topo, &cfg, SimTime::new(50.0));
+        assert_eq!(a.events(), b.events());
+        // Extending the cut only appends: the short plan's events are a
+        // subset of the long plan's.
+        let long = continuous_fault_plan(7, &topo, &cfg, SimTime::new(100.0));
+        for e in a.events() {
+            assert!(
+                long.events()
+                    .iter()
+                    .any(|l| l.at == e.at && l.kind == e.kind),
+                "event {e:?} vanished when the horizon grew"
+            );
+        }
+        assert!(long.events().len() >= a.events().len());
+    }
+
+    #[test]
+    fn continuous_plan_spans_epochs_and_restores_before_cut() {
+        let topo = Topology::big_switch_uniform(8, 1.0);
+        let cfg = ChurnConfig::default(); // horizon 10
+        let until = SimTime::new(45.0);
+        let plan = continuous_fault_plan(3, &topo, &cfg, until);
+        let events = plan.events();
+        assert!(!events.is_empty());
+        // Faults keep arriving past the first epoch…
+        assert!(
+            events.iter().any(|e| e.at.secs() > cfg.horizon),
+            "no churn beyond the first epoch"
+        );
+        // …and nothing fires past the cut.
+        for e in events {
+            assert!(e.at.at_or_before(until), "event after the cut: {e:?}");
+        }
+        // Restore-guaranteed: last link event per resource is a restore,
+        // last coordinator event is an Up, last slowdown factor is 1.0.
+        use std::collections::BTreeMap;
+        let mut last_link: BTreeMap<ResourceId, &FaultKind> = BTreeMap::new();
+        let mut last_coord: Option<&FaultKind> = None;
+        let mut last_slow: BTreeMap<NodeId, f64> = BTreeMap::new();
+        for e in events {
+            match &e.kind {
+                FaultKind::LinkDown(r)
+                | FaultKind::LinkRestore(r)
+                | FaultKind::LinkDegrade(r, _) => {
+                    last_link.insert(*r, &e.kind);
+                }
+                FaultKind::CoordinatorDown | FaultKind::CoordinatorUp => last_coord = Some(&e.kind),
+                FaultKind::WorkerSlowdown { worker, factor } => {
+                    last_slow.insert(*worker, *factor);
+                }
+            }
+        }
+        for (_, k) in last_link {
+            assert!(matches!(k, FaultKind::LinkRestore(_)), "left down: {k:?}");
+        }
+        if let Some(k) = last_coord {
+            assert!(matches!(k, FaultKind::CoordinatorUp));
+        }
+        for (_, f) in last_slow {
+            assert_eq!(f, 1.0, "worker left slowed at the cut");
+        }
+    }
+
+    #[test]
+    fn continuous_plan_refactor_preserves_single_window_draws() {
+        // `random_fault_plan` now routes through `random_incidents`; the
+        // draw order (and thus every seeded plan in the repo) must be
+        // unchanged: one epoch of the continuous plan with a generous cut
+        // is exactly the classic plan.
+        let topo = Topology::big_switch_uniform(8, 1.0);
+        let cfg = ChurnConfig::default();
+        let classic = random_fault_plan(7, &topo, &cfg);
+        let one_epoch = continuous_fault_plan(7, &topo, &cfg, SimTime::new(cfg.horizon));
+        // Every event of the continuous plan appears in the classic plan.
+        for e in one_epoch.events() {
+            assert!(
+                classic
+                    .events()
+                    .iter()
+                    .any(|c| c.at == e.at && c.kind == e.kind),
+                "continuous epoch invented event {e:?}"
+            );
+        }
     }
 }

@@ -18,20 +18,29 @@
 //!   the same workload.
 //! - [`churn`] — seeded fault-plan generation (link flaps, degradations,
 //!   coordinator outages, stragglers) for the capacity-churn experiments.
+//! - [`service`] — the open-loop service runner: streaming job arrivals
+//!   through a bounded admission queue, scheduler-book eviction of
+//!   completed jobs, and the open≡closed replay differential.
 
 pub mod churn;
 pub mod metrics;
 pub mod placement;
 pub mod scenario;
+pub mod service;
 pub mod workload;
 
 /// Convenient re-exports.
 pub mod prelude {
-    pub use crate::churn::{random_fault_plan, ChurnConfig};
-    pub use crate::metrics::{echelon_tardiness_from_run, JobMetrics, ScenarioMetrics};
+    pub use crate::churn::{continuous_fault_plan, random_fault_plan, ChurnConfig};
+    pub use crate::metrics::{
+        echelon_tardiness_from_run, percentile, steady_state_metrics, JobMetrics, ScenarioMetrics,
+        SteadyStateMetrics,
+    };
     pub use crate::placement::PlacementPolicy;
     pub use crate::scenario::{run_scenario, Scenario, SchedulerKind};
+    pub use crate::service::{run_service, ServiceConfig, ServiceMode, ServiceOutcome};
     pub use crate::workload::{
-        apply_compute_jitter, delay_start, generate_workload, ParadigmKind, WorkloadConfig,
+        apply_compute_jitter, delay_start, generate_workload, ArrivalProcess, OpenLoopConfig,
+        ParadigmKind, TenantSpec, WorkloadConfig,
     };
 }

@@ -7,12 +7,25 @@
 //! Definition 3.1's `r = s_0`), the global objective (Eq. 4), and worker
 //! idleness.
 
-use crate::workload::{GeneratedJob, ARRIVAL_LABEL};
+use crate::service::JobRecord;
+use crate::workload::{GeneratedJob, TenantSpec, ARRIVAL_LABEL};
 use echelon_core::echelon::EchelonFlow;
 use echelon_core::JobId;
 use echelon_paradigms::runtime::RunResult;
 use echelon_simnet::time::SimTime;
 use std::collections::BTreeMap;
+
+/// Nearest-rank percentile over an ascending-sorted slice: the smallest
+/// element with at least `p` of the mass at or below it. `p` in `[0, 1]`;
+/// an empty slice reports 0 (by convention, not interpolation).
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "percentile {p} outside [0, 1]");
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64) * p).ceil() as usize;
+    sorted[idx.clamp(1, sorted.len()) - 1]
+}
 
 /// Computes an EchelonFlow's realized tardiness (Eq. 2) from a finished
 /// run: the reference time is the earliest release among its flows and
@@ -110,12 +123,7 @@ pub fn scenario_metrics(jobs: &[GeneratedJob], run: &RunResult) -> ScenarioMetri
     } else {
         jcts.iter().sum::<f64>() / jcts.len() as f64
     };
-    let p95_jct = if jcts.is_empty() {
-        0.0
-    } else {
-        let idx = ((jcts.len() as f64) * 0.95).ceil() as usize;
-        jcts[idx.clamp(1, jcts.len()) - 1]
-    };
+    let p95_jct = percentile(&jcts, 0.95);
 
     // Utilization: compute seconds (excluding arrival gates) over the
     // per-worker active window.
@@ -159,6 +167,134 @@ pub fn scenario_metrics(jobs: &[GeneratedJob], run: &RunResult) -> ScenarioMetri
         p95_jct,
         makespan: span,
         mean_utilization,
+    }
+}
+
+/// One tenant tier's slice of the steady state.
+#[derive(Debug, Clone)]
+pub struct TenantSteadyState {
+    /// Tier name (from [`TenantSpec::name`]).
+    pub name: String,
+    /// Jobs of this tier finishing after warmup.
+    pub completed: usize,
+    /// Arrivals of this tier rejected at the full pending queue.
+    pub rejected: usize,
+    /// Completed jobs whose summed tardiness exceeded the tier's SLO.
+    pub slo_violations: usize,
+    /// `slo_violations / completed` (0 when nothing completed, and
+    /// always 0 for a tier with no SLO).
+    pub violation_rate: f64,
+    /// 99th-percentile JCT within the tier.
+    pub p99_jct: f64,
+}
+
+/// Service-level metrics over an open-loop run, measured past warmup.
+#[derive(Debug, Clone)]
+pub struct SteadyStateMetrics {
+    /// Warmup cutoff used: jobs finishing at or before it are excluded.
+    pub warmup: f64,
+    /// Jobs completing after warmup.
+    pub completed: usize,
+    /// Completions per unit time over `(warmup, makespan]`.
+    pub throughput: f64,
+    /// Median JCT.
+    pub p50_jct: f64,
+    /// 99th-percentile JCT (nearest-rank).
+    pub p99_jct: f64,
+    /// Median per-job summed tardiness (Eq. 4 restricted to the job).
+    pub p50_tardiness: f64,
+    /// 99th-percentile per-job summed tardiness.
+    pub p99_tardiness: f64,
+    /// Per-tenant breakdown, in tier order.
+    pub tenants: Vec<TenantSteadyState>,
+}
+
+/// Summed, clamped EchelonFlow tardiness of one finished job (Eq. 4
+/// restricted to the job), from its retained groups.
+fn job_tardiness(rec: &JobRecord, run: &RunResult) -> f64 {
+    rec.echelons
+        .iter()
+        .filter_map(|h| echelon_tardiness_from_run(h, run))
+        .map(|t| t.max(0.0))
+        .sum()
+}
+
+/// Distills a service run's [`JobRecord`]s into steady-state SLO
+/// metrics: throughput, JCT and tardiness percentiles, and per-tenant
+/// SLO-violation rates, all over jobs finishing *after* `warmup` (the
+/// ramp-up transient, where the cluster is still filling, would bias
+/// every percentile down).
+pub fn steady_state_metrics(
+    records: &[JobRecord],
+    run: &RunResult,
+    tenants: &[TenantSpec],
+    warmup: f64,
+) -> SteadyStateMetrics {
+    let mut jcts = Vec::new();
+    let mut tards = Vec::new();
+    let mut per_tenant: Vec<(usize, usize, Vec<f64>)> = vec![(0, 0, Vec::new()); tenants.len()];
+    for rec in records {
+        if rec.rejected {
+            per_tenant[rec.tenant].1 += 1;
+            continue;
+        }
+        let Some(finish) = rec.finished_at else {
+            continue;
+        };
+        if finish <= warmup {
+            continue;
+        }
+        let jct = finish - rec.arrival;
+        let tardiness = job_tardiness(rec, run);
+        jcts.push(jct);
+        tards.push(tardiness);
+        let slot = &mut per_tenant[rec.tenant];
+        slot.2.push(jct);
+        if tenants[rec.tenant]
+            .slo_tardiness
+            .is_some_and(|slo| tardiness > slo)
+        {
+            slot.0 += 1;
+        }
+    }
+    jcts.sort_by(f64::total_cmp);
+    tards.sort_by(f64::total_cmp);
+    let completed = jcts.len();
+    let window = run.makespan.secs() - warmup;
+    let throughput = if window > 0.0 {
+        completed as f64 / window
+    } else {
+        0.0
+    };
+    let tenants_out = tenants
+        .iter()
+        .zip(per_tenant)
+        .map(|(spec, (violations, rejected, mut tier_jcts))| {
+            tier_jcts.sort_by(f64::total_cmp);
+            let completed = tier_jcts.len();
+            TenantSteadyState {
+                name: spec.name.clone(),
+                completed,
+                rejected,
+                slo_violations: violations,
+                violation_rate: if completed > 0 {
+                    violations as f64 / completed as f64
+                } else {
+                    0.0
+                },
+                p99_jct: percentile(&tier_jcts, 0.99),
+            }
+        })
+        .collect();
+    SteadyStateMetrics {
+        warmup,
+        completed,
+        throughput,
+        p50_jct: percentile(&jcts, 0.5),
+        p99_jct: percentile(&jcts, 0.99),
+        p50_tardiness: percentile(&tards, 0.5),
+        p99_tardiness: percentile(&tards, 0.99),
+        tenants: tenants_out,
     }
 }
 
@@ -247,7 +383,14 @@ mod tests {
         let cfg = WorkloadConfig::default_mix(5, 1, 16);
         let mut alloc = IdAlloc::new();
         let jobs = generate_workload(&cfg, &mut alloc);
-        let empty = RunResult {
+        let empty = empty_run();
+        for h in &jobs[0].dag.echelons {
+            assert!(echelon_tardiness_from_run(h, &empty).is_none());
+        }
+    }
+
+    fn empty_run() -> RunResult {
+        RunResult {
             comp_spans: Default::default(),
             comm_spans: Default::default(),
             flow_releases: Default::default(),
@@ -258,9 +401,105 @@ mod tests {
             timeline: vec![],
             trace: Default::default(),
             stats: Default::default(),
-        };
-        for h in &jobs[0].dag.echelons {
-            assert!(echelon_tardiness_from_run(h, &empty).is_none());
+        }
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 0.5), 3.0);
+        assert_eq!(percentile(&v, 0.9), 5.0);
+        assert_eq!(percentile(&v, 1.0), 5.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        // The inlined p95 this helper replaced, on a 20-element slice:
+        // ceil(20 * 0.95) = 19 → the 19th smallest.
+        let w: Vec<f64> = (1..=20).map(f64::from).collect();
+        assert_eq!(percentile(&w, 0.95), 19.0);
+    }
+
+    fn record(
+        job: u32,
+        tenant: usize,
+        arrival: f64,
+        finished: Option<f64>,
+        rejected: bool,
+    ) -> JobRecord {
+        JobRecord {
+            job: JobId(job),
+            tenant,
+            arrival,
+            admitted_at: finished.map(|_| arrival),
+            finished_at: finished,
+            rejected,
+            echelons: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn steady_state_respects_warmup_and_empty_slo() {
+        let tenants = vec![
+            crate::workload::TenantSpec {
+                name: "prod".into(),
+                weight: 1.0,
+                // A zero-tardiness job still "exceeds" a negative budget:
+                // forces the violation path without needing a real run.
+                slo_tardiness: Some(-1.0),
+            },
+            crate::workload::TenantSpec {
+                name: "batch".into(),
+                weight: 1.0,
+                slo_tardiness: None,
+            },
+        ];
+        let records = vec![
+            record(0, 0, 0.0, Some(1.0), false), // inside warmup: dropped
+            record(1, 0, 1.0, Some(4.0), false),
+            record(2, 1, 1.0, Some(6.0), false),
+            record(3, 1, 2.0, None, true), // rejected
+        ];
+        let mut run = empty_run();
+        run.makespan = SimTime::new(6.0);
+        let m = steady_state_metrics(&records, &run, &tenants, 2.0);
+        assert_eq!(m.completed, 2);
+        assert!((m.throughput - 2.0 / 4.0).abs() < 1e-12);
+        assert_eq!(m.p50_jct, 3.0);
+        assert_eq!(m.p99_jct, 5.0);
+        // prod's negative SLO flags its one completed job…
+        assert_eq!(m.tenants[0].slo_violations, 1);
+        assert!((m.tenants[0].violation_rate - 1.0).abs() < 1e-12);
+        // …while the SLO-less batch tier can never violate.
+        assert_eq!(m.tenants[1].slo_violations, 0);
+        assert_eq!(m.tenants[1].violation_rate, 0.0);
+        assert_eq!(m.tenants[1].rejected, 1);
+    }
+
+    #[test]
+    fn steady_state_over_real_service_run() {
+        use crate::service::{run_service, ServiceConfig, ServiceMode};
+        use crate::workload::OpenLoopConfig;
+        use echelon_simnet::fault::FaultPlan;
+        use echelon_simnet::runner::RecomputeMode;
+
+        let cfg = OpenLoopConfig::default_tiers(9, 15, 8, 0.6);
+        let out = run_service(
+            &Topology::big_switch_uniform(8, 1.0),
+            &cfg,
+            &ServiceConfig::default(),
+            crate::scenario::SchedulerKind::Echelon,
+            RecomputeMode::Full,
+            &FaultPlan::new(Vec::new()),
+            ServiceMode::Streaming,
+        );
+        let m = steady_state_metrics(&out.records, &out.result, &cfg.tenants, 0.0);
+        assert_eq!(m.completed, 15);
+        assert!(m.throughput > 0.0);
+        assert!(m.p50_jct > 0.0 && m.p99_jct >= m.p50_jct);
+        assert!(m.p99_tardiness >= m.p50_tardiness);
+        let per_tier: usize = m.tenants.iter().map(|t| t.completed).sum();
+        assert_eq!(per_tier, 15);
+        for t in &m.tenants {
+            assert!(t.violation_rate >= 0.0 && t.violation_rate <= 1.0);
         }
     }
 }

@@ -110,7 +110,7 @@ fn pick_kind(rng: &mut DetRng, mix: &[(ParadigmKind, f64)]) -> ParadigmKind {
 }
 
 /// Hosts a paradigm instance needs given a sampled worker count.
-fn hosts_needed(kind: ParadigmKind, workers: usize) -> usize {
+pub fn hosts_needed(kind: ParadigmKind, workers: usize) -> usize {
     match kind {
         ParadigmKind::DpPs => workers + 1, // plus the PS node
         ParadigmKind::Hybrid => 4,         // 2 replicas × 2 stages
@@ -216,6 +216,115 @@ pub fn generate_workload_ungated(cfg: &WorkloadConfig, alloc: &mut IdAlloc) -> V
     generate_workload_impl(cfg, alloc, false)
 }
 
+/// Compiles one sampled job into its [`JobDag`] — the single shared
+/// frontend used by the batch generator and the open-loop [`JobStream`].
+/// `hosts` must have exactly [`hosts_needed`] entries for `kind`; the DAG
+/// is ungated (its arrival is enforced by the admission path, or by
+/// [`delay_start`] for the gated batch representation).
+pub fn compile_job(
+    job: JobId,
+    kind: ParadigmKind,
+    hosts: &[NodeId],
+    comp_scale: f64,
+    bytes_scale: f64,
+    iterations: usize,
+    alloc: &mut IdAlloc,
+) -> JobDag {
+    let c = comp_scale;
+    let by = bytes_scale;
+    match kind {
+        ParadigmKind::DpAllReduce => build_dp_allreduce(
+            job,
+            &DpConfig {
+                placement: hosts.to_vec(),
+                ps: None,
+                bucket_bytes: vec![2.0 * by; 2],
+                fwd_time: c,
+                bwd_time_per_bucket: 0.5 * c,
+                iterations,
+            },
+            alloc,
+        ),
+        ParadigmKind::DpPs => {
+            let (workers, ps) = hosts.split_at(hosts.len() - 1);
+            build_dp_ps(
+                job,
+                &DpConfig {
+                    placement: workers.to_vec(),
+                    ps: Some(ps[0]),
+                    bucket_bytes: vec![2.0 * by; 2],
+                    fwd_time: c,
+                    bwd_time_per_bucket: 0.5 * c,
+                    iterations,
+                },
+                alloc,
+            )
+        }
+        ParadigmKind::PpGpipe => build_pp_gpipe(
+            job,
+            &PpConfig {
+                placement: hosts.to_vec(),
+                micro_batches: 4,
+                fwd_time: 0.5 * c,
+                bwd_time: 0.5 * c,
+                activation_bytes: by,
+                iterations,
+            },
+            alloc,
+        ),
+        ParadigmKind::Pp1f1b => build_pp_1f1b(
+            job,
+            &PpConfig {
+                placement: hosts.to_vec(),
+                micro_batches: 4,
+                fwd_time: 0.5 * c,
+                bwd_time: 0.5 * c,
+                activation_bytes: by,
+                iterations,
+            },
+            alloc,
+        ),
+        ParadigmKind::Tp => build_tp(
+            job,
+            &TpConfig {
+                placement: hosts.to_vec(),
+                layers: 2,
+                fwd_time_per_layer: 0.5 * c,
+                bwd_time_per_layer: 0.5 * c,
+                activation_bytes: by,
+                iterations,
+            },
+            alloc,
+        ),
+        ParadigmKind::Hybrid => build_hybrid(
+            job,
+            &HybridConfig {
+                replicas: vec![hosts[0..2].to_vec(), hosts[2..4].to_vec()],
+                micro_batches: 3,
+                fwd_time: 0.5 * c,
+                bwd_time: 0.5 * c,
+                activation_bytes: by,
+                stage_grad_bytes: by,
+                iterations,
+            },
+            alloc,
+        ),
+        ParadigmKind::Fsdp => build_fsdp(
+            job,
+            &FsdpConfig {
+                placement: hosts.to_vec(),
+                layers: 3,
+                shard_bytes: 0.5 * by,
+                layer_shard_bytes: None,
+                fwd_time_per_layer: 0.5 * c,
+                bwd_time_per_layer: 0.5 * c,
+                iterations,
+            },
+            alloc,
+        ),
+    }
+}
+
 fn generate_workload_impl(
     cfg: &WorkloadConfig,
     alloc: &mut IdAlloc,
@@ -263,99 +372,15 @@ fn generate_workload_impl(
     let mut jobs = Vec::with_capacity(cfg.jobs);
     for (i, (draft, hosts)) in drafts.into_iter().zip(placements).enumerate() {
         let job = JobId(i as u32);
-        let c = draft.comp_scale;
-        let by = draft.bytes_scale;
-        let dag = match draft.kind {
-            ParadigmKind::DpAllReduce => build_dp_allreduce(
-                job,
-                &DpConfig {
-                    placement: hosts.clone(),
-                    ps: None,
-                    bucket_bytes: vec![2.0 * by; 2],
-                    fwd_time: c,
-                    bwd_time_per_bucket: 0.5 * c,
-                    iterations: cfg.iterations,
-                },
-                alloc,
-            ),
-            ParadigmKind::DpPs => {
-                let (workers, ps) = hosts.split_at(hosts.len() - 1);
-                build_dp_ps(
-                    job,
-                    &DpConfig {
-                        placement: workers.to_vec(),
-                        ps: Some(ps[0]),
-                        bucket_bytes: vec![2.0 * by; 2],
-                        fwd_time: c,
-                        bwd_time_per_bucket: 0.5 * c,
-                        iterations: cfg.iterations,
-                    },
-                    alloc,
-                )
-            }
-            ParadigmKind::PpGpipe => build_pp_gpipe(
-                job,
-                &PpConfig {
-                    placement: hosts.clone(),
-                    micro_batches: 4,
-                    fwd_time: 0.5 * c,
-                    bwd_time: 0.5 * c,
-                    activation_bytes: by,
-                    iterations: cfg.iterations,
-                },
-                alloc,
-            ),
-            ParadigmKind::Pp1f1b => build_pp_1f1b(
-                job,
-                &PpConfig {
-                    placement: hosts.clone(),
-                    micro_batches: 4,
-                    fwd_time: 0.5 * c,
-                    bwd_time: 0.5 * c,
-                    activation_bytes: by,
-                    iterations: cfg.iterations,
-                },
-                alloc,
-            ),
-            ParadigmKind::Tp => build_tp(
-                job,
-                &TpConfig {
-                    placement: hosts.clone(),
-                    layers: 2,
-                    fwd_time_per_layer: 0.5 * c,
-                    bwd_time_per_layer: 0.5 * c,
-                    activation_bytes: by,
-                    iterations: cfg.iterations,
-                },
-                alloc,
-            ),
-            ParadigmKind::Hybrid => build_hybrid(
-                job,
-                &HybridConfig {
-                    replicas: vec![hosts[0..2].to_vec(), hosts[2..4].to_vec()],
-                    micro_batches: 3,
-                    fwd_time: 0.5 * c,
-                    bwd_time: 0.5 * c,
-                    activation_bytes: by,
-                    stage_grad_bytes: by,
-                    iterations: cfg.iterations,
-                },
-                alloc,
-            ),
-            ParadigmKind::Fsdp => build_fsdp(
-                job,
-                &FsdpConfig {
-                    placement: hosts.clone(),
-                    layers: 3,
-                    shard_bytes: 0.5 * by,
-                    layer_shard_bytes: None,
-                    fwd_time_per_layer: 0.5 * c,
-                    bwd_time_per_layer: 0.5 * c,
-                    iterations: cfg.iterations,
-                },
-                alloc,
-            ),
-        };
+        let dag = compile_job(
+            job,
+            draft.kind,
+            &hosts,
+            draft.comp_scale,
+            draft.bytes_scale,
+            cfg.iterations,
+            alloc,
+        );
         let dag = if gate {
             delay_start(dag, draft.arrival, alloc)
         } else {
@@ -369,6 +394,255 @@ fn generate_workload_impl(
         });
     }
     jobs
+}
+
+/// One tenant tier of an open-loop workload: jobs drawn to the tier
+/// inherit its admission priority (tiers scan in declaration order) and
+/// its tardiness SLO.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Display name of the tier.
+    pub name: String,
+    /// Relative weight in the per-job tenant draw.
+    pub weight: f64,
+    /// Per-job tardiness budget: a finished job whose summed EchelonFlow
+    /// tardiness exceeds this violates the tier's SLO. `None` means the
+    /// tier carries no SLO at all (best-effort batch work) — such a
+    /// tenant can never register a violation.
+    pub slo_tardiness: Option<f64>,
+}
+
+/// How an open-loop stream produces job arrival times.
+#[derive(Debug, Clone)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals by inverse transform (exponential gaps).
+    Poisson {
+        /// Mean inter-arrival gap.
+        mean_interarrival: f64,
+    },
+    /// Trace-driven arrivals: job `i` arrives at `arrivals[i]`. Must be
+    /// non-decreasing and at least as long as the configured job count.
+    Trace {
+        /// Absolute arrival times, one per job.
+        arrivals: Vec<f64>,
+    },
+}
+
+/// Configuration of an open-loop job stream ([`JobStream`]).
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Master seed: identical configs produce identical streams.
+    pub seed: u64,
+    /// Jobs in the stream (the bounded-horizon termination condition:
+    /// the service drains once this many have been offered).
+    pub jobs: usize,
+    /// Cluster size; each job's hosts are sampled from `0..hosts` at
+    /// generation time and held fixed (admission waits until they free).
+    pub hosts: usize,
+    /// Arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Paradigm mix with relative weights.
+    pub mix: Vec<(ParadigmKind, f64)>,
+    /// Tenant tiers (admission scans them in declaration order). Must be
+    /// non-empty.
+    pub tenants: Vec<TenantSpec>,
+    /// Training iterations per job.
+    pub iterations: usize,
+}
+
+impl OpenLoopConfig {
+    /// A three-tier mix (prod with a tight SLO, standard with a loose
+    /// one, SLO-less batch) over every paradigm.
+    pub fn default_tiers(
+        seed: u64,
+        jobs: usize,
+        hosts: usize,
+        mean_interarrival: f64,
+    ) -> OpenLoopConfig {
+        OpenLoopConfig {
+            seed,
+            jobs,
+            hosts,
+            arrivals: ArrivalProcess::Poisson { mean_interarrival },
+            mix: WorkloadConfig::default_mix(seed, jobs, hosts).mix,
+            tenants: vec![
+                TenantSpec {
+                    name: "prod".to_string(),
+                    weight: 1.0,
+                    slo_tardiness: Some(2.0),
+                },
+                TenantSpec {
+                    name: "standard".to_string(),
+                    weight: 2.0,
+                    slo_tardiness: Some(8.0),
+                },
+                TenantSpec {
+                    name: "batch".to_string(),
+                    weight: 1.0,
+                    slo_tardiness: None,
+                },
+            ],
+            iterations: 1,
+        }
+    }
+}
+
+/// One job emitted by a [`JobStream`].
+#[derive(Debug, Clone)]
+pub struct StreamJob {
+    /// The compiled, ungated DAG (arrival enforced by the admission
+    /// path).
+    pub dag: JobDag,
+    /// Paradigm used.
+    pub kind: ParadigmKind,
+    /// Arrival time.
+    pub arrival: f64,
+    /// Index into [`OpenLoopConfig::tenants`].
+    pub tenant: usize,
+    /// The job's fixed host set, sampled at generation time.
+    pub hosts: Vec<NodeId>,
+}
+
+fn pick_tenant(rng: &mut DetRng, tenants: &[TenantSpec]) -> usize {
+    let total: f64 = tenants.iter().map(|t| t.weight).sum();
+    assert!(total > 0.0, "tenant mix has zero total weight");
+    let mut x = rng.f64_range(0.0, total);
+    for (i, t) in tenants.iter().enumerate() {
+        if x < t.weight {
+            return i;
+        }
+        x -= t.weight;
+    }
+    tenants.len() - 1
+}
+
+/// A lazy, seeded job generator for open-loop service runs: each call to
+/// [`Iterator::next`] samples and compiles exactly one job, so the memory
+/// held is one job's DAG rather than the whole stream. Collecting the
+/// stream into a `Vec` yields the *identical* jobs (same RNG draws, same
+/// id-allocator sequence) — that is the closed-loop replay of the
+/// differential gate in `cluster::service`.
+///
+/// Placement is fixed at generation time: a job's hosts are sampled
+/// uniformly (distinct, independent of cluster occupancy) and admission
+/// later waits until all of them are free. This keeps generation
+/// independent of simulation state, which is what makes streaming and
+/// pre-materialized replays bit-identical.
+#[derive(Debug)]
+pub struct JobStream {
+    cfg: OpenLoopConfig,
+    rng: DetRng,
+    alloc: IdAlloc,
+    t: f64,
+    emitted: usize,
+}
+
+impl JobStream {
+    /// Starts the stream described by `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.tenants` is empty, the mix is empty, a trace is
+    /// shorter than `cfg.jobs`, or the cluster is smaller than the
+    /// largest possible single-job demand.
+    pub fn new(cfg: OpenLoopConfig) -> JobStream {
+        assert!(!cfg.tenants.is_empty(), "open-loop config needs tenants");
+        assert!(!cfg.mix.is_empty(), "open-loop config needs a paradigm mix");
+        if let ArrivalProcess::Trace { arrivals } = &cfg.arrivals {
+            assert!(
+                arrivals.len() >= cfg.jobs,
+                "trace has {} arrivals but the stream needs {}",
+                arrivals.len(),
+                cfg.jobs
+            );
+        }
+        let rng = DetRng::seed_from_u64(cfg.seed);
+        JobStream {
+            cfg,
+            rng,
+            alloc: IdAlloc::new(),
+            t: 0.0,
+            emitted: 0,
+        }
+    }
+
+    /// Jobs emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// Total jobs the stream will emit.
+    pub fn len_total(&self) -> usize {
+        self.cfg.jobs
+    }
+}
+
+impl Iterator for JobStream {
+    type Item = StreamJob;
+
+    fn next(&mut self) -> Option<StreamJob> {
+        if self.emitted == self.cfg.jobs {
+            return None;
+        }
+        let i = self.emitted;
+        self.emitted += 1;
+        // Draw order is part of the determinism contract: kind, workers,
+        // arrival gap, comp scale, bytes scale, tenant, hosts.
+        let kind = pick_kind(&mut self.rng, &self.cfg.mix);
+        let workers = match kind {
+            ParadigmKind::PpGpipe | ParadigmKind::Pp1f1b => self.rng.usize_range_inclusive(2, 3),
+            _ => self.rng.usize_range_inclusive(2, 4),
+        };
+        let arrival = match &self.cfg.arrivals {
+            ArrivalProcess::Poisson { mean_interarrival } => {
+                let u: f64 = self.rng.f64_range(1e-12, 1.0);
+                self.t += -u.ln() * mean_interarrival;
+                self.t
+            }
+            ArrivalProcess::Trace { arrivals } => {
+                let t = arrivals[i];
+                assert!(
+                    t >= self.t && t.is_finite(),
+                    "trace arrival {t} regresses before {}",
+                    self.t
+                );
+                self.t = t;
+                t
+            }
+        };
+        let comp_scale = self.rng.f64_range(0.5, 2.0);
+        let bytes_scale = self.rng.f64_range(0.5, 2.0);
+        let tenant = pick_tenant(&mut self.rng, &self.cfg.tenants);
+        let need = hosts_needed(kind, workers);
+        assert!(
+            need <= self.cfg.hosts,
+            "job needs {need} hosts but the cluster has {}",
+            self.cfg.hosts
+        );
+        let mut hosts = Vec::with_capacity(need);
+        while hosts.len() < need {
+            let h = NodeId(self.rng.usize_range_inclusive(0, self.cfg.hosts - 1) as u32);
+            if !hosts.contains(&h) {
+                hosts.push(h);
+            }
+        }
+        let dag = compile_job(
+            JobId(i as u32),
+            kind,
+            &hosts,
+            comp_scale,
+            bytes_scale,
+            self.cfg.iterations,
+            &mut self.alloc,
+        );
+        Some(StreamJob {
+            dag,
+            kind,
+            arrival,
+            tenant,
+            hosts,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -70,6 +70,73 @@ pub fn make_policy(grouping: Grouping, dags: &[&JobDag]) -> Box<dyn RatePolicy> 
     }
 }
 
+/// An incremental job supplier for open-loop runs ([`run_jobs_streamed`]).
+///
+/// The runtime polls the feed instead of holding a pre-materialized DAG
+/// slice: at every event it asks for jobs whose arrival time has come and
+/// whose admission test passes, and it reports each job's retirement (all
+/// units finished) so the feed can release queue slots, record completion
+/// times, and emit lifecycle notifications (e.g. scheduler-registry
+/// eviction). Worker claims are freed on retirement, so a host set can be
+/// reused by later jobs — the memory the runtime holds is proportional to
+/// the *concurrently admitted* jobs, not the total stream length.
+pub trait JobFeed {
+    /// Absolute time of the next new arrival, if the stream has more
+    /// jobs. Pending-but-blocked jobs are *not* events: their admission
+    /// is re-attempted whenever any other event fires (host-freeing is
+    /// always accompanied by one).
+    fn next_event_at(&self) -> Option<SimTime>;
+
+    /// Whether an [`admit`](Self::admit) call at `now` could do anything:
+    /// an arrival is due or blocked jobs are queued. Lets the runtime
+    /// skip building the claimed-worker set on quiet events.
+    fn wants_admission(&self, now: SimTime) -> bool {
+        self.next_event_at().is_some_and(|t| t.at_or_before(now)) || self.backlog() > 0
+    }
+
+    /// Offers admission at `now`: returns the jobs to admit, in admission
+    /// order. `claimed` is the set of workers currently held by admitted,
+    /// unfinished jobs; the feed must only return jobs whose workers are
+    /// all unclaimed (and disjoint among the returned batch).
+    fn admit(&mut self, now: SimTime, claimed: &BTreeSet<NodeId>) -> Vec<JobDag>;
+
+    /// Notification that an admitted job retired (every computation and
+    /// communication unit finished) at `now`.
+    fn on_job_retired(&mut self, now: SimTime, job: JobId);
+
+    /// True once no further admission will ever occur: the stream is dry
+    /// and no job is queued.
+    fn exhausted(&self) -> bool;
+
+    /// Jobs generated but not yet admitted (waiting for hosts). Purely
+    /// informational: sized the admission re-scan and the deadlock report.
+    fn backlog(&self) -> usize {
+        0
+    }
+}
+
+/// A slot in the runtime's job arena: legacy entry points borrow their
+/// DAGs for the whole run, feed-driven runs own them and drop each on
+/// retirement (the bounded-memory half of the open-loop contract).
+enum DagEntry<'a> {
+    /// Borrowed from the caller (closed-loop entry points).
+    Borrowed(&'a JobDag),
+    /// Owned, admitted from a [`JobFeed`]; dropped at retirement.
+    Owned(Box<JobDag>),
+    /// Retired: every unit finished, the DAG released.
+    Retired,
+}
+
+impl DagEntry<'_> {
+    fn dag(&self) -> &JobDag {
+        match self {
+            DagEntry::Borrowed(d) => d,
+            DagEntry::Owned(d) => d,
+            DagEntry::Retired => panic!("retired job's DAG accessed"),
+        }
+    }
+}
+
 /// One bar of a worker timeline (Fig. 1a).
 #[derive(Debug, Clone)]
 pub struct TimelineEntry {
@@ -163,7 +230,12 @@ struct Dependents {
 /// The DAG-runtime [`WorkloadSource`]: computation programs, dependency
 /// counters, staged communication ops, and per-job admission times.
 struct JobSource<'a> {
-    dags: &'a [&'a JobDag],
+    /// Job arena. Indices are stable (feed admissions append); retired
+    /// slots hold [`DagEntry::Retired`] and are never read again.
+    dags: Vec<DagEntry<'a>>,
+    /// Incremental job supplier for open-loop runs; `None` on the legacy
+    /// entry points (all DAGs admitted at construction).
+    feed: Option<&'a mut dyn JobFeed>,
     /// Per-dag admission time ([`SimTime::ZERO`] when not arrival-driven).
     arrivals: Vec<SimTime>,
     /// Dag indices in ascending (arrival, index) order; `arrival_cursor`
@@ -197,6 +269,13 @@ struct JobSource<'a> {
     ready_comms: BTreeSet<CommId>,
     /// Workers whose program head may have become startable.
     ready_workers: BTreeSet<NodeId>,
+    /// Unfinished units (comps + comms) per admitted dag; a job whose
+    /// count hits zero retires: its per-unit lookups are dropped and its
+    /// worker claims freed for later arrivals.
+    job_units_left: BTreeMap<usize, usize>,
+    /// Set when a job retires during the current release pass; the feed
+    /// admission scan re-runs so a blocked job can enter at this instant.
+    retired_in_pass: bool,
     comps_done: usize,
     comms_done: usize,
     total_comps: usize,
@@ -213,25 +292,12 @@ struct JobSource<'a> {
 }
 
 impl<'a> JobSource<'a> {
-    fn new(dags: &'a [&'a JobDag], arrivals: Vec<SimTime>) -> JobSource<'a> {
-        // Validate disjoint worker sets.
-        let mut claimed: BTreeMap<NodeId, JobId> = BTreeMap::new();
-        for dag in dags {
-            for w in dag.workers() {
-                if let Some(prev) = claimed.insert(w, dag.job) {
-                    panic!("worker {w} claimed by both {prev} and {}", dag.job);
-                }
-            }
-        }
-
-        let mut source = JobSource {
-            dags,
-            arrival_order: {
-                let mut order: Vec<usize> = (0..dags.len()).collect();
-                order.sort_by(|&a, &b| arrivals[a].cmp(&arrivals[b]).then(a.cmp(&b)));
-                order
-            },
-            arrivals,
+    fn empty() -> JobSource<'a> {
+        JobSource {
+            dags: Vec::new(),
+            feed: None,
+            arrivals: Vec::new(),
+            arrival_order: Vec::new(),
             arrival_cursor: 0,
             comp_of: BTreeMap::new(),
             comm_of: BTreeMap::new(),
@@ -249,10 +315,12 @@ impl<'a> JobSource<'a> {
             comp_starts: BTreeMap::new(),
             ready_comms: BTreeSet::new(),
             ready_workers: BTreeSet::new(),
+            job_units_left: BTreeMap::new(),
+            retired_in_pass: false,
             comps_done: 0,
             comms_done: 0,
-            total_comps: dags.iter().map(|d| d.comps.len()).sum(),
-            total_comms: dags.iter().map(|d| d.comms.len()).sum(),
+            total_comps: 0,
+            total_comms: 0,
             force_every_event: false,
             slow_factor: BTreeMap::new(),
             result: RunResult {
@@ -267,60 +335,173 @@ impl<'a> JobSource<'a> {
                 trace: FlowTrace::new(),
                 stats: DriveStats::default(),
             },
-        };
+        }
+    }
 
-        // Lookups, dependency counters and reverse edges — once per run.
-        for (di, dag) in dags.iter().enumerate() {
-            for w in dag.workers() {
-                source.worker_dag.insert(w, di);
-                source.worker_busy_now.insert(w, false);
-                source.program_ptr.insert(w, 0);
-            }
-            for (&id, unit) in &dag.comps {
-                source.comp_of.insert(id, di);
-                source
-                    .comp_pending
-                    .insert(id, unit.deps_comp.len() + unit.deps_comm.len());
-                for &d in &unit.deps_comp {
-                    source.comp_dependents.entry(d).or_default().comps.push(id);
-                }
-                for &d in &unit.deps_comm {
-                    source.comm_dependents.entry(d).or_default().comps.push(id);
-                }
-            }
-            for (&id, comm) in &dag.comms {
-                source.comm_of.insert(id, di);
-                source
-                    .comm_pending
-                    .insert(id, comm.deps_comp.len() + comm.deps_comm.len());
-                for &d in &comm.deps_comp {
-                    source.comp_dependents.entry(d).or_default().comms.push(id);
-                }
-                for &d in &comm.deps_comm {
-                    source.comm_dependents.entry(d).or_default().comms.push(id);
-                }
-                source.comm_state.insert(
-                    id,
-                    CommState {
-                        released_stages: 0,
-                        outstanding: 0,
-                        started: None,
-                        done: false,
-                    },
-                );
-                for f in comm.flows() {
-                    source.flow_to_comm.insert(f.id, id);
-                    source.job_of_flow.insert(f.id, dag.job);
-                }
-            }
+    fn new(dags: &'a [&'a JobDag], arrivals: Vec<SimTime>) -> JobSource<'a> {
+        let mut source = JobSource::empty();
+        source.arrival_order = {
+            let mut order: Vec<usize> = (0..dags.len()).collect();
+            order.sort_by(|&a, &b| arrivals[a].cmp(&arrivals[b]).then(a.cmp(&b)));
+            order
+        };
+        source.arrivals = arrivals;
+        for &dag in dags {
+            source.admit_entry(DagEntry::Borrowed(dag));
         }
         source
+    }
+
+    fn with_feed(feed: &'a mut (dyn JobFeed + 'a)) -> JobSource<'a> {
+        let mut source = JobSource::empty();
+        source.feed = Some(feed);
+        source
+    }
+
+    /// Indexes one job into the arena: lookups, dependency counters,
+    /// reverse edges, worker claims, unit totals. Panics if a worker is
+    /// already claimed by a live job — legacy entry points reach this from
+    /// construction (disjointness validation), feed-driven runs only after
+    /// the admission gate checked the claim set.
+    fn admit_entry(&mut self, entry: DagEntry<'a>) -> usize {
+        let di = self.dags.len();
+        self.dags.push(entry);
+        let dag = self.dags[di].dag();
+        for w in dag.workers() {
+            if let Some(&prev) = self.worker_dag.get(&w) {
+                let prev = self.dags[prev].dag().job;
+                panic!("worker {w} claimed by both {prev} and {}", dag.job);
+            }
+            self.worker_dag.insert(w, di);
+            self.worker_busy_now.insert(w, false);
+            self.program_ptr.insert(w, 0);
+        }
+        for (&id, unit) in &dag.comps {
+            self.comp_of.insert(id, di);
+            self.comp_pending
+                .insert(id, unit.deps_comp.len() + unit.deps_comm.len());
+            for &d in &unit.deps_comp {
+                self.comp_dependents.entry(d).or_default().comps.push(id);
+            }
+            for &d in &unit.deps_comm {
+                self.comm_dependents.entry(d).or_default().comps.push(id);
+            }
+        }
+        for (&id, comm) in &dag.comms {
+            self.comm_of.insert(id, di);
+            self.comm_pending
+                .insert(id, comm.deps_comp.len() + comm.deps_comm.len());
+            for &d in &comm.deps_comp {
+                self.comp_dependents.entry(d).or_default().comms.push(id);
+            }
+            for &d in &comm.deps_comm {
+                self.comm_dependents.entry(d).or_default().comms.push(id);
+            }
+            self.comm_state.insert(
+                id,
+                CommState {
+                    released_stages: 0,
+                    outstanding: 0,
+                    started: None,
+                    done: false,
+                },
+            );
+            for f in comm.flows() {
+                self.flow_to_comm.insert(f.id, id);
+                self.job_of_flow.insert(f.id, dag.job);
+            }
+        }
+        self.total_comps += dag.comps.len();
+        self.total_comms += dag.comms.len();
+        self.job_units_left
+            .insert(di, dag.comps.len() + dag.comms.len());
+        di
+    }
+
+    /// Admits a feed-supplied job at `now`: index, activate, and — for a
+    /// degenerate job with no units at all — retire on the spot.
+    fn admit_dag(&mut self, dag: JobDag, now: SimTime) {
+        let di = self.admit_entry(DagEntry::Owned(Box::new(dag)));
+        self.activate(di);
+        if self.job_units_left.get(&di) == Some(&0) {
+            self.retire_job(di, now);
+        }
+    }
+
+    /// Decrements a job's unfinished-unit count, retiring it at zero.
+    fn note_unit_done(&mut self, di: usize, now: SimTime) {
+        let left = self.job_units_left.get_mut(&di).expect("live job");
+        *left -= 1;
+        if *left == 0 {
+            self.retire_job(di, now);
+        }
+    }
+
+    /// Retires a finished job: every per-unit lookup is dropped, its
+    /// worker claims are freed (later arrivals may reuse the hosts), and
+    /// an owned DAG is released. Bounded memory for open-loop runs; for
+    /// legacy runs this is pure cleanup with no observable effect.
+    fn retire_job(&mut self, di: usize, now: SimTime) {
+        let entry = std::mem::replace(&mut self.dags[di], DagEntry::Retired);
+        let dag = entry.dag();
+        let job = dag.job;
+        for w in dag.workers() {
+            self.worker_dag.remove(&w);
+            self.worker_busy_now.remove(&w);
+            self.program_ptr.remove(&w);
+            self.ready_workers.remove(&w);
+        }
+        for &id in dag.comps.keys() {
+            self.comp_of.remove(&id);
+            self.comp_pending.remove(&id);
+            self.comp_dependents.remove(&id);
+            self.comp_starts.remove(&id);
+        }
+        for (&id, comm) in &dag.comms {
+            self.comm_of.remove(&id);
+            self.comm_pending.remove(&id);
+            self.comm_dependents.remove(&id);
+            self.comm_state.remove(&id);
+            self.ready_comms.remove(&id);
+            for f in comm.flows() {
+                self.flow_to_comm.remove(&f.id);
+                self.job_of_flow.remove(&f.id);
+            }
+        }
+        self.job_units_left.remove(&di);
+        // A unit-less job still completes: its makespan is its admission.
+        self.result.job_makespans.entry(job).or_insert(now);
+        drop(entry);
+        self.retired_in_pass = true;
+        if let Some(feed) = self.feed.as_deref_mut() {
+            feed.on_job_retired(now, job);
+        }
+    }
+
+    /// One feed admission pass: collect the current worker claims, let
+    /// the feed admit every due, unblocked job, and index each.
+    fn admit_from_feed(&mut self, now: SimTime) {
+        let Some(feed) = self.feed.as_deref_mut() else {
+            return;
+        };
+        if !feed.wants_admission(now) {
+            return;
+        }
+        let claimed: BTreeSet<NodeId> = self.worker_dag.keys().copied().collect();
+        let admitted = self
+            .feed
+            .as_deref_mut()
+            .expect("feed mode")
+            .admit(now, &claimed);
+        for dag in admitted {
+            self.admit_dag(dag, now);
+        }
     }
 
     /// Admits dag `idx`: its workers and dependency-free communication
     /// ops enter the ready queues.
     fn activate(&mut self, idx: usize) {
-        let dag = self.dags[idx];
+        let dag = self.dags[idx].dag();
         for w in dag.workers() {
             self.ready_workers.insert(w);
         }
@@ -345,7 +526,8 @@ impl<'a> JobSource<'a> {
                 // Startable once it is also at its program head; the
                 // worker queue re-checks that.
                 let di = self.comp_of[&c];
-                self.ready_workers.insert(self.dags[di].comps[&c].worker);
+                self.ready_workers
+                    .insert(self.dags[di].dag().comps[&c].worker);
             }
         }
         for m in deps.comms {
@@ -368,7 +550,8 @@ impl<'a> JobSource<'a> {
             *p -= 1;
             if *p == 0 {
                 let di = self.comp_of[&c];
-                self.ready_workers.insert(self.dags[di].comps[&c].worker);
+                self.ready_workers
+                    .insert(self.dags[di].dag().comps[&c].worker);
             }
         }
         for m in deps.comms {
@@ -389,7 +572,8 @@ impl<'a> JobSource<'a> {
     /// Completes a running computation unit at `now`.
     fn finish_comp(&mut self, id: CompId, now: SimTime) {
         self.running.remove(&id);
-        let dag = self.dags[self.comp_of[&id]];
+        let di = self.comp_of[&id];
+        let dag = self.dags[di].dag();
         let unit = &dag.comps[&id];
         let worker = unit.worker;
         let start = self.comp_starts[&id];
@@ -416,21 +600,24 @@ impl<'a> JobSource<'a> {
         *self.program_ptr.get_mut(&worker).expect("known worker") += 1;
         self.ready_workers.insert(worker);
         self.resolve_comp(id);
+        self.note_unit_done(di, now);
     }
 
     /// Marks a communication op complete (last flow of its last stage).
     fn finish_comm(&mut self, cid: CommId, now: SimTime) {
+        let di = self.comm_of[&cid];
         let st = self.comm_state.get_mut(&cid).expect("known comm");
         st.done = true;
         let started = st.started.expect("started comm");
         self.result.comm_spans.insert(cid, (started, now));
         self.comms_done += 1;
         self.resolve_comm(cid);
+        self.note_unit_done(di, now);
     }
 
     /// Releases the next stage of a ready communication op.
     fn release_stage(&mut self, cid: CommId, now: SimTime, net: &mut FluidNetwork) {
-        let dag = self.dags[self.comm_of[&cid]];
+        let dag = self.dags[self.comm_of[&cid]].dag();
         let comm = &dag.comms[&cid];
         let st = self.comm_state.get_mut(&cid).expect("known comm");
         debug_assert!(
@@ -456,18 +643,21 @@ impl<'a> JobSource<'a> {
     /// zero-duration units (barriers) inline and continuing down the
     /// program.
     fn advance_program(&mut self, worker: NodeId, now: SimTime) {
-        let Some(&di) = self.worker_dag.get(&worker) else {
-            return;
-        };
-        let dag = self.dags[di];
-        let Some(program) = dag.programs.get(&worker) else {
-            return;
-        };
+        // Re-resolved every iteration: a zero-duration unit completed
+        // inline can retire the whole job, dropping the worker's claim
+        // mid-loop.
         loop {
+            let Some(&di) = self.worker_dag.get(&worker) else {
+                return;
+            };
             if self.worker_busy_now[&worker] {
                 return;
             }
             let ptr = self.program_ptr[&worker];
+            let dag = self.dags[di].dag();
+            let Some(program) = dag.programs.get(&worker) else {
+                return;
+            };
             let Some(&head) = program.get(ptr) else {
                 return;
             };
@@ -475,8 +665,9 @@ impl<'a> JobSource<'a> {
                 return;
             }
             let unit = &dag.comps[&head];
+            let duration = unit.duration;
             self.comp_starts.insert(head, now);
-            if unit.duration <= EPS {
+            if duration <= EPS {
                 // Instantaneous unit (barrier): complete now. Bookkeeping
                 // mirrors the non-zero path except worker-busy seconds and
                 // job makespans, which a zero-length span cannot move.
@@ -492,11 +683,12 @@ impl<'a> JobSource<'a> {
                 self.comps_done += 1;
                 *self.program_ptr.get_mut(&worker).expect("known worker") += 1;
                 self.resolve_comp(head);
+                self.note_unit_done(di, now);
                 continue;
             }
             self.worker_busy_now.insert(worker, true);
             self.running
-                .insert(head, now + unit.duration * self.slow_of(worker));
+                .insert(head, now + duration * self.slow_of(worker));
             return;
         }
     }
@@ -524,28 +716,42 @@ impl WorkloadSource for JobSource<'_> {
         for id in due {
             self.finish_comp(id, now);
         }
-        // Cascade newly ready stages and program heads to a fixpoint.
-        // Comms drain first (releasing flows as early as possible within
-        // the instant); zero-duration computations completed inline by
-        // `advance_program` can ready further comms, so alternate until
-        // both queues are empty. Id order keeps this deterministic.
+        // Feed admission, then cascade newly ready stages and program
+        // heads to a fixpoint. Comms drain first (releasing flows as
+        // early as possible within the instant); zero-duration
+        // computations completed inline by `advance_program` can ready
+        // further comms, so alternate until both queues are empty. Id
+        // order keeps this deterministic. A retirement inside the cascade
+        // frees worker claims, so the admission pass re-runs until no
+        // further job retires at this instant.
         loop {
-            if let Some(&cid) = self.ready_comms.iter().next() {
-                self.ready_comms.remove(&cid);
-                self.release_stage(cid, now, net);
-                continue;
+            self.admit_from_feed(now);
+            self.retired_in_pass = false;
+            loop {
+                if let Some(&cid) = self.ready_comms.iter().next() {
+                    self.ready_comms.remove(&cid);
+                    self.release_stage(cid, now, net);
+                    continue;
+                }
+                if let Some(&w) = self.ready_workers.iter().next() {
+                    self.ready_workers.remove(&w);
+                    self.advance_program(w, now);
+                    continue;
+                }
+                break;
             }
-            if let Some(&w) = self.ready_workers.iter().next() {
-                self.ready_workers.remove(&w);
-                self.advance_program(w, now);
-                continue;
+            if self.feed.is_none() || !self.retired_in_pass {
+                break;
             }
-            break;
         }
     }
 
     fn finished(&self) -> bool {
-        self.comps_done == self.total_comps && self.comms_done == self.total_comms
+        let feed_dry = match &self.feed {
+            Some(feed) => feed.exhausted(),
+            None => true,
+        };
+        feed_dry && self.comps_done == self.total_comps && self.comms_done == self.total_comms
     }
 
     fn next_event_in(&self, now: SimTime) -> Option<f64> {
@@ -554,10 +760,15 @@ impl WorkloadSource for JobSource<'_> {
             .arrival_order
             .get(self.arrival_cursor)
             .map(|&idx| (self.arrivals[idx] - now).max(0.0));
-        match (dt_comp, dt_arrival) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
+        let dt_feed = self
+            .feed
+            .as_ref()
+            .and_then(|feed| feed.next_event_at())
+            .map(|t| (t - now).max(0.0));
+        [dt_comp, dt_arrival, dt_feed]
+            .into_iter()
+            .flatten()
+            .reduce(f64::min)
     }
 
     fn on_flow_completions(
@@ -581,7 +792,7 @@ impl WorkloadSource for JobSource<'_> {
                 *e = (*e).max(now);
             }
             let cid = self.flow_to_comm[&c.id];
-            let stages = self.dags[self.comm_of[&cid]].comms[&cid].stages.len();
+            let stages = self.dags[self.comm_of[&cid]].dag().comms[&cid].stages.len();
             let st = self.comm_state.get_mut(&cid).expect("known comm");
             st.outstanding -= 1;
             if st.outstanding == 0 {
@@ -661,7 +872,7 @@ impl WorkloadSource for JobSource<'_> {
         let old = self.slow_of(*worker);
         self.slow_factor.insert(*worker, *factor);
         for (id, end) in self.running.iter_mut() {
-            let unit_worker = self.dags[self.comp_of[id]].comps[id].worker;
+            let unit_worker = self.dags[self.comp_of[id]].dag().comps[id].worker;
             if unit_worker == *worker {
                 let left = (*end - now).max(0.0);
                 *end = now + left * (factor / old);
@@ -676,8 +887,16 @@ impl WorkloadSource for JobSource<'_> {
             .filter(|(_, st)| !st.done)
             .map(|(id, st)| format!("{id}@stage{}", st.released_stages))
             .collect();
+        let feed_note = match &self.feed {
+            Some(feed) => format!(
+                "; feed backlog: {} (exhausted: {})",
+                feed.backlog(),
+                feed.exhausted()
+            ),
+            None => String::new(),
+        };
         format!(
-            "{}/{} comps, {}/{} comms done; pending comms: {pending:?}",
+            "{}/{} comps, {}/{} comms done; pending comms: {pending:?}{feed_note}",
             self.comps_done, self.total_comps, self.comms_done, self.total_comms
         )
     }
@@ -814,6 +1033,34 @@ pub fn run_jobs_arriving_faulted(
         "one arrival time per job dag required"
     );
     let mut source = JobSource::new(dags, arrivals.to_vec());
+    finish_run(drive_faulted(topo, &mut source, policy, mode, plan), source)
+}
+
+/// Runs an open-loop service: jobs are admitted incrementally from
+/// `feed` (see [`JobFeed`]) instead of being pre-materialized, each job's
+/// bookkeeping and DAG are dropped when it retires, and its worker claims
+/// are freed so later arrivals can reuse the hosts. `plan` injects faults
+/// while the stream runs (pass [`FaultPlan::empty`] for a fault-free
+/// drive).
+///
+/// A feed replayed as a pre-materialized batch through the same admission
+/// gate produces a bit-identical simulation: admission, release and
+/// completion events depend only on the gate decisions, which both modes
+/// share.
+///
+/// # Panics
+///
+/// Panics if the feed admits a job whose worker is still claimed, or if
+/// the simulation deadlocks (e.g. the feed holds a job whose hosts are
+/// never freed).
+pub fn run_jobs_streamed<'a>(
+    topo: &Topology,
+    feed: &'a mut (dyn JobFeed + 'a),
+    policy: &mut dyn RatePolicy,
+    mode: RecomputeMode,
+    plan: &FaultPlan,
+) -> RunResult {
+    let mut source = JobSource::with_feed(feed);
     finish_run(drive_faulted(topo, &mut source, policy, mode, plan), source)
 }
 

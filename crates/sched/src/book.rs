@@ -23,10 +23,17 @@ use echelon_simnet::topology::Topology;
 use std::collections::BTreeMap;
 
 /// Registry of declared EchelonFlows with lazy reference binding.
+///
+/// The book supports an open-loop lifecycle: EchelonFlows may be
+/// [`Self::register`]ed as their jobs are admitted and [`Self::evict`]ed
+/// once every member flow has finished, keeping occupancy proportional to
+/// *live* jobs rather than all jobs ever seen. [`Self::peak_occupancy`]
+/// is the memory-bound witness asserted by the open-loop drives.
 #[derive(Debug, Clone)]
 pub struct EchelonBook {
     echelons: BTreeMap<EchelonId, EchelonFlow>,
     by_flow: BTreeMap<FlowId, EchelonId>,
+    peak_occupancy: usize,
 }
 
 impl EchelonBook {
@@ -47,10 +54,61 @@ impl EchelonBook {
             let prev = map.insert(id, h);
             assert!(prev.is_none(), "duplicate EchelonFlow id {id}");
         }
+        let peak = map.len();
         EchelonBook {
             echelons: map,
             by_flow,
+            peak_occupancy: peak,
         }
+    }
+
+    /// Registers one more EchelonFlow into a live book (open-loop
+    /// admission). Registration any time before the EchelonFlow's head
+    /// flow is released is allocation-neutral: an echelon with no active
+    /// member flows contributes nothing to any serve order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id or any member flow is already claimed.
+    pub fn register(&mut self, echelon: EchelonFlow) {
+        for f in echelon.flows() {
+            let prev = self.by_flow.insert(f.id, echelon.id());
+            assert!(prev.is_none(), "flow {} claimed by two EchelonFlows", f.id);
+        }
+        let id = echelon.id();
+        let prev = self.echelons.insert(id, echelon);
+        assert!(prev.is_none(), "duplicate EchelonFlow id {id}");
+        self.peak_occupancy = self.peak_occupancy.max(self.echelons.len());
+    }
+
+    /// Evicts a completed EchelonFlow (open-loop retirement), refusing —
+    /// returning `false` and leaving the book untouched — when any member
+    /// flow is still in `active`. Evicting only after the last member
+    /// completion is allocation-neutral: a departed flow is never
+    /// consulted again, so dropping its group changes no later decision.
+    /// Unknown ids are a no-op returning `false`.
+    pub fn evict(&mut self, id: EchelonId, active: &[ActiveFlowView]) -> bool {
+        let Some(h) = self.echelons.get(&id) else {
+            return false;
+        };
+        if active.iter().any(|v| h.contains(v.id)) {
+            return false;
+        }
+        let h = self.echelons.remove(&id).expect("checked above");
+        for f in h.flows() {
+            self.by_flow.remove(&f.id);
+        }
+        true
+    }
+
+    /// Number of EchelonFlows currently registered.
+    pub fn occupancy(&self) -> usize {
+        self.echelons.len()
+    }
+
+    /// High-water mark of registered EchelonFlows over the book's life.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
     }
 
     /// Binds reference times for every EchelonFlow whose first flow has
@@ -357,6 +415,69 @@ mod tests {
             view(99, 2.0, 2.0, 1.0, &topo), // not a member
         ];
         assert!((book.remaining_bytes(EchelonId(0), &active) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn register_then_evict_tracks_occupancy() {
+        let topo = Topology::chain(2, 1.0);
+        let mut book = EchelonBook::new(vec![]);
+        assert_eq!(book.occupancy(), 0);
+        book.register(EchelonFlow::from_flows(
+            EchelonId(0),
+            JobId(0),
+            vec![fr(0, 2.0)],
+            ArrangementFn::Coflow,
+        ));
+        book.register(EchelonFlow::from_flows(
+            EchelonId(1),
+            JobId(1),
+            vec![fr(1, 2.0)],
+            ArrangementFn::Coflow,
+        ));
+        assert_eq!(book.occupancy(), 2);
+        assert_eq!(book.peak_occupancy(), 2);
+        let active = vec![view(1, 2.0, 2.0, 0.0, &topo)];
+        assert!(book.evict(EchelonId(0), &active));
+        assert_eq!(book.occupancy(), 1);
+        // Peak is a high-water mark: eviction must not lower it.
+        assert_eq!(book.peak_occupancy(), 2);
+        // The evicted echelon's flows are unclaimed again.
+        assert!(book.echelon_of(FlowId(0)).is_none());
+    }
+
+    #[test]
+    fn evict_refused_while_member_flow_active() {
+        let topo = Topology::chain(2, 1.0);
+        let mut book = pipeline_book();
+        // Head flow 0 is still active: eviction must refuse and leave
+        // the registration untouched.
+        let active = vec![view(0, 2.0, 1.0, 1.0, &topo)];
+        book.observe(SimTime::new(1.0), &active);
+        assert!(!book.evict(EchelonId(0), &active));
+        assert_eq!(book.occupancy(), 1);
+        assert!(book.echelon_of(FlowId(0)).is_some());
+        // Once the member set drains, eviction succeeds.
+        assert!(book.evict(EchelonId(0), &[]));
+        assert_eq!(book.occupancy(), 0);
+    }
+
+    #[test]
+    fn evict_unknown_id_is_noop() {
+        let mut book = pipeline_book();
+        assert!(!book.evict(EchelonId(99), &[]));
+        assert_eq!(book.occupancy(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "claimed by two")]
+    fn register_rejects_claimed_flow() {
+        let mut book = pipeline_book();
+        book.register(EchelonFlow::from_flows(
+            EchelonId(7),
+            JobId(7),
+            vec![fr(0, 1.0)], // flow 0 already claimed by EchelonId(0)
+            ArrangementFn::Coflow,
+        ));
     }
 
     #[test]

@@ -177,6 +177,31 @@ impl EchelonMadd {
         &self.book
     }
 
+    /// Registers one more EchelonFlow into the live scheduler (open-loop
+    /// admission; see [`EchelonBook::register`]). Safe — i.e. provably
+    /// allocation-neutral — any time before the echelon's head flow is
+    /// released.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id or any member flow is already claimed.
+    pub fn register(&mut self, echelon: EchelonFlow) {
+        self.book.register(echelon);
+    }
+
+    /// Evicts a completed EchelonFlow, refusing (returning `false`) while
+    /// any member flow is still active. The active-flow guard also
+    /// guarantees the incremental member cache holds no entry for the
+    /// group, so no cache surgery is needed.
+    pub fn evict(&mut self, id: EchelonId, active: &[ActiveFlowView]) -> bool {
+        let evicted = self.book.evict(id, active);
+        debug_assert!(
+            !evicted || !self.cached_members.contains_key(&GroupKey::Echelon(id)),
+            "evicted echelon {id} still has cached members"
+        );
+        evicted
+    }
+
     /// Binds reference times for any EchelonFlow whose head flow has just
     /// become active, without computing an allocation.
     ///
@@ -944,6 +969,10 @@ impl RatePolicy for EchelonMadd {
             (InterOrder::StageLeastWork, _) => "echelon-madd(stage-least-work)",
             (InterOrder::Bssi, _) => "echelon-madd(bssi)",
         }
+    }
+
+    fn book_stats(&self) -> Option<(usize, usize)> {
+        Some((self.book.occupancy(), self.book.peak_occupancy()))
     }
 }
 

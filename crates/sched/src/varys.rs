@@ -55,6 +55,8 @@ pub struct VarysMadd {
     by_flow: BTreeMap<FlowId, EchelonId>,
     order: CoflowOrder,
     backfill: bool,
+    /// High-water mark of registered coflows (open-loop memory witness).
+    peak_occupancy: usize,
     arrivals: BTreeMap<GroupKey, SimTime>,
     // Incremental state: id-ordered member list per active group, patched
     // by `apply_delta` and consumed by `allocate_cached`. The naive
@@ -87,17 +89,72 @@ impl VarysMadd {
             let id = c.id();
             assert!(map.insert(id, c).is_none(), "duplicate coflow id {id}");
         }
+        let peak = map.len();
         VarysMadd {
             coflows: map,
             by_flow,
             order: CoflowOrder::Sebf,
             backfill: true,
+            peak_occupancy: peak,
             arrivals: BTreeMap::new(),
             cached_members: BTreeMap::new(),
             links: LinkIndex::default(),
             scratch: GroupCsr::default(),
             load: LinkLoad::default(),
         }
+    }
+
+    /// Registers one more coflow into the live scheduler (open-loop
+    /// admission). Allocation-neutral any time before the coflow's first
+    /// flow is released: a group with no active flows is never served.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id or any member flow is already claimed.
+    pub fn register(&mut self, coflow: Coflow) {
+        for f in coflow.flows() {
+            let prev = self.by_flow.insert(f.id, coflow.id());
+            assert!(prev.is_none(), "flow {} claimed by two coflows", f.id);
+        }
+        let id = coflow.id();
+        assert!(
+            self.coflows.insert(id, coflow).is_none(),
+            "duplicate coflow id {id}"
+        );
+        self.peak_occupancy = self.peak_occupancy.max(self.coflows.len());
+    }
+
+    /// Evicts a completed coflow, refusing (returning `false`) while any
+    /// member flow is still in `active`. Evicting after the last member
+    /// completion changes no later allocation: departed flows are never
+    /// consulted again. Unknown ids are a no-op returning `false`.
+    pub fn evict(&mut self, id: EchelonId, active: &[ActiveFlowView]) -> bool {
+        if !self.coflows.contains_key(&id) {
+            return false;
+        }
+        if active.iter().any(|v| self.by_flow.get(&v.id) == Some(&id)) {
+            return false;
+        }
+        let c = self.coflows.remove(&id).expect("checked above");
+        for f in c.flows() {
+            self.by_flow.remove(&f.id);
+        }
+        self.arrivals.remove(&GroupKey::Co(id));
+        debug_assert!(
+            !self.cached_members.contains_key(&GroupKey::Co(id)),
+            "evicted coflow {id} still has cached members"
+        );
+        true
+    }
+
+    /// Number of coflows currently registered.
+    pub fn occupancy(&self) -> usize {
+        self.coflows.len()
+    }
+
+    /// High-water mark of registered coflows over the scheduler's life.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
     }
 
     /// Selects the inter-coflow ordering.
@@ -582,6 +639,10 @@ impl RatePolicy for VarysMadd {
             CoflowOrder::Bssi => "varys-madd(bssi)",
             CoflowOrder::Arrival => "varys-madd(arrival)",
         }
+    }
+
+    fn book_stats(&self) -> Option<(usize, usize)> {
+        Some((self.occupancy(), self.peak_occupancy()))
     }
 }
 

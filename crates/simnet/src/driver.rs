@@ -218,6 +218,11 @@ pub struct DriveStats {
     /// Flow-arena capacity at exit: the high-water mark of concurrently
     /// live slots in the driver's [`FluidNetwork`].
     pub arena_capacity: usize,
+    /// High-water mark of the policy's group registry (see
+    /// [`RatePolicy::book_stats`]). Zero for policies without a group
+    /// registry. Open-loop drives assert this stays sublinear in the
+    /// total jobs processed — the bounded-memory guarantee.
+    pub peak_book_occupancy: usize,
 }
 
 impl DriveStats {
@@ -494,6 +499,9 @@ pub fn drive_faulted_configured(
     if let Some((recomputed, total)) = policy.pod_stats() {
         stats.pods_recomputed = recomputed;
         stats.pods_total = total;
+    }
+    if let Some((_, peak)) = policy.book_stats() {
+        stats.peak_book_occupancy = peak;
     }
     DriveOutcome {
         end: net.now(),

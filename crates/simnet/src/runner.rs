@@ -147,6 +147,20 @@ pub trait RatePolicy {
     fn pod_stats(&self) -> Option<(usize, usize)> {
         None
     }
+
+    /// Group-registry occupancy as `(current, peak)` — how many flow
+    /// groups (EchelonFlows, coflows) the policy holds *now* and at its
+    /// high-water mark, for [`DriveStats::peak_book_occupancy`]. The peak
+    /// is the memory-bound witness of open-loop drives: with completed-
+    /// group eviction it stays proportional to concurrently live jobs,
+    /// not to all jobs ever admitted. `None` (the default) means the
+    /// policy keeps no group registry; the driver leaves the counter at
+    /// zero.
+    ///
+    /// [`DriveStats::peak_book_occupancy`]: crate::driver::DriveStats::peak_book_occupancy
+    fn book_stats(&self) -> Option<(usize, usize)> {
+        None
+    }
 }
 
 /// A policy's self-certified validity window for its latest allocation
